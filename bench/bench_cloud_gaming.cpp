@@ -1,0 +1,58 @@
+// E9 — Section 1 motivation: the cloud-gaming request dispatching study.
+//
+// A synthetic 24h/72h session trace (diurnal arrivals, catalog of per-game
+// GPU fractions) is dispatched by every algorithm; the table reports rental
+// bills in dollars against the certified minimum possible bill.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "core/strfmt.hpp"
+#include "gaming/dispatcher.hpp"
+
+int main() {
+  using namespace dbp;
+  bench::banner("E9", "Cloud gaming dispatch cost study",
+                "Section 1: game-server rental cost across dispatch policies");
+  const ServerSpec spec{1.0, 1.2};  // $1.2 per server-hour (GPU VM ballpark)
+
+  for (const double hours : {24.0, 72.0}) {
+    CloudGamingConfig config;
+    config.horizon_hours = hours;
+    config.peak_arrivals_per_minute = 2.0;
+    config.diurnal_trough_ratio = 0.2;
+    const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 2014);
+
+    const DispatchComparison comparison = compare_dispatch_algorithms(
+        trace, all_algorithm_names(), spec);
+
+    std::cout << strfmt(
+        "horizon %.0fh: %zu sessions, mu = %.1f (session lengths %.0f-%.0f "
+        "min), demand %.1f GPU-hours\n",
+        hours, trace.instance.size(), comparison.metrics.mu,
+        comparison.metrics.min_interval_length,
+        comparison.metrics.max_interval_length,
+        comparison.metrics.total_demand / 60.0);
+    std::cout << strfmt(
+        "minimum possible bill (certified): $%.2f .. $%.2f\n\n",
+        comparison.optimal_dollars_lower, comparison.optimal_dollars_upper);
+
+    Table table({"dispatch policy", "bill $", "overspend vs OPT", "servers rented",
+                 "peak fleet", "utilization"});
+    for (const DispatchReport& report : comparison.reports) {
+      table.add_row({report.algorithm, Table::num(report.total_dollars, 2),
+                     Table::num(report.overspend.upper, 3),
+                     Table::integer((long long)report.servers_rented),
+                     Table::integer(report.peak_servers),
+                     Table::num(report.utilization, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape: first-fit and modified-first-fit track the\n"
+               "optimum closely (bounded overspend per Theorems 4-5 / Sec 4.4);\n"
+               "next-fit wastes servers; best-fit is competitive on benign\n"
+               "diurnal traffic even though it is provably unbounded in the\n"
+               "worst case (Theorem 2) — the paper's reason to prefer FF/MFF.\n";
+  return 0;
+}

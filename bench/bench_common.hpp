@@ -1,0 +1,17 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace dbp::bench {
+
+/// Prints the standard experiment banner so bench output is self-describing
+/// when all binaries run back to back.
+inline void banner(const std::string& experiment_id, const std::string& title,
+                   const std::string& paper_artifact) {
+  std::cout << "\n=== " << experiment_id << ": " << title << " ===\n"
+            << "paper artifact: " << paper_artifact << "\n\n";
+}
+
+}  // namespace dbp::bench

@@ -1,0 +1,111 @@
+// E8 — Figures 4-8 + Table 2: the First Fit proof machinery, measured.
+//
+// Runs First Fit over assorted workloads, rebuilds the Section 4.3
+// decomposition, machine-checks Features (f.1)-(f.5), Lemmas 1-5 and
+// inequalities (8)/(10)/(14), and reports how tight inequality (10) — the
+// heart of Theorems 4-5 — is in practice.
+#include <iostream>
+
+#include "analysis/ff_decomposition.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "core/strfmt.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversary_anyfit.hpp"
+#include "workload/cloud_gaming.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+struct Job {
+  std::string label;
+  dbp::Instance instance;
+};
+
+struct Row {
+  std::string label;
+  std::size_t bins;
+  std::size_t sub_periods;
+  std::size_t joints;
+  std::size_t singles;
+  std::size_t non_intersecting;
+  double ff_total;
+  double bound10;
+  bool all_ok;
+  std::string first_violation;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dbp;
+  bench::banner("E8", "First Fit decomposition instrumentation",
+                "Figures 4-8 + Table 2: proof objects on real traces");
+  const CostModel model{1.0, 1.0, 1e-9};
+
+  std::vector<Job> jobs;
+  for (const double mu : {1.0, 4.0, 8.0}) {
+    for (const std::uint64_t seed : {1u, 2u}) {
+      RandomInstanceConfig config;
+      config.item_count = 1200;
+      config.arrival.rate = 15.0;
+      config.duration.max_length = mu;
+      config.size.min_fraction = 0.05;
+      config.size.max_fraction = 0.6;
+      jobs.push_back({strfmt("random mu=%g seed=%llu", mu,
+                             static_cast<unsigned long long>(seed)),
+                      generate_random_instance(config, seed)});
+    }
+  }
+  {
+    const auto built = build_anyfit_adversary({.k = 16, .mu = 8.0});
+    jobs.push_back({"thm1 adversary k=16 mu=8", built.instance});
+  }
+  {
+    CloudGamingConfig config;
+    config.horizon_hours = 24.0;
+    config.peak_arrivals_per_minute = 1.5;
+    jobs.push_back({"cloud gaming 24h",
+                    generate_cloud_gaming_trace(config, 9).instance});
+  }
+
+  const auto rows = parallel_map(jobs, [&](const Job& job) {
+    const SimulationResult result = simulate(job.instance, "first-fit", model);
+    const FFDecomposition d = decompose_first_fit(job.instance, result);
+    const DecompositionReport report =
+        verify_ff_decomposition(job.instance, result, d, model);
+    Row row;
+    row.label = job.label;
+    row.bins = result.bins_opened;
+    row.sub_periods = d.sub_periods.size();
+    row.joints = d.joint_period_count;
+    row.singles = d.single_period_count;
+    row.non_intersecting = d.non_intersecting_count;
+    row.ff_total = d.ff_total;
+    row.bound10 = d.cost_bound(1.0);
+    row.all_ok = report.all_ok();
+    row.first_violation =
+        report.violations.empty() ? "-" : report.violations.front();
+    return row;
+  });
+
+  Table table({"trace", "bins", "I_{i,j}", "joint |J|", "single |S|", "|U|",
+               "FF_total", "ineq(10) bound", "tightness", "invariants"});
+  for (const Row& row : rows) {
+    table.add_row({row.label, Table::integer((long long)row.bins),
+                   Table::integer((long long)row.sub_periods),
+                   Table::integer((long long)row.joints),
+                   Table::integer((long long)row.singles),
+                   Table::integer((long long)row.non_intersecting),
+                   Table::num(row.ff_total, 1), Table::num(row.bound10, 1),
+                   Table::num(row.ff_total / row.bound10, 3),
+                   row.all_ok ? "all pass" : row.first_violation});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: every trace passes all machine-checked proof\n"
+               "invariants (Features f.1-f.5, Lemmas 1-5, inequalities 8/10/14);\n"
+               "tightness << 1 shows how much slack Theorem 4/5's constants\n"
+               "carry on non-adversarial workloads.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E10 — cross-algorithm mu sweep: the summary comparison table.
+//
+// For each mu, every algorithm's worst and mean cost ratio over a pool of
+// random mixed workloads, next to its proven bound (where one exists).
+#include <iostream>
+
+#include "analysis/ratio.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+struct Cell {
+  double mu;
+  std::uint64_t seed;
+};
+
+std::string bound_for(const std::string& algorithm, double mu) {
+  using dbp::Table;
+  if (algorithm == "first-fit") return Table::num(2.0 * mu + 13.0, 1);
+  if (algorithm == "modified-first-fit") {
+    return Table::num(8.0 / 7.0 * mu + 55.0 / 7.0, 1);
+  }
+  if (algorithm == "modified-first-fit-known-mu") return Table::num(mu + 8.0, 1);
+  if (algorithm == "best-fit") return "unbounded";
+  return "-";
+}
+
+}  // namespace
+
+int main() {
+  using namespace dbp;
+  bench::banner("E10", "Cross-algorithm mu sweep",
+                "summary: measured ratios vs proven bounds, all algorithms");
+  const CostModel model{1.0, 1.0, 1e-9};
+  const std::vector<double> mus{1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  const std::vector<std::uint64_t> seeds{7, 14, 21, 28, 35};
+
+  std::vector<Cell> cells;
+  for (const double mu : mus) {
+    for (const std::uint64_t seed : seeds) cells.push_back({mu, seed});
+  }
+
+  const auto evaluations = parallel_map(cells, [&](const Cell& cell) {
+    RandomInstanceConfig config;
+    config.item_count = 700;
+    config.arrival.rate = 10.0;
+    config.duration.max_length = cell.mu;
+    config.size.min_fraction = 0.02;
+    config.size.max_fraction = 0.9;
+    const Instance instance = generate_random_instance(config, cell.seed);
+    EvaluateOptions options;
+    options.opt.bin_count.exact.node_budget = 20'000;
+    return evaluate_algorithms(instance, all_algorithm_names(), model, options);
+  });
+
+  for (const double mu : mus) {
+    std::cout << "mu = " << mu << "\n";
+    Table table({"algorithm", "worst ratio", "mean ratio", "mean bins opened",
+                 "proven bound"});
+    for (const std::string& name : all_algorithm_names()) {
+      std::vector<double> ratios;
+      std::vector<double> bins;
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].mu != mu) continue;
+        const AlgorithmEvaluation& eval = evaluations[i].row(name);
+        ratios.push_back(eval.ratio.upper);
+        bins.push_back(static_cast<double>(eval.bins_opened));
+      }
+      table.add_row({name, Table::num(summarize(ratios).max, 3),
+                     Table::num(summarize(ratios).mean, 3),
+                     Table::num(summarize(bins).mean, 1), bound_for(name, mu)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape: on random traffic all Any Fit members are\n"
+               "close; the paper's contribution is the *worst case*: FF and\n"
+               "MFF carry mu-linear guarantees, BF does not (Theorem 2), and\n"
+               "next-fit pays a visible premium even on random traffic.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E18 — numerics ablation (extension): why the fit tolerance exists.
+//
+// DESIGN.md's semantics section fixes feasibility at sum <= W + tolerance.
+// This ablation shows the design point: with tolerance 0, floating-point
+// rounding breaks the exact-fill packings the paper's constructions rely
+// on (k items of size W/k no longer share a bin for non-dyadic k), while
+// any tolerance from 1e-12 to 1e-6 reproduces identical results — the
+// choice of 1e-9 sits in a wide insensitive plateau.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "core/strfmt.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversary_anyfit.hpp"
+#include "workload/random_instance.hpp"
+
+int main() {
+  using namespace dbp;
+  bench::banner("E18", "Numerics ablation",
+                "fit tolerance sensitivity: exact fills vs fp rounding");
+
+  // Theorem 1 construction with k = 10 (1/10 is not a binary fraction):
+  // ten items of size 0.1 must exactly fill a unit bin.
+  const auto built = build_anyfit_adversary({.k = 10, .mu = 4.0});
+
+  Table table({"fit tolerance", "FF bins opened (construction)",
+               "FF cost", "predicted bins", "verdict"});
+  for (const double tolerance : {0.0, 1e-15, 1e-12, 1e-9, 1e-6}) {
+    const CostModel model{1.0, 1.0, tolerance};
+    const SimulationResult ff = simulate(built.instance, "first-fit", model);
+    const bool matches = ff.bins_opened == 10;
+    table.add_row({strfmt("%g", tolerance),
+                   Table::integer((long long)ff.bins_opened),
+                   Table::num(ff.total_cost, 2), "10",
+                   matches ? "exact fills work" : "fp rounding leaks bins"});
+  }
+  table.print(std::cout);
+
+  // Random mixed workload: results must be identical across the plateau.
+  RandomInstanceConfig config;
+  config.item_count = 800;
+  config.arrival.rate = 10.0;
+  config.duration.max_length = 6.0;
+  const Instance random_instance = generate_random_instance(config, 8);
+  std::cout << "\nrandom workload sensitivity (cost should be flat):\n\n";
+  Table random_table({"fit tolerance", "FF cost", "BF cost", "bins (FF)"});
+  for (const double tolerance : {1e-12, 1e-9, 1e-6}) {
+    const CostModel model{1.0, 1.0, tolerance};
+    const SimulationResult ff = simulate(random_instance, "first-fit", model);
+    const SimulationResult bf = simulate(random_instance, "best-fit", model);
+    random_table.add_row({strfmt("%g", tolerance), Table::num(ff.total_cost, 6),
+                          Table::num(bf.total_cost, 6),
+                          Table::integer((long long)ff.bins_opened)});
+  }
+  random_table.print(std::cout);
+  std::cout << "\nExpected shape: tolerance 0 (and values below the fp noise\n"
+               "floor) over-open bins on the construction; every tolerance in\n"
+               "[1e-12, 1e-6] gives identical packings — 1e-9 is safely inside\n"
+               "the plateau, far below any meaningful item size.\n";
+  return 0;
+}

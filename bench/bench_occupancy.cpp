@@ -1,0 +1,77 @@
+// E15 — occupancy texture (extension): why the cost totals differ.
+//
+// For one representative workload per regime, the per-algorithm breakdown
+// of paid vs used capacity, bin lifetimes and fleet busy time — the
+// mechanism behind the MinTotal cost ranking.
+#include <iostream>
+
+#include "analysis/occupancy.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "workload/cloud_gaming.hpp"
+#include "workload/random_instance.hpp"
+
+int main() {
+  using namespace dbp;
+  bench::banner("E15", "Occupancy texture",
+                "extension: utilization / lifetimes behind the cost totals");
+  const CostModel model{1.0, 1.0, 1e-9};
+
+  struct Workload {
+    std::string label;
+    Instance instance;
+  };
+  std::vector<Workload> workloads;
+  {
+    RandomInstanceConfig config;
+    config.item_count = 1500;
+    config.arrival.rate = 12.0;
+    config.duration.max_length = 6.0;
+    config.size.min_fraction = 0.05;
+    config.size.max_fraction = 0.6;
+    workloads.push_back({"random mixed", generate_random_instance(config, 33)});
+  }
+  {
+    CloudGamingConfig config;
+    config.horizon_hours = 24.0;
+    config.peak_arrivals_per_minute = 1.5;
+    workloads.push_back(
+        {"cloud gaming 24h", generate_cloud_gaming_trace(config, 44).instance});
+  }
+
+  const std::vector<std::string> algorithms = {
+      "first-fit", "best-fit", "worst-fit", "next-fit",
+      "modified-first-fit", "harmonic-first-fit", "min-extension-fit"};
+
+  for (const Workload& workload : workloads) {
+    std::cout << workload.label << " (" << workload.instance.size()
+              << " items)\n";
+    const auto reports = parallel_map(algorithms, [&](const std::string& name) {
+      PackerOptions options;
+      options.known_mu = 1.0;
+      const SimulationResult result =
+          simulate(workload.instance, name, model, options);
+      return std::make_pair(result.total_cost,
+                            compute_occupancy(workload.instance, result, model));
+    });
+    Table table({"algorithm", "total cost", "utilization", "mean bin life",
+                 "p95 bin life", "items/bin", "busy fraction"});
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      const auto& [cost, occ] = reports[a];
+      table.add_row({algorithms[a], Table::num(cost, 1),
+                     Table::num(occ.utilization, 3),
+                     Table::num(occ.bin_lifetime.mean, 2),
+                     Table::num(occ.bin_lifetime.p95, 2),
+                     Table::num(occ.items_per_bin.mean, 1),
+                     Table::num(occ.busy_fraction, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape: cost ranks inversely with utilization;\n"
+               "next-fit's waste shows as many short-lived, lightly-filled\n"
+               "bins; the clairvoyant min-extension-fit buys its edge with\n"
+               "shorter bin lifetimes at similar fill.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E0 — the abstract, reproduced in one table.
+//
+// Each headline claim of the paper next to the measurement that exercises
+// it. Runs in a couple of seconds; the detailed per-claim benches are
+// bench_thm1 .. bench_mff_bounds.
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "analysis/ratio.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "core/strfmt.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversary_anyfit.hpp"
+#include "workload/adversary_bestfit.hpp"
+#include "workload/random_instance.hpp"
+
+int main() {
+  using namespace dbp;
+  bench::banner("E0", "Paper summary",
+                "every abstract claim next to its measurement (mu = 8)");
+  const CostModel model{1.0, 1.0, 1e-9};
+  const double mu = 8.0;
+
+  Table table({"claim (abstract)", "predicted", "measured", "how"});
+
+  {  // Theorem 1: Any Fit >= mu.
+    const auto built = build_anyfit_adversary({.k = 64, .mu = mu});
+    const SimulationResult ff = simulate(built.instance, "first-fit", model);
+    const OptTotalResult opt = estimate_opt_total(built.instance, model);
+    table.add_row({"Any Fit ratio >= mu (Thm 1)",
+                   strfmt(">= %.3f (k=64)", anyfit_construction_ratio(64, mu)),
+                   Table::num(ff.total_cost / opt.upper_cost, 3),
+                   "construction, exact OPT"});
+  }
+  {  // Theorem 2: Best Fit unbounded.
+    BestFitAdversaryConfig config;
+    config.k = 10;
+    config.mu = mu;
+    config.window = 0.25;
+    const auto built = build_bestfit_adversary(config);
+    const SimulationResult bf = simulate(built.instance, "best-fit", model);
+    const OptTotalResult opt = estimate_opt_total(built.instance, model);
+    table.add_row({"Best Fit unbounded (Thm 2)", ">= k/2 = 5 (k=10)",
+                   Table::num(bf.total_cost / opt.upper_cost, 3),
+                   "construction, exact OPT"});
+  }
+  {  // Theorems 4/5 + Section 4.4: upper bounds hold.
+    RandomInstanceConfig config;
+    config.item_count = 800;
+    config.arrival.rate = 12.0;
+    config.duration.max_length = mu;
+    config.size.min_fraction = 0.02;
+    config.size.max_fraction = 0.9;
+    const Instance instance = generate_random_instance(config, 20140623);
+    const InstanceEvaluation evaluation = evaluate_algorithms(
+        instance,
+        {"first-fit", "modified-first-fit", "modified-first-fit-known-mu"},
+        model);
+    table.add_row({"FF ratio <= 2mu+13 (Thm 5)",
+                   strfmt("<= %.0f", ff_general_bound(mu)),
+                   Table::num(evaluation.row("first-fit").ratio.upper, 3),
+                   "random workload"});
+    table.add_row({"MFF ratio <= 8mu/7+55/7 (Sec 4.4)",
+                   strfmt("<= %.2f", mff_bound(mu)),
+                   Table::num(evaluation.row("modified-first-fit").ratio.upper, 3),
+                   "random workload"});
+    table.add_row(
+        {"MFF(mu known) ratio <= mu+8 (Sec 4.4)",
+         strfmt("<= %.0f", mff_known_mu_bound(mu)),
+         Table::num(evaluation.row("modified-first-fit-known-mu").ratio.upper, 3),
+         "random workload"});
+  }
+  {  // Theorem 4 small items, k = 8.
+    RandomInstanceConfig config;
+    config.item_count = 800;
+    config.arrival.rate = 30.0;
+    config.duration.max_length = mu;
+    config.size.min_fraction = 0.01;
+    config.size.max_fraction = 0.124;
+    const Instance instance = generate_random_instance(config, 612);
+    const InstanceEvaluation evaluation =
+        evaluate_algorithms(instance, {"first-fit"}, model);
+    table.add_row({"FF small items < W/8 (Thm 4)",
+                   strfmt("<= %.2f", ff_small_items_bound(8.0, mu)),
+                   Table::num(evaluation.row("first-fit").ratio.upper, 3),
+                   "random small-item workload"});
+  }
+  {  // Theorem 3 large items, k = 4.
+    RandomInstanceConfig config;
+    config.item_count = 800;
+    config.arrival.rate = 8.0;
+    config.duration.max_length = mu;
+    config.size.min_fraction = 0.25;
+    config.size.max_fraction = 0.95;
+    const Instance instance = generate_random_instance(config, 613);
+    const InstanceEvaluation evaluation =
+        evaluate_algorithms(instance, {"first-fit"}, model);
+    table.add_row({"FF large items >= W/4 (Thm 3)",
+                   strfmt("<= %.0f", ff_large_items_bound(4.0)),
+                   Table::num(evaluation.row("first-fit").ratio.upper, 3),
+                   "random large-item workload"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nEvery 'measured' value must satisfy its 'predicted' claim;\n"
+               "lower-bound rows approach the prediction from below (finite\n"
+               "k), upper-bound rows sit under it. See EXPERIMENTS.md for the\n"
+               "full sweeps.\n";
+  return 0;
+}

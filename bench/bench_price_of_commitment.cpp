@@ -1,0 +1,108 @@
+// E16 — price of commitment vs price of the future (extension).
+//
+// On small instances where the exact no-migration optimum is computable,
+// split every online algorithm's gap to the paper's OPT_total (repacking
+// allowed) into:
+//   commitment gap:  NoMigrationOPT / OPT_total       (inherent to the model)
+//   information gap: A_total / NoMigrationOPT         (what being online costs)
+// The paper's competitive ratios bundle both; this ablation separates them.
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "core/strfmt.hpp"
+#include "opt/no_migration.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+struct Cell {
+  double mu;
+  double min_size;
+  double max_size;
+  std::uint64_t seed;
+};
+
+struct CellResult {
+  bool proven;
+  double commitment;   // NoMigrationOPT / OPT upper (conservative low side)
+  double info_ff;      // FF / NoMigrationOPT
+  double info_bf;      // BF / NoMigrationOPT
+};
+
+}  // namespace
+
+int main() {
+  using namespace dbp;
+  bench::banner("E16", "Price of commitment vs price of the future",
+                "extension: exact no-migration optimum on small instances");
+  const CostModel model{1.0, 1.0, 1e-9};
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                         11, 12, 13, 14, 15, 16};
+
+  struct Regime {
+    const char* label;
+    double mu;
+    double min_size;
+    double max_size;
+  };
+  const std::vector<Regime> regimes{
+      {"large items, mu=4", 4.0, 0.4, 0.9},
+      {"large items, mu=16", 16.0, 0.4, 0.9},
+      {"mixed items, mu=4", 4.0, 0.15, 0.7},
+      {"mixed items, mu=16", 16.0, 0.15, 0.7},
+  };
+
+  Table table({"regime", "proven", "commitment gap (mean/max)",
+               "online FF gap (mean/max)", "online BF gap (mean/max)"});
+  for (const Regime& regime : regimes) {
+    std::vector<Cell> cells;
+    for (const std::uint64_t seed : seeds) {
+      cells.push_back({regime.mu, regime.min_size, regime.max_size, seed});
+    }
+    const auto results = parallel_map(cells, [&](const Cell& cell) {
+      RandomInstanceConfig config;
+      config.item_count = 12;
+      config.arrival.rate = 1.5;
+      config.duration.max_length = cell.mu;
+      config.size.min_fraction = cell.min_size;
+      config.size.max_fraction = cell.max_size;
+      const Instance instance = generate_random_instance(config, cell.seed);
+      const OptTotalResult repack = estimate_opt_total(instance, model);
+      const NoMigrationResult committed = exact_no_migration_cost(instance, model);
+      const SimulationResult ff = simulate(instance, "first-fit", model);
+      const SimulationResult bf = simulate(instance, "best-fit", model);
+      CellResult r;
+      r.proven = committed.proven;
+      r.commitment = committed.upper / repack.upper_cost;
+      r.info_ff = ff.total_cost / committed.upper;
+      r.info_bf = bf.total_cost / committed.upper;
+      return r;
+    });
+    std::vector<double> commitment, info_ff, info_bf;
+    std::size_t proven = 0;
+    for (const CellResult& r : results) {
+      proven += r.proven ? 1 : 0;
+      commitment.push_back(r.commitment);
+      info_ff.push_back(r.info_ff);
+      info_bf.push_back(r.info_bf);
+    }
+    const auto fmt = [](const SummaryStats& stats) {
+      return Table::num(stats.mean, 3) + " / " + Table::num(stats.max, 3);
+    };
+    table.add_row({regime.label,
+                   strfmt("%zu/%zu", proven, results.size()),
+                   fmt(summarize(commitment)), fmt(summarize(info_ff)),
+                   fmt(summarize(info_bf))});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the commitment gap (no-migration optimum vs\n"
+               "repacking optimum) stays close to 1 — almost all of the online\n"
+               "algorithms' gap is the *information* gap, justifying the\n"
+               "paper's choice to compare against the stronger repacking OPT.\n";
+  return 0;
+}

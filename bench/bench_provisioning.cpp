@@ -1,0 +1,57 @@
+// E17 — warm-pool provisioning tradeoff (extension).
+//
+// Section 1 motivates renting game servers on demand, but VMs boot in
+// minutes. Sweep the warm-spare target and chart the classic tradeoff:
+// bigger pools cost idle dollars, smaller ones cost player waiting time.
+#include <iostream>
+
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "core/strfmt.hpp"
+#include "gaming/provisioner.hpp"
+#include "workload/cloud_gaming.hpp"
+
+int main() {
+  using namespace dbp;
+  bench::banner("E17", "Warm-pool provisioning tradeoff",
+                "extension: boot-delay latency vs idle-spare cost");
+  const ServerSpec spec{1.0, 1.2};
+  const double boot_minutes = 3.0;
+
+  CloudGamingConfig config;
+  config.horizon_hours = 48.0;
+  config.peak_arrivals_per_minute = 2.0;
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 4242);
+  const SimulationResult dispatch =
+      simulate(trace.instance, "modified-first-fit", spec.to_cost_model());
+  std::cout << strfmt(
+      "%zu sessions over 48h, %zu servers opened, boot time %.0f min\n\n",
+      trace.instance.size(), dispatch.bins_opened, boot_minutes);
+
+  const std::vector<std::size_t> warm_targets{0, 1, 2, 3, 4, 6, 8, 12};
+  const auto reports = parallel_map(warm_targets, [&](std::size_t warm) {
+    return analyze_provisioning(trace.instance, dispatch, spec,
+                                ProvisioningPolicy{boot_minutes, warm});
+  });
+
+  Table table({"warm spares", "total bill $", "pool idle $", "cold starts",
+               "boots", "mean wait (min)", "max wait (min)"});
+  for (std::size_t i = 0; i < warm_targets.size(); ++i) {
+    const ProvisioningReport& report = reports[i];
+    table.add_row({Table::integer((long long)warm_targets[i]),
+                   Table::num(report.total_dollars(), 2),
+                   Table::num(report.warm_pool_dollars, 2),
+                   Table::integer((long long)report.cold_starts),
+                   Table::integer((long long)report.boots),
+                   Table::num(report.wait_minutes.mean, 3),
+                   Table::num(report.wait_minutes.max, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: cold starts and waits fall monotonically in\n"
+               "the pool size while the idle bill grows linearly; a few warm\n"
+               "spares (2-4) buy away nearly all boot latency for a small\n"
+               "premium — the operational answer the MinTotal model abstracts\n"
+               "away.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E1 — Theorem 1 / Figure 2: the Any Fit lower-bound construction.
+//
+// Reproduces equation (1): AF_total / OPT_total = k*mu / (k + mu - 1),
+// which approaches mu as k grows, for every Any Fit family member.
+#include <iostream>
+
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adaptive_adversary.hpp"
+#include "workload/adversary_anyfit.hpp"
+
+namespace {
+
+struct Cell {
+  std::size_t k;
+  double mu;
+};
+
+struct Row {
+  Cell cell;
+  double predicted;
+  double measured_ff;
+  double measured_bf;
+  double opt_cost;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dbp;
+  bench::banner("E1", "Any Fit lower bound construction",
+                "Theorem 1 / Figure 2: ratio = k*mu/(k+mu-1) -> mu");
+  const CostModel model{1.0, 1.0, 1e-9};
+
+  std::vector<Cell> cells;
+  for (const double mu : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    for (const std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+      cells.push_back({k, mu});
+    }
+  }
+
+  const auto rows = parallel_map(cells, [&](const Cell& cell) {
+    const auto built =
+        build_anyfit_adversary({.k = cell.k, .mu = cell.mu, .delta = 1.0,
+                                .bin_capacity = 1.0});
+    const SimulationResult ff = simulate(built.instance, "first-fit", model);
+    const SimulationResult bf = simulate(built.instance, "best-fit", model);
+    const OptTotalResult opt = estimate_opt_total(built.instance, model);
+    Row row;
+    row.cell = cell;
+    row.predicted = built.predicted_ratio;
+    row.measured_ff = ff.total_cost / opt.upper_cost;
+    row.measured_bf = bf.total_cost / opt.upper_cost;
+    row.opt_cost = opt.upper_cost;
+    return row;
+  });
+
+  Table table({"mu", "k", "predicted k*mu/(k+mu-1)", "measured FF/OPT",
+               "measured BF/OPT", "OPT_total", "ratio/mu"});
+  for (const Row& row : rows) {
+    table.add_row({Table::num(row.cell.mu, 0), Table::integer((long long)row.cell.k),
+                   Table::num(row.predicted, 4), Table::num(row.measured_ff, 4),
+                   Table::num(row.measured_bf, 4), Table::num(row.opt_cost, 2),
+                   Table::num(row.measured_ff / row.cell.mu, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: measured == predicted exactly (OPT is exact\n"
+               "on equal-size items); ratio/mu -> 1 as k grows, proving the\n"
+               "competitive ratio of Any Fit packing is at least mu.\n";
+
+  // --- The footnote to Theorem 1: the bound applies to ANY online
+  // algorithm. The adaptive adversary probes each target's actual packing
+  // before scheduling departures, so no Any Fit assumption is needed.
+  std::cout << "\nAdaptive adversary (Theorem 1 footnote): every online "
+               "algorithm, k = 16, mu = 8\n\n";
+  std::vector<std::string> targets = all_algorithm_names();
+  const auto adaptive_rows = parallel_map(targets, [&](const std::string& name) {
+    PackerOptions options;
+    options.known_mu = 8.0;
+    const AdaptiveAdversaryOutcome outcome = run_adaptive_adversary(
+        [&]() { return make_packer(name, model, options); },
+        {.k = 16, .mu = 8.0});
+    return std::make_pair(outcome.probe_bins, outcome.ratio);
+  });
+  Table adaptive_table({"algorithm", "bins forced", "measured ratio",
+                        "construction k*mu/(k+mu-1)"});
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    adaptive_table.add_row(
+        {targets[i], Table::integer((long long)adaptive_rows[i].first),
+         Table::num(adaptive_rows[i].second, 4),
+         Table::num(16.0 * 8.0 / (16.0 + 8.0 - 1.0), 4)});
+  }
+  adaptive_table.print(std::cout);
+  std::cout << "\nExpected shape: every algorithm (Any Fit or not) is forced\n"
+               "to at least the construction ratio — the mu lower bound is\n"
+               "universal for online MinTotal DBP.\n";
+  return 0;
+}

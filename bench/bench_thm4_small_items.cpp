@@ -1,0 +1,87 @@
+// E4 — Theorem 4: First Fit on small items (s(r) < W/k) has ratio at most
+// k/(k-1)*mu + 6k/(k-1) + 1.
+//
+// Sweeps (k, mu) over random small-item workloads; also reports adversarial
+// churny variants that stress the bound harder than uniform traffic.
+#include <iostream>
+
+#include "analysis/ratio.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+struct Cell {
+  double k;
+  double mu;
+  bool churny;
+  std::uint64_t seed;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dbp;
+  bench::banner("E4", "First Fit on small items",
+                "Theorem 4: FF/OPT <= k/(k-1)*mu + 6k/(k-1) + 1 when s < W/k");
+  const CostModel model{1.0, 1.0, 1e-9};
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44, 55, 66};
+  const std::vector<double> ks{2.0, 4.0, 8.0, 16.0};
+  const std::vector<double> mus{1.0, 2.0, 4.0, 8.0};
+
+  std::vector<Cell> cells;
+  for (const double k : ks) {
+    for (const double mu : mus) {
+      for (const bool churny : {false, true}) {
+        for (const std::uint64_t seed : seeds) cells.push_back({k, mu, churny, seed});
+      }
+    }
+  }
+
+  const auto ratios = parallel_map(cells, [&](const Cell& cell) {
+    RandomInstanceConfig config;
+    config.item_count = 900;
+    config.arrival.rate = cell.churny ? 40.0 : 8.0;
+    config.duration.max_length = cell.mu;
+    config.size.min_fraction = 0.2 / cell.k;
+    config.size.max_fraction = 0.999 / cell.k;  // strictly below W/k
+    if (cell.churny) {
+      config.arrival.kind = ArrivalModel::Kind::kBursts;
+      config.arrival.burst_size = 24;
+      config.arrival.burst_gap = cell.mu / 2.0;
+    }
+    const Instance instance = generate_random_instance(config, cell.seed);
+    EvaluateOptions options;
+    options.opt.bin_count.exact.node_budget = 20'000;
+    const InstanceEvaluation evaluation =
+        evaluate_algorithms(instance, {"first-fit"}, model, options);
+    return evaluation.algorithms[0].ratio.upper;
+  });
+
+  Table table({"k (sizes < W/k)", "mu", "workload", "worst FF/OPT",
+               "mean FF/OPT", "Thm 4 bound"});
+  std::size_t index = 0;
+  for (const double k : ks) {
+    for (const double mu : mus) {
+      for (const bool churny : {false, true}) {
+        std::vector<double> cell_ratios;
+        for (std::size_t s = 0; s < seeds.size(); ++s) {
+          cell_ratios.push_back(ratios[index++]);
+        }
+        const SummaryStats stats = summarize(cell_ratios);
+        const double bound = k / (k - 1.0) * mu + 6.0 * k / (k - 1.0) + 1.0;
+        table.add_row({Table::num(k, 0), Table::num(mu, 0),
+                       churny ? "bursty" : "poisson", Table::num(stats.max, 3),
+                       Table::num(stats.mean, 3), Table::num(bound, 2)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: measured ratios sit well below the Theorem 4\n"
+               "bound; the bound's mu-slope k/(k-1) approaches 1 as k grows\n"
+               "(smaller items -> tighter packing -> less mu sensitivity).\n";
+  return 0;
+}

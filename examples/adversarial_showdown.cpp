@@ -1,0 +1,91 @@
+// The two adversarial constructions from the paper, visualized.
+//
+//   $ ./adversarial_showdown
+//
+// Builds the Theorem 1 (Any Fit) and Theorem 2 (Best Fit) instances, runs
+// the algorithms they target, and draws ASCII timelines of the number of
+// open bins — the pictures behind Figures 2 and 3.
+#include <algorithm>
+#include <iostream>
+
+#include "core/strfmt.hpp"
+#include <string>
+
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversary_anyfit.hpp"
+#include "workload/adversary_bestfit.hpp"
+
+namespace {
+
+using namespace dbp;
+
+/// ASCII sparkline of n(t) over the packing period.
+void draw_timeline(const std::string& label, const StepFunction& bins,
+                   TimeInterval period, std::int64_t peak) {
+  constexpr int kColumns = 72;
+  std::string line;
+  for (int c = 0; c < kColumns; ++c) {
+    const Time t = period.begin +
+                   (period.end - period.begin) *
+                       (static_cast<double>(c) + 0.5) / kColumns;
+    const std::int64_t value = bins.value_at(t);
+    const char* glyphs = " .:-=+*#%@";
+    const int level =
+        value <= 0 ? 0
+                   : 1 + static_cast<int>(8.0 * static_cast<double>(value - 1) /
+                                          std::max<std::int64_t>(peak - 1, 1));
+    line += glyphs[std::min(level, 9)];
+  }
+  std::cout << "  " << label << " |" << line << "| peak " << peak << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const CostModel model{1.0, 1.0, 1e-9};
+
+  std::cout << "=== Theorem 1: the mu floor for ANY Any Fit algorithm ===\n\n"
+            << "k^2 items of size 1/k arrive together; after Delta all but one\n"
+            << "per bin depart, yet no Any Fit algorithm may consolidate:\n\n";
+  {
+    const auto built = build_anyfit_adversary({.k = 12, .mu = 8.0});
+    const OptTotalResult opt = estimate_opt_total(built.instance, model);
+    for (const std::string name : {"first-fit", "best-fit", "worst-fit"}) {
+      const SimulationResult result = simulate(built.instance, name, model);
+      draw_timeline(strfmt("%-10s", name.c_str()), result.open_bins_over_time,
+                    built.instance.packing_period(), result.max_open_bins);
+      std::cout << strfmt("             cost %.1f  ratio %.3f  (predicted %.3f, "
+                          "-> mu = %g as k grows)\n",
+                          result.total_cost, result.total_cost / opt.upper_cost,
+                          built.predicted_ratio, built.config.mu);
+    }
+    std::cout << strfmt("\n  OPT repacks to one bin after Delta: OPT_total = "
+                        "%.1f (exact)\n\n",
+                        opt.upper_cost);
+  }
+
+  std::cout << "=== Theorem 2: Best Fit walks into a k/2 trap, First Fit "
+               "doesn't ===\n\n"
+            << "Each window refreshes the *fullest* bin with a slightly\n"
+            << "smaller group, so Best Fit keeps all k bins alive forever:\n\n";
+  {
+    BestFitAdversaryConfig config;
+    config.k = 8;
+    config.mu = 4.0;
+    const auto built = build_bestfit_adversary(config);
+    const OptTotalResult opt = estimate_opt_total(built.instance, model);
+    for (const std::string name : {"best-fit", "first-fit"}) {
+      const SimulationResult result = simulate(built.instance, name, model);
+      draw_timeline(strfmt("%-10s", name.c_str()), result.open_bins_over_time,
+                    built.instance.packing_period(), result.max_open_bins);
+      std::cout << strfmt("             cost %.1f  ratio %.3f\n",
+                          result.total_cost, result.total_cost / opt.upper_cost);
+    }
+    std::cout << strfmt(
+        "\n  k/2 target ratio: %.1f — grows without bound in k while mu "
+        "stays %g\n",
+        static_cast<double>(config.k) / 2.0, config.mu);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// A guided walkthrough of the Section 4.3 proof machinery on a small
+// instance — the executable companion to Figures 4-8 of the paper.
+//
+//   $ ./proof_machinery
+//
+// Runs First Fit on a hand-crafted workload, then prints every object the
+// Theorem 4/5 proofs build: usage periods I_i, the left/right split against
+// E_i, the (mu+2)*Delta sub-period grid, reference points/bins, and the
+// machine-checked verdict on Features (f.1)-(f.5), Lemmas 1-5 and
+// inequalities (8)/(10)/(14).
+#include <iostream>
+
+#include "analysis/ff_decomposition.hpp"
+#include "core/strfmt.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace dbp;
+  const CostModel model{1.0, 1.0, 1e-9};
+
+  // Two overlapping keep-alive chains (all intervals length 4 => Delta = 4,
+  // mu = 1): bin 0 stays 90% full, so the odd-time arrivals spill into
+  // bin 1, whose whole usage lies in bin 0's shadow — a long I^L to split.
+  Instance instance;
+  for (int i = 0; i < 15; ++i) instance.add(2.0 * i, 2.0 * i + 4.0, 0.45);
+  for (int i = 0; i < 9; ++i) {
+    instance.add(3.0 + 2.0 * i, 7.0 + 2.0 * i, 0.45);
+  }
+
+  const SimulationResult result = simulate(instance, "first-fit", model);
+  const FFDecomposition d = decompose_first_fit(instance, result);
+
+  std::cout << strfmt("Delta = %g, mu = %g, (mu+2)*Delta = %g\n\n", d.delta,
+                      d.mu, (d.mu + 2.0) * d.delta);
+  std::cout << "bin   usage I_i         E_i     I_i^L           I_i^R\n";
+  for (std::size_t i = 0; i < d.usage.size(); ++i) {
+    const auto fmt_interval = [](TimeInterval iv) {
+      return iv.empty() ? std::string("      --      ")
+                        : strfmt("[%5.1f, %5.1f)", iv.begin, iv.end);
+    };
+    std::cout << strfmt("%3zu   %s  %5.1f  %s  %s\n", i,
+                        fmt_interval(d.usage[i]).c_str(),
+                        d.latest_prior_close[i],
+                        fmt_interval(d.left_part[i]).c_str(),
+                        fmt_interval(d.right_part[i]).c_str());
+  }
+
+  std::cout << "\nsub-periods I_{i,j} (Figure 5) with reference data "
+               "(Figure 6):\n";
+  std::cout << "bin  j   interval          t_{i,j}  ref bin  intersecting\n";
+  for (const SubPeriod& sub : d.sub_periods) {
+    std::cout << strfmt("%3llu  %zu   [%5.1f, %5.1f)   %7.1f  %7llu  %s\n",
+                        static_cast<unsigned long long>(sub.bin), sub.index,
+                        sub.interval.begin, sub.interval.end,
+                        sub.reference_point,
+                        static_cast<unsigned long long>(sub.reference_bin),
+                        sub.intersecting ? "yes" : "no");
+  }
+
+  std::cout << strfmt(
+      "\nequation (6): FF_total %.1f = sum len(I^L) %.1f + span(R) %.1f\n"
+      "inequality (10): FF_total %.1f <= (|J|+|S|+|U|)(mu+6)Delta + span = "
+      "%.1f\n",
+      d.ff_total, d.sum_left_lengths, d.span, d.ff_total, d.cost_bound(1.0));
+
+  const DecompositionReport report =
+      verify_ff_decomposition(instance, result, d, model);
+  std::cout << strfmt(
+      "\nmachine verification: features %s, lemmas 1-5 %s%s%s%s%s, "
+      "demand (14) %s, cost bound (10) %s => %s\n",
+      report.features_ok ? "ok" : "FAIL", report.lemma1_ok ? "ok" : "FAIL",
+      report.lemma2_ok ? "/ok" : "/FAIL", report.lemma3_ok ? "/ok" : "/FAIL",
+      report.lemma4_ok ? "/ok" : "/FAIL", report.lemma5_ok ? "/ok" : "/FAIL",
+      report.demand_ok ? "ok" : "FAIL", report.cost_bound_ok ? "ok" : "FAIL",
+      report.all_ok() ? "ALL INVARIANTS HOLD" : "VIOLATIONS FOUND");
+  for (const std::string& violation : report.violations) {
+    std::cout << "  " << violation << "\n";
+  }
+  return report.all_ok() ? 0 : 1;
+}

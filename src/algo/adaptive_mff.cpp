@@ -1,0 +1,59 @@
+#include "algo/adaptive_mff.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+AdaptiveMffPacker::AdaptiveMffPacker(CostModel model)
+    : Packer(model), small_pool_(model), large_pool_(model) {}
+
+BinId AdaptiveMffPacker::on_arrival(const ArrivingItem& item) {
+  DBP_REQUIRE(model().fits(item.size, model().bin_capacity),
+              "item larger than the bin capacity");
+  const bool large = item.size >= threshold();
+  FitStrategy& pool = large ? static_cast<FitStrategy&>(large_pool_)
+                            : static_cast<FitStrategy&>(small_pool_);
+  std::optional<BinId> chosen = pool.select(item.size);
+  BinId bin;
+  if (chosen) {
+    bin = *chosen;
+  } else {
+    bin = manager_.open_bin(item.arrival);
+    bin_is_large_[bin] = large;
+    pool.on_bin_registered(bin, manager_.residual(bin));
+  }
+  manager_.place(item, bin);
+  pool.on_residual_changed(bin, manager_.residual(bin));
+  arrival_of_[item.id] = item.arrival;
+  return bin;
+}
+
+void AdaptiveMffPacker::on_departure(ItemId item, Time now) {
+  auto arrival_it = arrival_of_.find(item);
+  DBP_REQUIRE(arrival_it != arrival_of_.end(), "unknown item id");
+  const Time length = now - arrival_it->second;
+  arrival_of_.erase(arrival_it);
+  // Update the completed-interval statistics and hence mu_hat. Zero-length
+  // observations (same-timestamp arrive/depart) are ignored: they would
+  // make mu_hat infinite while the paper's model has d(r) > a(r).
+  if (length > 0.0) {
+    min_len_seen_ = std::min(min_len_seen_, length);
+    max_len_seen_ = std::max(max_len_seen_, length);
+    mu_hat_ = std::max(1.0, max_len_seen_ / min_len_seen_);
+  }
+
+  const DepartureOutcome outcome = manager_.remove(item, now);
+  FitStrategy& pool = bin_is_large_.at(outcome.bin)
+                          ? static_cast<FitStrategy&>(large_pool_)
+                          : static_cast<FitStrategy&>(small_pool_);
+  if (outcome.bin_closed) {
+    pool.on_bin_closed(outcome.bin);
+    bin_is_large_.erase(outcome.bin);
+  } else {
+    pool.on_residual_changed(outcome.bin, manager_.residual(outcome.bin));
+  }
+}
+
+}  // namespace dbp

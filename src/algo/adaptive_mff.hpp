@@ -1,0 +1,49 @@
+// Modified First Fit with mu *estimated online* — the practical variant the
+// paper itself suggests (Section 4.4: "it is possible to estimate the
+// max/min item interval length ratio mu according to the statistics of
+// historical playing data").
+//
+// The packer starts with the mu-unknown split k = 8 and, as items depart,
+// updates a running estimate mu_hat = max observed length / min observed
+// length over COMPLETED items only (an online algorithm may use departures
+// it has already witnessed). Future arrivals are classified against the
+// current threshold W / (mu_hat + 7). Bins keep the pool they were opened
+// in; only the classification of new items drifts.
+#pragma once
+
+#include <unordered_map>
+
+#include "algo/fit_strategy.hpp"
+#include "algo/packer.hpp"
+#include "algo/strategies.hpp"
+
+namespace dbp {
+
+class AdaptiveMffPacker final : public Packer {
+ public:
+  explicit AdaptiveMffPacker(CostModel model);
+
+  [[nodiscard]] std::string name() const override { return "adaptive-mff"; }
+
+  BinId on_arrival(const ArrivingItem& item) override;
+  void on_departure(ItemId item, Time now) override;
+
+  /// Current estimate (1 until at least one item has completed).
+  [[nodiscard]] double mu_estimate() const noexcept { return mu_hat_; }
+
+  /// Current size threshold between the small and large pools.
+  [[nodiscard]] double threshold() const noexcept {
+    return manager_.model().bin_capacity / (mu_hat_ + 7.0);
+  }
+
+ private:
+  FirstFitStrategy small_pool_;
+  FirstFitStrategy large_pool_;
+  std::unordered_map<BinId, bool> bin_is_large_;
+  std::unordered_map<ItemId, Time> arrival_of_;
+  double mu_hat_ = 1.0;
+  Time min_len_seen_ = kTimeInfinity;
+  Time max_len_seen_ = 0.0;
+};
+
+}  // namespace dbp

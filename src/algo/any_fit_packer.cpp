@@ -1,0 +1,43 @@
+#include "algo/any_fit_packer.hpp"
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+AnyFitPacker::AnyFitPacker(CostModel model, std::unique_ptr<FitStrategy> strategy)
+    : Packer(model), strategy_(std::move(strategy)) {
+  DBP_REQUIRE(strategy_ != nullptr, "AnyFitPacker requires a strategy");
+}
+
+BinId AnyFitPacker::on_arrival(const ArrivingItem& item) {
+  DBP_REQUIRE(model().fits(item.size, model().bin_capacity),
+              "item larger than the bin capacity");
+  std::optional<BinId> chosen = strategy_->select(item.size);
+  BinId bin;
+  if (chosen) {
+    bin = *chosen;
+  } else {
+    if (paranoid_ && strategy_->any_fit_contract()) {
+      for (BinId open : manager_.open_bins()) {
+        DBP_CHECK(!manager_.fits(item.size, open),
+                  "Any Fit contract violated: a fitting bin was declined");
+      }
+    }
+    bin = manager_.open_bin(item.arrival);
+    strategy_->on_bin_registered(bin, manager_.residual(bin));
+  }
+  manager_.place(item, bin);
+  strategy_->on_residual_changed(bin, manager_.residual(bin));
+  return bin;
+}
+
+void AnyFitPacker::on_departure(ItemId item, Time now) {
+  const DepartureOutcome outcome = manager_.remove(item, now);
+  if (outcome.bin_closed) {
+    strategy_->on_bin_closed(outcome.bin);
+  } else {
+    strategy_->on_residual_changed(outcome.bin, manager_.residual(outcome.bin));
+  }
+}
+
+}  // namespace dbp

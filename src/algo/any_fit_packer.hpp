@@ -1,0 +1,33 @@
+// The Any Fit packing framework (paper Section 3.2): open a new bin only
+// when the strategy declines every open bin.
+#pragma once
+
+#include <memory>
+
+#include "algo/fit_strategy.hpp"
+#include "algo/packer.hpp"
+
+namespace dbp {
+
+/// Combines the bin mechanics (BinManager) with a pluggable bin-selection
+/// policy (FitStrategy) to form a complete online packer.
+class AnyFitPacker : public Packer {
+ public:
+  AnyFitPacker(CostModel model, std::unique_ptr<FitStrategy> strategy);
+
+  [[nodiscard]] std::string name() const override { return strategy_->name(); }
+
+  BinId on_arrival(const ArrivingItem& item) override;
+  void on_departure(ItemId item, Time now) override;
+
+  /// When enabled, every new-bin opening is cross-checked against *all* open
+  /// bins (O(m) scan) to prove the Any Fit contract: no open bin could have
+  /// accommodated the item. Used by the test suite; off by default.
+  void set_paranoid(bool value) noexcept { paranoid_ = value; }
+
+ private:
+  std::unique_ptr<FitStrategy> strategy_;
+  bool paranoid_ = false;
+};
+
+}  // namespace dbp

@@ -1,0 +1,111 @@
+#include "algo/bin_manager.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+BinManager::BinManager(CostModel model) : model_(model) { model_.validate(); }
+
+BinId BinManager::open_bin(Time t) {
+  const BinId id = static_cast<BinId>(bins_.size());
+  bins_.push_back(BinState{CompensatedSum{}, 0, true});
+  usage_.push_back(BinUsageRecord{id, t, kTimeInfinity});
+  ++open_count_;
+  return id;
+}
+
+const BinManager::BinState& BinManager::state_of(BinId bin) const {
+  DBP_REQUIRE(bin < bins_.size(), "unknown bin id");
+  return bins_[static_cast<std::size_t>(bin)];
+}
+
+void BinManager::place(const ArrivingItem& item, BinId bin) {
+  DBP_REQUIRE(bin < bins_.size(), "unknown bin id");
+  BinState& state = bins_[static_cast<std::size_t>(bin)];
+  DBP_REQUIRE(state.open, "cannot place into a closed bin");
+  DBP_REQUIRE(item.size > 0.0, "item size must be positive");
+  DBP_REQUIRE(model_.fits(item.size, model_.bin_capacity - state.level.value()),
+              "item does not fit into the chosen bin");
+  DBP_REQUIRE(!items_.contains(item.id), "item id already active");
+  state.level.add(item.size);
+  ++state.item_count;
+  items_.emplace(item.id, PlacedItem{bin, item.size});
+  assignment_[item.id] = bin;
+}
+
+DepartureOutcome BinManager::remove(ItemId item, Time t) {
+  auto it = items_.find(item);
+  DBP_REQUIRE(it != items_.end(), "departure of an item that is not active");
+  const BinId bin = it->second.bin;
+  BinState& state = bins_[static_cast<std::size_t>(bin)];
+  DBP_CHECK(state.open && state.item_count > 0, "departure from an empty/closed bin");
+  state.level.subtract(it->second.size);
+  --state.item_count;
+  items_.erase(it);
+  DepartureOutcome outcome{bin, false};
+  if (state.item_count == 0) {
+    state.level.reset();  // exact zero: no drift survives a bin closure
+    state.open = false;
+    usage_[static_cast<std::size_t>(bin)].closed = t;
+    --open_count_;
+    outcome.bin_closed = true;
+  }
+  return outcome;
+}
+
+double BinManager::level(BinId bin) const { return state_of(bin).level.value(); }
+
+double BinManager::residual(BinId bin) const {
+  return model_.bin_capacity - state_of(bin).level.value();
+}
+
+bool BinManager::fits(double size, BinId bin) const {
+  const BinState& state = state_of(bin);
+  return state.open && model_.fits(size, model_.bin_capacity - state.level.value());
+}
+
+bool BinManager::is_open(BinId bin) const { return state_of(bin).open; }
+
+std::size_t BinManager::item_count(BinId bin) const { return state_of(bin).item_count; }
+
+const BinUsageRecord& BinManager::usage(BinId bin) const {
+  DBP_REQUIRE(bin < usage_.size(), "unknown bin id");
+  return usage_[static_cast<std::size_t>(bin)];
+}
+
+std::vector<BinId> BinManager::open_bins() const {
+  std::vector<BinId> result;
+  result.reserve(open_count_);
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i].open) result.push_back(static_cast<BinId>(i));
+  }
+  return result;
+}
+
+std::optional<BinId> BinManager::assignment_of(ItemId item) const {
+  auto it = assignment_.find(item);
+  if (it == assignment_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ItemId> BinManager::items_in(BinId bin) const {
+  DBP_REQUIRE(bin < bins_.size(), "unknown bin id");
+  std::vector<ItemId> result;
+  for (const auto& [id, placed] : items_) {
+    if (placed.bin == bin) result.push_back(id);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+void BinManager::reset() {
+  bins_.clear();
+  usage_.clear();
+  items_.clear();
+  assignment_.clear();
+  open_count_ = 0;
+}
+
+}  // namespace dbp

@@ -1,0 +1,122 @@
+// Runtime bin bookkeeping shared by all online packers.
+//
+// Bins are identified by dense BinIds assigned in opening order, so BinId
+// order coincides with the temporal opening order the paper's First Fit
+// definition refers to. Closed bins are never reopened (paper Section 3.2:
+// "when all the items in a bin depart, the bin is closed").
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compensated_sum.hpp"
+#include "core/item.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// One bin's lifetime: [opened, closed). `closed` is kTimeInfinity while the
+/// bin is still open.
+struct BinUsageRecord {
+  BinId id = 0;
+  Time opened = 0.0;
+  Time closed = kTimeInfinity;
+
+  [[nodiscard]] bool is_closed() const noexcept { return closed != kTimeInfinity; }
+  [[nodiscard]] Time usage_length() const noexcept { return closed - opened; }
+};
+
+/// Result of removing an item from its bin.
+struct DepartureOutcome {
+  BinId bin = 0;
+  bool bin_closed = false;  ///< the departure emptied (and thus closed) the bin
+};
+
+/// Tracks levels, residual capacities, membership and usage periods of all
+/// bins opened during one packing run. Purely mechanical: placement *policy*
+/// lives in FitStrategy implementations.
+class BinManager {
+ public:
+  explicit BinManager(CostModel model);
+
+  [[nodiscard]] const CostModel& model() const noexcept { return model_; }
+
+  /// Opens a fresh bin at time `t` and returns its id.
+  BinId open_bin(Time t);
+
+  /// Places an arriving item into `bin`. Throws PreconditionError when the
+  /// bin is closed, the item does not fit (beyond tolerance), or the item id
+  /// is already present.
+  void place(const ArrivingItem& item, BinId bin);
+
+  /// Removes a previously placed item at time `t`; closes the bin when it
+  /// becomes empty. Throws PreconditionError for unknown item ids.
+  DepartureOutcome remove(ItemId item, Time t);
+
+  /// Total size of items currently in `bin` (0 for closed bins).
+  [[nodiscard]] double level(BinId bin) const;
+
+  /// W - level(bin); negative-free up to tolerance.
+  [[nodiscard]] double residual(BinId bin) const;
+
+  /// True when an item of `size` fits in `bin` now (tolerance-aware).
+  [[nodiscard]] bool fits(double size, BinId bin) const;
+
+  [[nodiscard]] bool is_open(BinId bin) const;
+  [[nodiscard]] std::size_t open_count() const noexcept { return open_count_; }
+  [[nodiscard]] std::size_t total_bins_opened() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::size_t item_count(BinId bin) const;
+  [[nodiscard]] std::size_t active_item_count() const noexcept { return items_.size(); }
+
+  /// Usage record of one bin (valid for all bins ever opened).
+  [[nodiscard]] const BinUsageRecord& usage(BinId bin) const;
+
+  /// Usage records of every bin ever opened, indexed by BinId.
+  [[nodiscard]] std::span<const BinUsageRecord> usage_records() const noexcept {
+    return usage_;
+  }
+
+  /// Ids of all currently open bins, ascending (= opening order).
+  [[nodiscard]] std::vector<BinId> open_bins() const;
+
+  /// The bin an item was assigned to, including items that already departed.
+  /// std::nullopt for items this manager never saw.
+  [[nodiscard]] std::optional<BinId> assignment_of(ItemId item) const;
+
+  /// Full item -> bin assignment history.
+  [[nodiscard]] const std::unordered_map<ItemId, BinId>& assignment_history()
+      const noexcept {
+    return assignment_;
+  }
+
+  /// Item ids currently resident in `bin` (unordered).
+  [[nodiscard]] std::vector<ItemId> items_in(BinId bin) const;
+
+  /// Drops all state, keeping the cost model.
+  void reset();
+
+ private:
+  struct BinState {
+    CompensatedSum level;
+    std::size_t item_count = 0;
+    bool open = false;
+  };
+
+  struct PlacedItem {
+    BinId bin;
+    double size;
+  };
+
+  const BinState& state_of(BinId bin) const;
+
+  CostModel model_;
+  std::vector<BinState> bins_;       // by BinId
+  std::vector<BinUsageRecord> usage_;  // by BinId
+  std::unordered_map<ItemId, PlacedItem> items_;   // active items only
+  std::unordered_map<ItemId, BinId> assignment_;   // full history
+  std::size_t open_count_ = 0;
+};
+
+}  // namespace dbp

@@ -1,0 +1,74 @@
+#include "algo/clairvoyant.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+BinId ClairvoyantPacker::on_arrival(const ArrivingItem& item) {
+  (void)item;
+  DBP_REQUIRE(false,
+              "clairvoyant packer requires departure times; the simulator "
+              "must use on_arrival_clairvoyant");
+  return 0;  // unreachable
+}
+
+DurationAwarePacker::DurationAwarePacker(CostModel model, Policy policy)
+    : ClairvoyantPacker(model), policy_(policy) {}
+
+std::string DurationAwarePacker::name() const {
+  return policy_ == Policy::kAlignDepartures ? "align-departures-fit"
+                                             : "min-extension-fit";
+}
+
+Time DurationAwarePacker::projected_close(BinId bin) const {
+  auto it = departures_.find(bin);
+  DBP_REQUIRE(it != departures_.end() && !it->second.empty(),
+              "projected close of an empty or closed bin");
+  return *it->second.rbegin();
+}
+
+BinId DurationAwarePacker::on_arrival_clairvoyant(const Item& item) {
+  DBP_REQUIRE(model().fits(item.size, model().bin_capacity),
+              "item larger than the bin capacity");
+  // Any Fit scan over open bins: keep the best-scoring fitting bin
+  // (lower score wins; ties to the earliest-opened bin via map order).
+  BinId best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (const auto& [bin, departures] : departures_) {
+    if (!manager_.fits(item.size, bin)) continue;
+    const Time close = *departures.rbegin();
+    const double score = policy_ == Policy::kAlignDepartures
+                             ? std::abs(close - item.departure)
+                             : std::max(0.0, item.departure - close);
+    if (!found || score < best_score ||
+        (score == best_score && bin < best)) {
+      best = bin;
+      best_score = score;
+      found = true;
+    }
+  }
+  if (!found) best = manager_.open_bin(item.arrival);
+  manager_.place(ArrivingItem{item.id, item.arrival, item.size}, best);
+  departures_[best].insert(item.departure);
+  departure_of_[item.id] = item.departure;
+  return best;
+}
+
+void DurationAwarePacker::on_departure(ItemId item, Time now) {
+  auto departure_it = departure_of_.find(item);
+  DBP_REQUIRE(departure_it != departure_of_.end(), "unknown item id");
+  const DepartureOutcome outcome = manager_.remove(item, now);
+  auto& departures = departures_.at(outcome.bin);
+  departures.erase(departures.find(departure_it->second));
+  departure_of_.erase(departure_it);
+  if (outcome.bin_closed) {
+    DBP_CHECK(departures.empty(), "closed bin still holds departures");
+    departures_.erase(outcome.bin);
+  }
+}
+
+}  // namespace dbp

@@ -1,0 +1,44 @@
+// Name-based packer construction for benches, examples and CLI tools.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/packer.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// Tunables consumed by make_packer for parameterized algorithms.
+struct PackerOptions {
+  double mff_k = 8.0;        ///< MFF size threshold parameter (mu unknown)
+  double known_mu = 0.0;     ///< >= 1 enables the semi-online MFF (k = mu+7)
+  int harmonic_classes = 5;  ///< K for harmonic-first-fit
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;  ///< random-fit seed
+};
+
+/// Builds a packer by name. Known names:
+///   first-fit, best-fit, worst-fit, next-fit, last-fit, random-fit,
+///   move-to-front-fit, modified-first-fit, modified-first-fit-known-mu,
+///   harmonic-first-fit
+/// Throws PreconditionError for unknown names (and for
+/// modified-first-fit-known-mu without options.known_mu >= 1).
+[[nodiscard]] std::unique_ptr<Packer> make_packer(const std::string& name,
+                                                  const CostModel& model,
+                                                  const PackerOptions& options = {});
+
+/// All algorithm names make_packer accepts, in canonical report order.
+[[nodiscard]] const std::vector<std::string>& all_algorithm_names();
+
+/// The subset analyzed in the paper: first-fit, best-fit, modified-first-fit
+/// (plus modified-first-fit-known-mu when options.known_mu is set by caller).
+[[nodiscard]] const std::vector<std::string>& paper_algorithm_names();
+
+/// Departure-aware baselines (NOT in the paper's online model; see
+/// algo/clairvoyant.hpp): align-departures-fit, min-extension-fit.
+/// make_packer accepts these names too; the simulator feeds them full items.
+[[nodiscard]] const std::vector<std::string>& clairvoyant_algorithm_names();
+
+}  // namespace dbp

@@ -1,0 +1,48 @@
+// Bin-selection policies for the Any Fit family (paper Section 3.2).
+//
+// A FitStrategy owns the *policy* half of an online packer: given an
+// arriving item's size, pick one of the open bins registered with this
+// strategy, or decline (meaning a new bin must be opened). The mechanics
+// (levels, usage periods) live in BinManager.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "algo/bin_manager.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// Interface implemented by each member of the Any Fit family.
+///
+/// Contract (enforced by AnyFitPacker's paranoid mode in tests): `select`
+/// must return a bin iff at least one registered open bin can accommodate
+/// the item — Any Fit algorithms "open a new bin only when no currently
+/// opened bin can accommodate the item" (paper Section 1).
+class FitStrategy {
+ public:
+  virtual ~FitStrategy() = default;
+
+  /// Human-readable policy name ("first-fit", "best-fit", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Chooses an open registered bin that fits `size`, or nullopt.
+  [[nodiscard]] virtual std::optional<BinId> select(double size) = 0;
+
+  /// A bin freshly opened for this strategy's pool.
+  virtual void on_bin_registered(BinId bin, double residual) = 0;
+
+  /// The bin's residual capacity changed (item placed or departed).
+  virtual void on_residual_changed(BinId bin, double residual) = 0;
+
+  /// The bin emptied and closed; it will never be offered again.
+  virtual void on_bin_closed(BinId bin) = 0;
+
+  /// True when the strategy honours the Any Fit contract (returns a bin
+  /// whenever one fits). Next Fit overrides this to false.
+  [[nodiscard]] virtual bool any_fit_contract() const { return true; }
+};
+
+}  // namespace dbp

@@ -1,0 +1,46 @@
+// The online packer interface driven by the simulator.
+#pragma once
+
+#include <string>
+
+#include "algo/bin_manager.hpp"
+#include "core/item.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// An online dynamic-bin-packing algorithm.
+///
+/// The simulator calls `on_arrival` with only the information an online
+/// algorithm may use (id, size, arrival time — never the departure time) and
+/// `on_departure` when an item leaves. Packers are single-use: construct a
+/// fresh instance per packing run (construction is cheap; see
+/// make_packer in algo/factory.hpp).
+class Packer {
+ public:
+  explicit Packer(CostModel model) : manager_(model) { }
+  virtual ~Packer() = default;
+
+  Packer(const Packer&) = delete;
+  Packer& operator=(const Packer&) = delete;
+
+  /// Algorithm name for reports ("first-fit", "modified-first-fit(k=8)", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Places the arriving item and returns the chosen bin. Must not consult
+  /// anything but the current bin state and the arriving item.
+  virtual BinId on_arrival(const ArrivingItem& item) = 0;
+
+  /// Handles the departure of a previously placed item at time `now`.
+  virtual void on_departure(ItemId item, Time now) = 0;
+
+  /// Read access to all bin state and usage history.
+  [[nodiscard]] const BinManager& bins() const noexcept { return manager_; }
+
+  [[nodiscard]] const CostModel& model() const noexcept { return manager_.model(); }
+
+ protected:
+  BinManager manager_;
+};
+
+}  // namespace dbp

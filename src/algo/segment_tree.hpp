@@ -1,0 +1,111 @@
+// Max segment tree over an append-only position space, with leftmost /
+// rightmost predicate descent.
+//
+// First Fit needs "the earliest-opened open bin whose residual capacity
+// accommodates the item"; with residuals stored at bin-opening positions and
+// max aggregation, that query is an O(log m) leftmost descent instead of the
+// O(m) scan of a textbook implementation. Last Fit uses the symmetric
+// rightmost descent.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+/// Segment tree keyed by dense positions 0..size-1 storing doubles with max
+/// aggregation. Positions are appended with push_back and may later be
+/// deactivated by setting them to -infinity.
+class MaxSegmentTree {
+ public:
+  MaxSegmentTree() = default;
+
+  static constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Appends a new position holding `value`; returns its index.
+  std::size_t push_back(double value) {
+    const std::size_t pos = size_;
+    if (size_ == capacity_) grow();
+    ++size_;
+    assign(pos, value);
+    return pos;
+  }
+
+  /// Overwrites the value at `pos`.
+  void assign(std::size_t pos, double value) {
+    DBP_REQUIRE(pos < size_, "segment tree position out of range");
+    std::size_t node = capacity_ + pos;
+    tree_[node] = value;
+    for (node /= 2; node >= 1; node /= 2) {
+      tree_[node] = std::max(tree_[2 * node], tree_[2 * node + 1]);
+    }
+  }
+
+  /// Marks a position as permanently unusable (e.g. the bin closed).
+  void deactivate(std::size_t pos) { assign(pos, kNegInf); }
+
+  [[nodiscard]] double value_at(std::size_t pos) const {
+    DBP_REQUIRE(pos < size_, "segment tree position out of range");
+    return tree_[capacity_ + pos];
+  }
+
+  /// Maximum over all positions (kNegInf when empty).
+  [[nodiscard]] double max_value() const noexcept {
+    return capacity_ == 0 ? kNegInf : tree_[1];
+  }
+
+  /// Smallest position whose value satisfies `pred`, where `pred` must be
+  /// monotone in the sense pred(x) && y >= x implies pred(y) (true for
+  /// "residual fits this item"). O(log n).
+  template <typename Pred>
+  [[nodiscard]] std::optional<std::size_t> find_leftmost(const Pred& pred) const {
+    return find_directional<true>(pred);
+  }
+
+  /// Largest position whose value satisfies `pred` (same monotonicity).
+  template <typename Pred>
+  [[nodiscard]] std::optional<std::size_t> find_rightmost(const Pred& pred) const {
+    return find_directional<false>(pred);
+  }
+
+ private:
+  template <bool Leftmost, typename Pred>
+  [[nodiscard]] std::optional<std::size_t> find_directional(const Pred& pred) const {
+    if (capacity_ == 0 || !pred(tree_[1])) return std::nullopt;
+    std::size_t node = 1;
+    while (node < capacity_) {
+      const std::size_t first = Leftmost ? 2 * node : 2 * node + 1;
+      const std::size_t second = Leftmost ? 2 * node + 1 : 2 * node;
+      node = pred(tree_[first]) ? first : second;
+    }
+    const std::size_t pos = node - capacity_;
+    // The aggregate said some leaf qualifies; the descent found it.
+    DBP_CHECK(pos < size_ && pred(tree_[node]), "segment tree descent failed");
+    return pos;
+  }
+
+  void grow() {
+    const std::size_t new_capacity = capacity_ == 0 ? 1 : capacity_ * 2;
+    std::vector<double> new_tree(2 * new_capacity, kNegInf);
+    for (std::size_t i = 0; i < size_; ++i) {
+      new_tree[new_capacity + i] = tree_[capacity_ + i];
+    }
+    for (std::size_t i = new_capacity - 1; i >= 1; --i) {
+      new_tree[i] = std::max(new_tree[2 * i], new_tree[2 * i + 1]);
+    }
+    tree_ = std::move(new_tree);
+    capacity_ = new_capacity;
+  }
+
+  std::vector<double> tree_;  // 1-based heap layout; leaves at [capacity_, 2*capacity_)
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace dbp

@@ -1,0 +1,111 @@
+#include "algo/size_classed_packer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/strategies.hpp"
+#include "core/strfmt.hpp"
+#include "core/error.hpp"
+
+namespace dbp {
+
+SizeClassedPacker::SizeClassedPacker(CostModel model, std::string name,
+                                     std::vector<double> boundaries,
+                                     const StrategyFactory& factory)
+    : Packer(model), name_(std::move(name)), boundaries_(std::move(boundaries)) {
+  DBP_REQUIRE(std::is_sorted(boundaries_.begin(), boundaries_.end()) &&
+                  std::adjacent_find(boundaries_.begin(), boundaries_.end()) ==
+                      boundaries_.end(),
+              "class boundaries must be strictly increasing");
+  for (double b : boundaries_) {
+    DBP_REQUIRE(b > 0.0 && b <= model.bin_capacity,
+                "class boundaries must lie in (0, W]");
+  }
+  strategies_.reserve(boundaries_.size() + 1);
+  for (std::size_t i = 0; i <= boundaries_.size(); ++i) {
+    strategies_.push_back(factory(model));
+    DBP_REQUIRE(strategies_.back() != nullptr, "strategy factory returned null");
+  }
+}
+
+std::size_t SizeClassedPacker::class_of(double size) const {
+  // Number of boundaries <= size: class i covers [b_{i-1}, b_i).
+  return static_cast<std::size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), size) -
+      boundaries_.begin());
+}
+
+std::size_t SizeClassedPacker::class_of_bin(BinId bin) const {
+  DBP_REQUIRE(bin < bin_class_.size(), "unknown bin id");
+  return bin_class_[static_cast<std::size_t>(bin)];
+}
+
+BinId SizeClassedPacker::on_arrival(const ArrivingItem& item) {
+  DBP_REQUIRE(model().fits(item.size, model().bin_capacity),
+              "item larger than the bin capacity");
+  const std::size_t cls = class_of(item.size);
+  FitStrategy& strategy = *strategies_[cls];
+  std::optional<BinId> chosen = strategy.select(item.size);
+  BinId bin;
+  if (chosen) {
+    bin = *chosen;
+  } else {
+    bin = manager_.open_bin(item.arrival);
+    DBP_CHECK(bin == bin_class_.size(), "bin ids must be dense");
+    bin_class_.push_back(cls);
+    strategy.on_bin_registered(bin, manager_.residual(bin));
+  }
+  manager_.place(item, bin);
+  strategy.on_residual_changed(bin, manager_.residual(bin));
+  return bin;
+}
+
+void SizeClassedPacker::on_departure(ItemId item, Time now) {
+  const DepartureOutcome outcome = manager_.remove(item, now);
+  FitStrategy& strategy = *strategies_[class_of_bin(outcome.bin)];
+  if (outcome.bin_closed) {
+    strategy.on_bin_closed(outcome.bin);
+  } else {
+    strategy.on_residual_changed(outcome.bin, manager_.residual(outcome.bin));
+  }
+}
+
+namespace {
+
+std::unique_ptr<FitStrategy> make_ff_strategy(const CostModel& model) {
+  return std::make_unique<FirstFitStrategy>(model);
+}
+
+}  // namespace
+
+std::unique_ptr<SizeClassedPacker> make_modified_first_fit(const CostModel& model,
+                                                           double k) {
+  DBP_REQUIRE(std::isfinite(k) && k > 1.0, "Modified First Fit requires k > 1");
+  return std::make_unique<SizeClassedPacker>(
+      model, strfmt("modified-first-fit(k=%g)", k),
+      std::vector<double>{model.bin_capacity / k}, make_ff_strategy);
+}
+
+std::unique_ptr<SizeClassedPacker> make_modified_first_fit_known_mu(
+    const CostModel& model, double mu) {
+  DBP_REQUIRE(std::isfinite(mu) && mu >= 1.0, "mu must be >= 1");
+  const double k = mu + 7.0;  // paper Section 4.4: argmin of max{k, (mu+6)/(1-1/k)}
+  return std::make_unique<SizeClassedPacker>(
+      model, strfmt("modified-first-fit(mu=%g known)", mu),
+      std::vector<double>{model.bin_capacity / k}, make_ff_strategy);
+}
+
+std::unique_ptr<SizeClassedPacker> make_harmonic_first_fit(const CostModel& model,
+                                                           int class_count) {
+  DBP_REQUIRE(class_count >= 2, "harmonic packer needs at least 2 classes");
+  std::vector<double> boundaries;
+  boundaries.reserve(static_cast<std::size_t>(class_count) - 1);
+  for (int i = class_count; i >= 2; --i) {
+    boundaries.push_back(model.bin_capacity / static_cast<double>(i));
+  }
+  return std::make_unique<SizeClassedPacker>(
+      model, strfmt("harmonic-first-fit(K=%d)", class_count),
+      std::move(boundaries), make_ff_strategy);
+}
+
+}  // namespace dbp

@@ -1,0 +1,70 @@
+// Size-classified packing: partition items into size classes and pack each
+// class into its own bin pool with an independent policy.
+//
+// Modified First Fit (paper Section 4.4) is the two-class case (threshold
+// W/k, First Fit in both pools); the Harmonic-style packer (extension) is
+// the K-class case. Bin ids stay globally unique because all pools share
+// one BinManager — total cost accounting needs no special cases.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/fit_strategy.hpp"
+#include "algo/packer.hpp"
+
+namespace dbp {
+
+class SizeClassedPacker : public Packer {
+ public:
+  using StrategyFactory =
+      std::function<std::unique_ptr<FitStrategy>(const CostModel&)>;
+
+  /// `boundaries` are strictly increasing size thresholds in (0, W]; they
+  /// induce classes [0, b_0), [b_0, b_1), ..., [b_last, W]. Each class gets
+  /// its own strategy from `factory`.
+  SizeClassedPacker(CostModel model, std::string name,
+                    std::vector<double> boundaries, const StrategyFactory& factory);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  BinId on_arrival(const ArrivingItem& item) override;
+  void on_departure(ItemId item, Time now) override;
+
+  /// Index of the class an item of `size` belongs to.
+  [[nodiscard]] std::size_t class_of(double size) const;
+
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return strategies_.size();
+  }
+
+  /// The class whose pool owns `bin`.
+  [[nodiscard]] std::size_t class_of_bin(BinId bin) const;
+
+ private:
+  std::string name_;
+  std::vector<double> boundaries_;
+  std::vector<std::unique_ptr<FitStrategy>> strategies_;
+  std::vector<std::size_t> bin_class_;  // by BinId
+};
+
+/// Modified First Fit (paper Section 4.4): items of size >= W/k are "large",
+/// packed by plain First Fit into their own pool; items of size < W/k are
+/// "small", packed by First Fit into a second pool. k > 1.
+[[nodiscard]] std::unique_ptr<SizeClassedPacker> make_modified_first_fit(
+    const CostModel& model, double k = 8.0);
+
+/// Modified First Fit when the max/min interval length ratio mu is known:
+/// the paper shows k = mu + 7 minimizes the bound, giving ratio mu + 8.
+/// (Semi-online: only the scalar mu is revealed, never departure times.)
+[[nodiscard]] std::unique_ptr<SizeClassedPacker> make_modified_first_fit_known_mu(
+    const CostModel& model, double mu);
+
+/// Harmonic-style size-classified First Fit (extension, cf. classical
+/// Harmonic packing): classes [0, W/K), [W/K, W/(K-1)), ..., [W/2, W].
+[[nodiscard]] std::unique_ptr<SizeClassedPacker> make_harmonic_first_fit(
+    const CostModel& model, int class_count = 5);
+
+}  // namespace dbp

@@ -1,0 +1,214 @@
+#include "algo/strategies.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+// ---------------------------------------------------------------- FirstFit
+
+std::optional<BinId> FirstFitStrategy::select(double size) {
+  auto pos = residuals_.find_leftmost(
+      [&](double residual) { return model_.fits(size, residual); });
+  if (!pos) return std::nullopt;
+  return bin_at_[*pos];
+}
+
+void FirstFitStrategy::on_bin_registered(BinId bin, double residual) {
+  const std::size_t pos = residuals_.push_back(residual);
+  bin_at_.push_back(bin);
+  DBP_CHECK(bin_at_.size() == pos + 1, "first-fit position bookkeeping");
+  pos_of_[bin] = pos;
+}
+
+void FirstFitStrategy::on_residual_changed(BinId bin, double residual) {
+  residuals_.assign(pos_of_.at(bin), residual);
+}
+
+void FirstFitStrategy::on_bin_closed(BinId bin) {
+  auto it = pos_of_.find(bin);
+  DBP_REQUIRE(it != pos_of_.end(), "closing an unregistered bin");
+  residuals_.deactivate(it->second);
+  pos_of_.erase(it);
+}
+
+// ----------------------------------------------------------------- LastFit
+
+std::optional<BinId> LastFitStrategy::select(double size) {
+  auto pos = residuals_.find_rightmost(
+      [&](double residual) { return model_.fits(size, residual); });
+  if (!pos) return std::nullopt;
+  return bin_at_[*pos];
+}
+
+void LastFitStrategy::on_bin_registered(BinId bin, double residual) {
+  const std::size_t pos = residuals_.push_back(residual);
+  bin_at_.push_back(bin);
+  pos_of_[bin] = pos;
+}
+
+void LastFitStrategy::on_residual_changed(BinId bin, double residual) {
+  residuals_.assign(pos_of_.at(bin), residual);
+}
+
+void LastFitStrategy::on_bin_closed(BinId bin) {
+  auto it = pos_of_.find(bin);
+  DBP_REQUIRE(it != pos_of_.end(), "closing an unregistered bin");
+  residuals_.deactivate(it->second);
+  pos_of_.erase(it);
+}
+
+// ----------------------------------------------------------------- BestFit
+
+std::optional<BinId> BestFitStrategy::select(double size) {
+  // Smallest residual r with fits(size, r), i.e. r >= size - tolerance.
+  auto it = by_residual_.lower_bound({size - model_.fit_tolerance, 0});
+  if (it == by_residual_.end()) return std::nullopt;
+  DBP_CHECK(model_.fits(size, it->first), "best-fit index out of sync");
+  return it->second;
+}
+
+void BestFitStrategy::on_bin_registered(BinId bin, double residual) {
+  const bool inserted = by_residual_.emplace(residual, bin).second;
+  DBP_CHECK(inserted, "duplicate best-fit registration");
+  residual_of_[bin] = residual;
+}
+
+void BestFitStrategy::on_residual_changed(BinId bin, double residual) {
+  auto it = residual_of_.find(bin);
+  DBP_REQUIRE(it != residual_of_.end(), "residual change for unregistered bin");
+  by_residual_.erase({it->second, bin});
+  by_residual_.emplace(residual, bin);
+  it->second = residual;
+}
+
+void BestFitStrategy::on_bin_closed(BinId bin) {
+  auto it = residual_of_.find(bin);
+  DBP_REQUIRE(it != residual_of_.end(), "closing an unregistered bin");
+  by_residual_.erase({it->second, bin});
+  residual_of_.erase(it);
+}
+
+// ---------------------------------------------------------------- WorstFit
+
+std::optional<BinId> WorstFitStrategy::select(double size) {
+  if (by_residual_.empty()) return std::nullopt;
+  const auto& best = *by_residual_.rbegin();  // max residual, min id
+  if (!model_.fits(size, best.first)) return std::nullopt;
+  return best.second;
+}
+
+void WorstFitStrategy::on_bin_registered(BinId bin, double residual) {
+  const bool inserted = by_residual_.emplace(residual, bin).second;
+  DBP_CHECK(inserted, "duplicate worst-fit registration");
+  residual_of_[bin] = residual;
+}
+
+void WorstFitStrategy::on_residual_changed(BinId bin, double residual) {
+  auto it = residual_of_.find(bin);
+  DBP_REQUIRE(it != residual_of_.end(), "residual change for unregistered bin");
+  by_residual_.erase({it->second, bin});
+  by_residual_.emplace(residual, bin);
+  it->second = residual;
+}
+
+void WorstFitStrategy::on_bin_closed(BinId bin) {
+  auto it = residual_of_.find(bin);
+  DBP_REQUIRE(it != residual_of_.end(), "closing an unregistered bin");
+  by_residual_.erase({it->second, bin});
+  residual_of_.erase(it);
+}
+
+// ----------------------------------------------------------------- NextFit
+
+std::optional<BinId> NextFitStrategy::select(double size) {
+  if (current_ && model_.fits(size, current_residual_)) return current_;
+  // Deliberately retire the current bin: Next Fit never revisits it.
+  current_.reset();
+  return std::nullopt;
+}
+
+void NextFitStrategy::on_bin_registered(BinId bin, double residual) {
+  current_ = bin;
+  current_residual_ = residual;
+}
+
+void NextFitStrategy::on_residual_changed(BinId bin, double residual) {
+  if (current_ && *current_ == bin) current_residual_ = residual;
+}
+
+void NextFitStrategy::on_bin_closed(BinId bin) {
+  if (current_ && *current_ == bin) current_.reset();
+}
+
+// --------------------------------------------------------------- RandomFit
+
+std::optional<BinId> RandomFitStrategy::select(double size) {
+  // Reservoir-sample uniformly over fitting bins in one pass.
+  std::optional<BinId> chosen;
+  std::size_t seen = 0;
+  for (const auto& [bin, residual] : open_) {
+    if (!model_.fits(size, residual)) continue;
+    ++seen;
+    if (std::uniform_int_distribution<std::size_t>(1, seen)(rng_) == 1) {
+      chosen = bin;
+    }
+  }
+  return chosen;
+}
+
+void RandomFitStrategy::on_bin_registered(BinId bin, double residual) {
+  pos_of_[bin] = open_.size();
+  open_.emplace_back(bin, residual);
+}
+
+void RandomFitStrategy::on_residual_changed(BinId bin, double residual) {
+  open_[pos_of_.at(bin)].second = residual;
+}
+
+void RandomFitStrategy::on_bin_closed(BinId bin) {
+  auto it = pos_of_.find(bin);
+  DBP_REQUIRE(it != pos_of_.end(), "closing an unregistered bin");
+  const std::size_t pos = it->second;
+  pos_of_.erase(it);
+  if (pos + 1 != open_.size()) {
+    open_[pos] = open_.back();
+    pos_of_[open_[pos].first] = pos;
+  }
+  open_.pop_back();
+}
+
+// ------------------------------------------------------------- MoveToFront
+
+std::optional<BinId> MoveToFrontStrategy::select(double size) {
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    if (model_.fits(size, residual_of_.at(*it))) {
+      // Selection implies placement under the Any Fit packer, so the
+      // recency promotion happens here.
+      order_.splice(order_.begin(), order_, it);
+      return order_.front();
+    }
+  }
+  return std::nullopt;
+}
+
+void MoveToFrontStrategy::on_bin_registered(BinId bin, double residual) {
+  order_.push_front(bin);
+  where_[bin] = order_.begin();
+  residual_of_[bin] = residual;
+}
+
+void MoveToFrontStrategy::on_residual_changed(BinId bin, double residual) {
+  residual_of_.at(bin) = residual;
+}
+
+void MoveToFrontStrategy::on_bin_closed(BinId bin) {
+  auto it = where_.find(bin);
+  DBP_REQUIRE(it != where_.end(), "closing an unregistered bin");
+  order_.erase(it->second);
+  where_.erase(it);
+  residual_of_.erase(bin);
+}
+
+}  // namespace dbp

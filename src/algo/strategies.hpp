@@ -1,0 +1,168 @@
+// Concrete Any Fit family members.
+//
+// First Fit and Best Fit are the algorithms analyzed in the paper
+// (Sections 4.1-4.3); Worst/Next/Last/Random/Move-to-front Fit are
+// well-known Any Fit variants included as empirical baselines (DESIGN.md
+// Section 7) — every one of them obeys the Any Fit contract, so Theorem 1's
+// lower bound of mu applies to each.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/fit_strategy.hpp"
+#include "algo/segment_tree.hpp"
+
+namespace dbp {
+
+/// First Fit: the earliest-opened bin that accommodates the item
+/// (paper Section 3.2). O(log m) per operation via a max segment tree
+/// indexed by opening order.
+class FirstFitStrategy final : public FitStrategy {
+ public:
+  explicit FirstFitStrategy(const CostModel& model) : model_(model) {}
+
+  [[nodiscard]] std::string name() const override { return "first-fit"; }
+  [[nodiscard]] std::optional<BinId> select(double size) override;
+  void on_bin_registered(BinId bin, double residual) override;
+  void on_residual_changed(BinId bin, double residual) override;
+  void on_bin_closed(BinId bin) override;
+
+ private:
+  CostModel model_;
+  MaxSegmentTree residuals_;                  // position = registration order
+  std::vector<BinId> bin_at_;                 // position -> bin
+  std::unordered_map<BinId, std::size_t> pos_of_;
+};
+
+/// Last Fit: the *latest*-opened bin that accommodates the item. Mirror
+/// image of First Fit (rightmost descent).
+class LastFitStrategy final : public FitStrategy {
+ public:
+  explicit LastFitStrategy(const CostModel& model) : model_(model) {}
+
+  [[nodiscard]] std::string name() const override { return "last-fit"; }
+  [[nodiscard]] std::optional<BinId> select(double size) override;
+  void on_bin_registered(BinId bin, double residual) override;
+  void on_residual_changed(BinId bin, double residual) override;
+  void on_bin_closed(BinId bin) override;
+
+ private:
+  CostModel model_;
+  MaxSegmentTree residuals_;
+  std::vector<BinId> bin_at_;
+  std::unordered_map<BinId, std::size_t> pos_of_;
+};
+
+/// Best Fit: the open bin with the smallest residual capacity that still
+/// accommodates the item (paper Section 3.2); ties broken toward the
+/// earliest-opened bin. O(log m) via an ordered (residual, id) index.
+class BestFitStrategy final : public FitStrategy {
+ public:
+  explicit BestFitStrategy(const CostModel& model) : model_(model) {}
+
+  [[nodiscard]] std::string name() const override { return "best-fit"; }
+  [[nodiscard]] std::optional<BinId> select(double size) override;
+  void on_bin_registered(BinId bin, double residual) override;
+  void on_residual_changed(BinId bin, double residual) override;
+  void on_bin_closed(BinId bin) override;
+
+ private:
+  CostModel model_;
+  std::set<std::pair<double, BinId>> by_residual_;   // (residual, id) ascending
+  std::unordered_map<BinId, double> residual_of_;
+};
+
+/// Worst Fit: the open bin with the *largest* residual capacity that
+/// accommodates the item; ties toward the earliest-opened bin.
+class WorstFitStrategy final : public FitStrategy {
+ public:
+  explicit WorstFitStrategy(const CostModel& model) : model_(model) {}
+
+  [[nodiscard]] std::string name() const override { return "worst-fit"; }
+  [[nodiscard]] std::optional<BinId> select(double size) override;
+  void on_bin_registered(BinId bin, double residual) override;
+  void on_residual_changed(BinId bin, double residual) override;
+  void on_bin_closed(BinId bin) override;
+
+ private:
+  struct Order {
+    // residual ascending, id descending => rbegin() = (max residual, min id).
+    bool operator()(const std::pair<double, BinId>& a,
+                    const std::pair<double, BinId>& b) const noexcept {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;
+    }
+  };
+  CostModel model_;
+  std::set<std::pair<double, BinId>, Order> by_residual_;
+  std::unordered_map<BinId, double> residual_of_;
+};
+
+/// Next Fit adapted to dynamic bin packing: only the most recently opened
+/// bin is a candidate; once an item fails to fit there, a new bin is opened
+/// and the old one never receives items again (it stays open until its items
+/// depart). NOTE: Next Fit is *not* an Any Fit algorithm — it may decline
+/// even when some older open bin has room.
+class NextFitStrategy final : public FitStrategy {
+ public:
+  explicit NextFitStrategy(const CostModel& model) : model_(model) {}
+
+  [[nodiscard]] std::string name() const override { return "next-fit"; }
+  [[nodiscard]] bool any_fit_contract() const override { return false; }
+  [[nodiscard]] std::optional<BinId> select(double size) override;
+  void on_bin_registered(BinId bin, double residual) override;
+  void on_residual_changed(BinId bin, double residual) override;
+  void on_bin_closed(BinId bin) override;
+
+ private:
+  CostModel model_;
+  std::optional<BinId> current_;
+  double current_residual_ = 0.0;
+};
+
+/// Random Fit: a uniformly random open bin among those that accommodate the
+/// item. O(open bins) per arrival; deterministic under a fixed seed.
+class RandomFitStrategy final : public FitStrategy {
+ public:
+  RandomFitStrategy(const CostModel& model, std::uint64_t seed)
+      : model_(model), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "random-fit"; }
+  [[nodiscard]] std::optional<BinId> select(double size) override;
+  void on_bin_registered(BinId bin, double residual) override;
+  void on_residual_changed(BinId bin, double residual) override;
+  void on_bin_closed(BinId bin) override;
+
+ private:
+  CostModel model_;
+  std::mt19937_64 rng_;
+  std::vector<std::pair<BinId, double>> open_;       // unordered (bin, residual)
+  std::unordered_map<BinId, std::size_t> pos_of_;    // bin -> index in open_
+};
+
+/// Move-To-Front Fit: bins kept in a recency list; the first fitting bin in
+/// the list receives the item and moves to the front. A locality-exploiting
+/// Any Fit variant.
+class MoveToFrontStrategy final : public FitStrategy {
+ public:
+  explicit MoveToFrontStrategy(const CostModel& model) : model_(model) {}
+
+  [[nodiscard]] std::string name() const override { return "move-to-front-fit"; }
+  [[nodiscard]] std::optional<BinId> select(double size) override;
+  void on_bin_registered(BinId bin, double residual) override;
+  void on_residual_changed(BinId bin, double residual) override;
+  void on_bin_closed(BinId bin) override;
+
+ private:
+  CostModel model_;
+  std::list<BinId> order_;  // front = most recently used
+  std::unordered_map<BinId, std::list<BinId>::iterator> where_;
+  std::unordered_map<BinId, double> residual_of_;
+};
+
+}  // namespace dbp

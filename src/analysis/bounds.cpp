@@ -1,0 +1,24 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+
+namespace dbp {
+
+std::optional<double> proven_bound_for(const std::string& algorithm, double mu,
+                                       std::optional<double> small_k,
+                                       std::optional<double> large_k) {
+  DBP_REQUIRE(mu >= 1.0, "mu must be >= 1");
+  if (algorithm == "first-fit") {
+    double bound = ff_general_bound(mu);
+    if (small_k) bound = std::min(bound, ff_small_items_bound(*small_k, mu));
+    if (large_k) bound = std::min(bound, ff_large_items_bound(*large_k));
+    return bound;
+  }
+  if (algorithm == "modified-first-fit") return mff_bound(mu);
+  if (algorithm == "modified-first-fit-known-mu") return mff_known_mu_bound(mu);
+  // Best Fit is proven unbounded (Theorem 2); the other family members have
+  // no bound in the paper.
+  return std::nullopt;
+}
+
+}  // namespace dbp

@@ -1,0 +1,79 @@
+// The paper's competitive-ratio guarantees as callable formulas.
+//
+// One authoritative implementation for tests, benches and reports, instead
+// of formula copies drifting apart. Every function returns the *proven
+// upper bound* on A_total / OPT_total for the given workload parameters.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+/// Theorem 5: First Fit, general case — 2*mu + 13.
+[[nodiscard]] inline double ff_general_bound(double mu) {
+  DBP_REQUIRE(mu >= 1.0, "mu must be >= 1");
+  return 2.0 * mu + 13.0;
+}
+
+/// Theorem 4: First Fit when all sizes < W/k —
+/// k/(k-1)*mu + 6k/(k-1) + 1, k > 1.
+[[nodiscard]] inline double ff_small_items_bound(double k, double mu) {
+  DBP_REQUIRE(k > 1.0, "k must be > 1");
+  DBP_REQUIRE(mu >= 1.0, "mu must be >= 1");
+  return k / (k - 1.0) * mu + 6.0 * k / (k - 1.0) + 1.0;
+}
+
+/// Theorem 3: First Fit when all sizes >= W/k — k.
+[[nodiscard]] inline double ff_large_items_bound(double k) {
+  DBP_REQUIRE(k > 1.0, "k must be > 1");
+  return k;
+}
+
+/// Section 4.4, mu unknown (split k = 8): 8/7*mu + 55/7.
+[[nodiscard]] inline double mff_bound(double mu) {
+  DBP_REQUIRE(mu >= 1.0, "mu must be >= 1");
+  return 8.0 / 7.0 * mu + 55.0 / 7.0;
+}
+
+/// Section 4.4, mu known (split k = mu + 7): mu + 8.
+[[nodiscard]] inline double mff_known_mu_bound(double mu) {
+  DBP_REQUIRE(mu >= 1.0, "mu must be >= 1");
+  return mu + 8.0;
+}
+
+/// Section 4.4 intermediate: the guarantee of MFF with an arbitrary split
+/// parameter k — max{k, (mu+6)/(1-1/k)} + 1 (the "+1" is the span term).
+[[nodiscard]] inline double mff_bound_for_split(double k, double mu) {
+  DBP_REQUIRE(k > 1.0, "k must be > 1");
+  DBP_REQUIRE(mu >= 1.0, "mu must be >= 1");
+  const double demand_term = std::max(k, (mu + 6.0) / (1.0 - 1.0 / k));
+  return demand_term + 1.0;
+}
+
+/// Theorem 1: lower bound achieved by the construction with parameter k —
+/// k*mu/(k + mu - 1); sup over k is mu.
+[[nodiscard]] inline double anyfit_construction_ratio(double k, double mu) {
+  DBP_REQUIRE(k >= 1.0, "k must be >= 1");
+  DBP_REQUIRE(mu >= 1.0, "mu must be >= 1");
+  return k * mu / (k + mu - 1.0);
+}
+
+/// Theorem 1 (limit form): every Any Fit algorithm — and by the paper's
+/// footnote, every online algorithm — has competitive ratio >= mu.
+[[nodiscard]] inline double universal_lower_bound(double mu) {
+  DBP_REQUIRE(mu >= 1.0, "mu must be >= 1");
+  return mu;
+}
+
+/// The proven upper bound for a factory algorithm name, when one exists.
+/// `small_k` / `large_k` communicate size restrictions of the workload
+/// (all sizes < W/small_k, or all sizes >= W/large_k).
+[[nodiscard]] std::optional<double> proven_bound_for(
+    const std::string& algorithm, double mu,
+    std::optional<double> small_k = std::nullopt,
+    std::optional<double> large_k = std::nullopt);
+
+}  // namespace dbp

@@ -1,0 +1,434 @@
+#include "analysis/ff_decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/compensated_sum.hpp"
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+#include "core/strfmt.hpp"
+
+namespace dbp {
+
+namespace {
+
+/// Items of each bin sorted by arrival time.
+std::vector<std::vector<const Item*>> items_by_bin(const Instance& instance,
+                                                   const SimulationResult& result) {
+  std::vector<std::vector<const Item*>> by_bin(result.bins_opened);
+  for (const Item& item : instance.items()) {
+    by_bin[static_cast<std::size_t>(result.assignment[item.id])].push_back(&item);
+  }
+  for (auto& items : by_bin) {
+    std::sort(items.begin(), items.end(), [](const Item* a, const Item* b) {
+      return a->arrival < b->arrival || (a->arrival == b->arrival && a->id < b->id);
+    });
+  }
+  return by_bin;
+}
+
+/// Earliest arrival into `bin_items` within [window.begin, window.end), or
+/// nullopt.
+std::optional<Time> earliest_arrival_in(const std::vector<const Item*>& bin_items,
+                                        TimeInterval window) {
+  auto it = std::lower_bound(
+      bin_items.begin(), bin_items.end(), window.begin,
+      [](const Item* item, Time t) { return item->arrival < t; });
+  if (it == bin_items.end() || (*it)->arrival >= window.end) return std::nullopt;
+  return (*it)->arrival;
+}
+
+/// u over `window` of the items resident in `bin` at time `t`
+/// (arrival <= t < departure), i.e. the quantity of inequalities (8)/(14).
+double demand_over_window(const std::vector<const Item*>& bin_items, Time t,
+                          TimeInterval window) {
+  CompensatedSum demand;
+  for (const Item* item : bin_items) {
+    if (item->arrival > t) break;  // sorted by arrival
+    if (!item->active_at(t)) continue;
+    const Time lo = std::max(item->arrival, window.begin);
+    const Time hi = std::min(item->departure, window.end);
+    if (hi > lo) demand.add(item->size * (hi - lo));
+  }
+  return demand.value();
+}
+
+}  // namespace
+
+double FFDecomposition::cost_bound(double cost_rate) const {
+  const double periods = static_cast<double>(joint_period_count) +
+                         static_cast<double>(single_period_count) +
+                         static_cast<double>(non_intersecting_count);
+  return cost_rate * periods * (mu + 6.0) * delta + cost_rate * span;
+}
+
+FFDecomposition decompose_first_fit(const Instance& instance,
+                                    const SimulationResult& result) {
+  DBP_REQUIRE(!instance.empty(), "cannot decompose an empty instance");
+  DBP_REQUIRE(result.bins_opened > 0 && result.assignment.size() == instance.size(),
+              "simulation result does not match the instance");
+
+  FFDecomposition d;
+  const InstanceMetrics metrics = compute_metrics(instance);
+  d.delta = metrics.min_interval_length;
+  d.mu = metrics.mu;
+
+  const std::size_t m = result.bins_opened;
+  d.usage.reserve(m);
+  for (const BinUsageRecord& record : result.bin_usage) {
+    DBP_REQUIRE(record.is_closed(), "decomposition requires closed bins");
+    d.usage.push_back({record.opened, record.closed});
+  }
+  // Bin ids are assigned in opening order by construction; verify.
+  for (std::size_t i = 1; i < m; ++i) {
+    DBP_CHECK(d.usage[i - 1].begin <= d.usage[i].begin,
+              "bins not indexed in opening order");
+  }
+
+  // E_i and the I_i^L / I_i^R split (Figure 4).
+  d.latest_prior_close.resize(m);
+  d.left_part.resize(m);
+  d.right_part.resize(m);
+  Time running_max_close = metrics.packing_period.begin;  // E_1 = period start
+  for (std::size_t i = 0; i < m; ++i) {
+    const TimeInterval usage = d.usage[i];
+    const Time e = running_max_close;
+    d.latest_prior_close[i] = e;
+    const Time left_end = std::min(usage.end, e);
+    if (left_end > usage.begin) {
+      d.left_part[i] = {usage.begin, left_end};
+      d.right_part[i] = {left_end, usage.end};  // may be empty
+    } else {
+      d.left_part[i] = {usage.begin, usage.begin};  // empty
+      d.right_part[i] = usage;
+    }
+    running_max_close = std::max(running_max_close, usage.end);
+  }
+
+  // Split & merge of each I_i^L into I_{i,1}, I_{i,2}, ... (Figure 5).
+  const double piece = (d.mu + 2.0) * d.delta;
+  const auto by_bin = items_by_bin(instance, result);
+  for (std::size_t i = 0; i < m; ++i) {
+    const TimeInterval left = d.left_part[i];
+    if (left.empty()) continue;
+    std::vector<TimeInterval> pieces;
+    if (left.length() <= piece) {
+      pieces.push_back(left);
+    } else {
+      const auto count =
+          static_cast<std::size_t>(std::ceil(left.length() / piece * (1.0 - 1e-12)));
+      // Splitters measured backwards from the end of I_i^L.
+      Time begin = left.begin;
+      for (std::size_t t = count; t-- > 0;) {
+        const Time end =
+            t == 0 ? left.end : left.end - static_cast<double>(t) * piece;
+        pieces.push_back({begin, end});
+        begin = end;
+      }
+      // Merge a too-short first piece into the second (keeps f.3).
+      if (pieces.size() >= 2 && pieces.front().length() < 2.0 * d.delta) {
+        pieces[1].begin = pieces[0].begin;
+        pieces.erase(pieces.begin());
+      }
+    }
+    for (std::size_t j = 0; j < pieces.size(); ++j) {
+      SubPeriod sub;
+      sub.bin = static_cast<BinId>(i);
+      sub.index = j + 1;
+      sub.interval = pieces[j];
+      // Reference point t_{i,j}: earliest new arrival into b_i within the
+      // sub-period. The paper proves existence for First Fit traces; the
+      // verifier reports a violation if the trace disagrees.
+      const auto arrival = earliest_arrival_in(by_bin[i], pieces[j]);
+      sub.reference_point = arrival.value_or(pieces[j].begin);
+      if (!arrival) {
+        sub.reference_bin = static_cast<BinId>(i);  // marks "missing"
+        d.sub_periods.push_back(sub);
+        continue;
+      }
+      // Reference bin: the highest-index bin k < i with t_{i,j} < I_k^+.
+      sub.reference_bin = static_cast<BinId>(i);  // sentinel: none found
+      for (std::size_t k = i; k-- > 0;) {
+        if (sub.reference_point < d.usage[k].end) {
+          sub.reference_bin = static_cast<BinId>(k);
+          break;
+        }
+      }
+      d.sub_periods.push_back(sub);
+    }
+  }
+
+  // Reference-period intersections: same reference bin and |t1 - t2| <
+  // 2*Delta. Group by reference bin, sort by reference point.
+  std::map<BinId, std::vector<std::size_t>> by_reference;
+  for (std::size_t s = 0; s < d.sub_periods.size(); ++s) {
+    const SubPeriod& sub = d.sub_periods[s];
+    if (sub.reference_bin == sub.bin) continue;  // missing reference
+    by_reference[sub.reference_bin].push_back(s);
+  }
+  for (auto& [bin, members] : by_reference) {
+    std::sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+      return d.sub_periods[a].reference_point < d.sub_periods[b].reference_point;
+    });
+    for (std::size_t idx = 0; idx + 1 < members.size(); ++idx) {
+      const SubPeriod& a = d.sub_periods[members[idx]];
+      const SubPeriod& b = d.sub_periods[members[idx + 1]];
+      if (b.reference_point - a.reference_point < 2.0 * d.delta) {
+        d.sub_periods[members[idx]].intersecting = true;
+        d.sub_periods[members[idx + 1]].intersecting = true;
+      }
+    }
+  }
+
+  // Pairing (Figure 7): walk intersecting periods in ascending home-bin
+  // order; pair each unpaired period with its back-intersect partner.
+  std::vector<std::size_t> intersecting;
+  for (std::size_t s = 0; s < d.sub_periods.size(); ++s) {
+    if (d.sub_periods[s].intersecting) intersecting.push_back(s);
+  }
+  std::sort(intersecting.begin(), intersecting.end(),
+            [&](std::size_t a, std::size_t b) {
+              return d.sub_periods[a].bin < d.sub_periods[b].bin ||
+                     (d.sub_periods[a].bin == d.sub_periods[b].bin &&
+                      d.sub_periods[a].index < d.sub_periods[b].index);
+            });
+  for (std::size_t s : intersecting) {
+    SubPeriod& sub = d.sub_periods[s];
+    if (sub.partner) continue;
+    // Back-intersect: an intersecting period with a higher home-bin index
+    // whose reference period overlaps this one's.
+    for (std::size_t other : intersecting) {
+      SubPeriod& cand = d.sub_periods[other];
+      if (cand.bin <= sub.bin || cand.partner) continue;
+      if (cand.reference_bin == sub.reference_bin &&
+          std::abs(cand.reference_point - sub.reference_point) < 2.0 * d.delta) {
+        sub.partner = other;
+        cand.partner = s;
+        ++d.joint_period_count;
+        break;
+      }
+    }
+  }
+  for (std::size_t s : intersecting) {
+    if (!d.sub_periods[s].partner) ++d.single_period_count;
+  }
+  d.non_intersecting_count = d.sub_periods.size() - intersecting.size();
+
+  // Aggregates: equations (4), (5), (7).
+  CompensatedSum left_sum;
+  CompensatedSum right_sum;
+  CompensatedSum total_sum;
+  for (std::size_t i = 0; i < m; ++i) {
+    left_sum.add(d.left_part[i].length());
+    right_sum.add(d.right_part[i].length());
+    total_sum.add(d.usage[i].length());
+  }
+  d.sum_left_lengths = left_sum.value();
+  d.span = right_sum.value();
+  d.ff_total = total_sum.value();
+  return d;
+}
+
+DecompositionReport verify_ff_decomposition(const Instance& instance,
+                                            const SimulationResult& result,
+                                            const FFDecomposition& d,
+                                            const CostModel& model,
+                                            std::optional<double> small_item_k) {
+  model.validate();
+  DecompositionReport report;
+  const double eps = 1e-9 * std::max(1.0, d.delta);
+  const double two_delta = 2.0 * d.delta;
+  auto violate = [&](std::string message) {
+    report.violations.push_back(std::move(message));
+  };
+
+  // ---- Features (f.1)-(f.5) and reference existence.
+  report.features_ok = true;
+  std::map<BinId, std::size_t> subs_per_bin;
+  for (const SubPeriod& sub : d.sub_periods) ++subs_per_bin[sub.bin];
+  for (const SubPeriod& sub : d.sub_periods) {
+    const double len = sub.interval.length();
+    if (len > (d.mu + 4.0) * d.delta + eps) {
+      report.features_ok = false;
+      violate(strfmt("f.1: sub-period (%llu,%zu) has length %.9g > (mu+4)Delta",
+                     static_cast<unsigned long long>(sub.bin), sub.index, len));
+    }
+    if (sub.index >= 2 &&
+        std::abs(len - (d.mu + 2.0) * d.delta) > eps) {
+      report.features_ok = false;
+      violate(strfmt("f.2: sub-period (%llu,%zu) length %.9g != (mu+2)Delta",
+                     static_cast<unsigned long long>(sub.bin), sub.index, len));
+    }
+    if (sub.index == 1 && subs_per_bin[sub.bin] >= 2 && len < two_delta - eps) {
+      report.features_ok = false;
+      violate(strfmt("f.3: first sub-period of bin %llu has length %.9g < 2Delta",
+                     static_cast<unsigned long long>(sub.bin), len));
+    }
+    if (sub.index == 1 &&
+        std::abs(sub.reference_point - sub.interval.begin) > eps) {
+      report.features_ok = false;
+      violate(strfmt("f.4: t_{%llu,1} = %.9g != left endpoint %.9g",
+                     static_cast<unsigned long long>(sub.bin), sub.reference_point,
+                     sub.interval.begin));
+    }
+    if (sub.reference_point < sub.interval.begin - eps ||
+        sub.reference_point > sub.interval.begin + d.mu * d.delta + eps) {
+      report.features_ok = false;
+      violate(strfmt("f.5: t_{%llu,%zu} outside [begin, begin + mu*Delta]",
+                     static_cast<unsigned long long>(sub.bin), sub.index));
+    }
+    if (sub.reference_bin == sub.bin) {
+      report.features_ok = false;
+      violate(strfmt("reference bin/point missing for sub-period (%llu,%zu)",
+                     static_cast<unsigned long long>(sub.bin), sub.index));
+    }
+  }
+
+  // ---- Lemmas 1-3 over all intersecting reference-period pairs.
+  report.lemma1_ok = true;
+  report.lemma2_ok = true;
+  report.lemma3_ok = true;
+  std::vector<std::size_t> front_count(d.sub_periods.size(), 0);
+  std::vector<std::size_t> back_count(d.sub_periods.size(), 0);
+  for (std::size_t a = 0; a < d.sub_periods.size(); ++a) {
+    for (std::size_t b = a + 1; b < d.sub_periods.size(); ++b) {
+      const SubPeriod& pa = d.sub_periods[a];
+      const SubPeriod& pb = d.sub_periods[b];
+      if (pa.reference_bin == pa.bin || pb.reference_bin == pb.bin) continue;
+      const bool intersect =
+          pa.reference_bin == pb.reference_bin &&
+          std::abs(pa.reference_point - pb.reference_point) < two_delta - eps;
+      if (!intersect) continue;
+      const bool case_v = pa.bin != pb.bin && pa.index == 1 && pb.index == 1;
+      if (!case_v) {
+        report.lemma1_ok = false;
+        violate(strfmt("lemma 1: non-Case-V intersection between (%llu,%zu) and "
+                       "(%llu,%zu)",
+                       static_cast<unsigned long long>(pa.bin), pa.index,
+                       static_cast<unsigned long long>(pb.bin), pb.index));
+        continue;
+      }
+      const SubPeriod& front = pa.bin < pb.bin ? pa : pb;
+      const SubPeriod& back = pa.bin < pb.bin ? pb : pa;
+      if (front.interval.length() >= two_delta - eps) {
+        report.lemma2_ok = false;
+        violate(strfmt("lemma 2: front period of bin %llu has length %.9g >= 2Delta",
+                       static_cast<unsigned long long>(front.bin),
+                       front.interval.length()));
+      }
+      const std::size_t front_idx = pa.bin < pb.bin ? a : b;
+      const std::size_t back_idx = pa.bin < pb.bin ? b : a;
+      if (++back_count[front_idx] > 1) {
+        report.lemma3_ok = false;
+        violate(strfmt("lemma 3: bin %llu has two back-intersect periods",
+                       static_cast<unsigned long long>(front.bin)));
+      }
+      if (++front_count[back_idx] > 1) {
+        report.lemma3_ok = false;
+        violate(strfmt("lemma 3: bin %llu has two front-intersect periods",
+                       static_cast<unsigned long long>(back.bin)));
+      }
+    }
+  }
+
+  // ---- Lemma 4: the reference periods of joint-periods (represented by
+  // their lower-bin member), single periods and non-intersecting periods
+  // are pairwise disjoint.
+  report.lemma4_ok = true;
+  {
+    std::map<BinId, std::vector<Time>> counted;  // reference bin -> points
+    for (std::size_t s = 0; s < d.sub_periods.size(); ++s) {
+      const SubPeriod& sub = d.sub_periods[s];
+      if (sub.reference_bin == sub.bin) continue;
+      if (sub.partner && d.sub_periods[*sub.partner].bin < sub.bin) {
+        continue;  // higher member of a joint-period: not counted
+      }
+      counted[sub.reference_bin].push_back(sub.reference_point);
+    }
+    for (auto& [bin, points] : counted) {
+      std::sort(points.begin(), points.end());
+      for (std::size_t idx = 0; idx + 1 < points.size(); ++idx) {
+        if (points[idx + 1] - points[idx] < two_delta - eps) {
+          report.lemma4_ok = false;
+          violate(strfmt("lemma 4: counted reference periods overlap on bin %llu",
+                         static_cast<unsigned long long>(bin)));
+        }
+      }
+    }
+  }
+
+  // ---- Lemma 5: auxiliary periods (home bin, [t-Delta, t+Delta]) are
+  // pairwise disjoint.
+  report.lemma5_ok = true;
+  {
+    std::map<BinId, std::vector<Time>> aux;
+    for (const SubPeriod& sub : d.sub_periods) aux[sub.bin].push_back(sub.reference_point);
+    for (auto& [bin, points] : aux) {
+      std::sort(points.begin(), points.end());
+      for (std::size_t idx = 0; idx + 1 < points.size(); ++idx) {
+        if (points[idx + 1] - points[idx] < two_delta - eps) {
+          report.lemma5_ok = false;
+          violate(strfmt("lemma 5: auxiliary periods overlap on bin %llu",
+                         static_cast<unsigned long long>(bin)));
+        }
+      }
+    }
+  }
+
+  // ---- Demand inequalities (8) / (14).
+  report.demand_ok = true;
+  {
+    std::vector<std::vector<const Item*>> by_bin(result.bins_opened);
+    for (const Item& item : instance.items()) {
+      by_bin[static_cast<std::size_t>(result.assignment[item.id])].push_back(&item);
+    }
+    for (auto& items : by_bin) {
+      std::sort(items.begin(), items.end(), [](const Item* a, const Item* b) {
+        return a->arrival < b->arrival;
+      });
+    }
+    const double w = model.bin_capacity;
+    const double slack = 1e-6 * w * d.delta;
+    for (const SubPeriod& sub : d.sub_periods) {
+      if (sub.reference_bin == sub.bin) continue;
+      const TimeInterval window{sub.reference_point - d.delta,
+                                sub.reference_point + d.delta};
+      const double ref_demand = demand_over_window(
+          by_bin[static_cast<std::size_t>(sub.reference_bin)],
+          sub.reference_point, window);
+      if (small_item_k) {
+        // Inequality (8): u(p-dagger) >= (W - W/k) * Delta.
+        const double bound = (1.0 - 1.0 / *small_item_k) * w * d.delta;
+        if (ref_demand < bound - slack) {
+          report.demand_ok = false;
+          violate(strfmt("ineq (8): u(ref period of (%llu,%zu)) = %.9g < "
+                         "(1-1/k)*W*Delta = %.9g",
+                         static_cast<unsigned long long>(sub.bin), sub.index,
+                         ref_demand, bound));
+        }
+      } else {
+        // Inequality (14): u(p-dagger) + u(p-double-dagger) >= W * Delta.
+        const double aux_demand = demand_over_window(
+            by_bin[static_cast<std::size_t>(sub.bin)], sub.reference_point,
+            window);
+        if (ref_demand + aux_demand < w * d.delta - slack) {
+          report.demand_ok = false;
+          violate(strfmt("ineq (14): u(ref)+u(aux) of (%llu,%zu) = %.9g < W*Delta",
+                         static_cast<unsigned long long>(sub.bin), sub.index,
+                         ref_demand + aux_demand));
+        }
+      }
+    }
+  }
+
+  // ---- Inequality (10): FF_total <= (J+S+U)(mu+6)Delta + span (C = 1).
+  report.cost_bound_ok = d.ff_total <= d.cost_bound(1.0) + 1e-6;
+  if (!report.cost_bound_ok) {
+    violate(strfmt("ineq (10): FF_total %.9g > bound %.9g", d.ff_total,
+                   d.cost_bound(1.0)));
+  }
+  return report;
+}
+
+}  // namespace dbp

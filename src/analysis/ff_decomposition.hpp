@@ -1,0 +1,101 @@
+// The usage-period decomposition of the paper's First Fit analysis
+// (Section 4.3, Figures 4-8, Table 2), implemented as executable
+// instrumentation.
+//
+// Given a First Fit packing trace, this module reconstructs every object
+// the proof of Theorems 4-5 manipulates:
+//   * per-bin usage periods I_i, their left/right parts I_i^L / I_i^R
+//     relative to E_i = max{ I_j^+ : j < i }               (Figure 4)
+//   * the split of each I_i^L into sub-periods I_{i,j} of length
+//     (mu+2)*Delta with first-piece mergence                (Figure 5)
+//   * reference points t_{i,j}, reference bins b†(I_{i,j}) and reference
+//     periods [t - Delta, t + Delta]                        (Figure 6)
+//   * the joint/single pairing of intersecting Case-V periods (Figure 7)
+//   * auxiliary periods on the home bin b_i                 (Figure 8)
+//
+// verify_ff_decomposition then checks Features (f.1)-(f.5), Lemmas 1-5 and
+// the resource-demand inequalities (8), (14) on the *actual* packing —
+// turning the proof's invariants into machine-checked properties.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+
+/// One I_{i,j} with everything the proof attaches to it.
+struct SubPeriod {
+  BinId bin = 0;          ///< i (home bin)
+  std::size_t index = 0;  ///< j, 1-based within I_i^L
+  TimeInterval interval{};
+  Time reference_point = 0.0;  ///< t_{i,j}: earliest new arrival into b_i here
+  BinId reference_bin = 0;     ///< b†(I_{i,j})
+  bool intersecting = false;   ///< member of I_I^L (vs I_U^L)
+  /// Index (into FFDecomposition::sub_periods) of the joint-period partner,
+  /// if this period was paired.
+  std::optional<std::size_t> partner{};
+};
+
+struct FFDecomposition {
+  Time delta = 0.0;  ///< minimum interval length
+  double mu = 1.0;   ///< max/min interval length ratio
+
+  std::vector<TimeInterval> usage;       ///< I_i, by BinId
+  std::vector<Time> latest_prior_close;  ///< E_i, by BinId
+  std::vector<TimeInterval> left_part;   ///< I_i^L (empty() when none)
+  std::vector<TimeInterval> right_part;  ///< I_i^R (suffix of I_i)
+  std::vector<SubPeriod> sub_periods;    ///< all I_{i,j}, grouped by bin
+
+  std::size_t joint_period_count = 0;   ///< |I_I^L(J)|
+  std::size_t single_period_count = 0;  ///< |I_I^L(S)|
+  std::size_t non_intersecting_count = 0;  ///< |I_U^L|
+
+  double sum_left_lengths = 0.0;  ///< sum of len(I_i^L), equation (7)
+  double span = 0.0;              ///< span(R) = sum of len(I_i^R), eq. (5)
+  double ff_total = 0.0;          ///< C * sum len(I_i), equation (4)
+
+  /// Right side of inequality (10):
+  /// C*(|J|+|S|+|U|)*(mu+6)*Delta + C*span(R); always >= ff_total.
+  [[nodiscard]] double cost_bound(double cost_rate) const;
+};
+
+/// Builds the decomposition from a First Fit run. `result` must come from
+/// a packer whose bin ids are in opening order and which used First Fit
+/// placement (this is asserted structurally where possible; feeding a
+/// non-FF trace makes verification fail, which is itself a useful test).
+[[nodiscard]] FFDecomposition decompose_first_fit(const Instance& instance,
+                                                  const SimulationResult& result);
+
+/// Outcome of checking the proof's invariants against a decomposition.
+struct DecompositionReport {
+  bool features_ok = false;      ///< (f.1)-(f.5)
+  bool lemma1_ok = false;        ///< no Case I-IV intersections
+  bool lemma2_ok = false;        ///< Case-V intersect => first period < 2*Delta
+  bool lemma3_ok = false;        ///< <= 1 front- and <= 1 back-intersect
+  bool lemma4_ok = false;        ///< joint/single reference periods disjoint
+  bool lemma5_ok = false;        ///< auxiliary periods pairwise disjoint
+  bool demand_ok = false;        ///< inequalities (8)/(14)
+  bool cost_bound_ok = false;    ///< inequality (10)
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool all_ok() const {
+    return features_ok && lemma1_ok && lemma2_ok && lemma3_ok && lemma4_ok &&
+           lemma5_ok && demand_ok && cost_bound_ok;
+  }
+};
+
+/// Verifies the proof invariants on a concrete packing. When
+/// `small_item_k` is set (all sizes < W/k), inequality (8) is checked with
+/// the (1 - 1/k)*W*Delta bound of Theorem 4; otherwise the general pairing
+/// inequality (14) (reference + auxiliary demand >= W*Delta) is checked.
+[[nodiscard]] DecompositionReport verify_ff_decomposition(
+    const Instance& instance, const SimulationResult& result,
+    const FFDecomposition& decomposition, const CostModel& model,
+    std::optional<double> small_item_k = std::nullopt);
+
+}  // namespace dbp

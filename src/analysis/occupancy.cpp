@@ -1,0 +1,48 @@
+#include "analysis/occupancy.hpp"
+
+#include <vector>
+
+#include "core/compensated_sum.hpp"
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+
+namespace dbp {
+
+OccupancyReport compute_occupancy(const Instance& instance,
+                                  const SimulationResult& result,
+                                  const CostModel& model) {
+  model.validate();
+  DBP_REQUIRE(!instance.empty() && result.bins_opened > 0,
+              "occupancy of an empty run");
+  DBP_REQUIRE(result.assignment.size() == instance.size(),
+              "simulation result does not match the instance");
+
+  OccupancyReport report;
+  report.used_volume = total_demand_of(instance);
+
+  CompensatedSum paid_time;
+  std::vector<double> lifetimes;
+  lifetimes.reserve(result.bins_opened);
+  for (const BinUsageRecord& record : result.bin_usage) {
+    paid_time.add(record.usage_length());
+    lifetimes.push_back(record.usage_length());
+  }
+  report.paid_volume = paid_time.value() * model.bin_capacity;
+  DBP_CHECK(report.paid_volume > 0.0, "paid volume must be positive");
+  report.utilization = report.used_volume / report.paid_volume;
+  report.mean_level = report.utilization * model.bin_capacity;
+  report.bin_lifetime = summarize(lifetimes);
+
+  std::vector<double> counts(result.bins_opened, 0.0);
+  for (const BinId bin : result.assignment) {
+    counts[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  report.items_per_bin = summarize(counts);
+
+  const double period = result.packing_period.length();
+  report.busy_fraction =
+      period > 0.0 ? result.open_bins_over_time.measure_positive() / period : 0.0;
+  return report;
+}
+
+}  // namespace dbp

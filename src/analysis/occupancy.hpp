@@ -1,0 +1,37 @@
+// Occupancy analytics: how well a packing uses the capacity it pays for.
+//
+// The MinTotal objective makes "wasted open-bin time" the resource being
+// optimized; these metrics break a run's cost into used vs wasted
+// GPU-time and summarize bin lifetimes, giving the per-algorithm texture
+// behind the cost totals (utilization appears in the cloud-gaming study).
+#pragma once
+
+#include "analysis/stats.hpp"
+#include "core/instance.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+
+struct OccupancyReport {
+  /// Integral of active item sizes over time = u(R) (demanded volume).
+  double used_volume = 0.0;
+  /// Integral of open capacity: (sum of bin usage lengths) * W.
+  double paid_volume = 0.0;
+  /// used / paid in (0, 1]; 1 means every open bin was always full.
+  double utilization = 0.0;
+  /// Time-weighted mean level of open bins (same as utilization * W).
+  double mean_level = 0.0;
+  /// Bin usage-length statistics.
+  SummaryStats bin_lifetime{};
+  /// Items placed per bin.
+  SummaryStats items_per_bin{};
+  /// Fraction of the packing period with at least one open bin.
+  double busy_fraction = 0.0;
+};
+
+/// Computes occupancy metrics for one run. O(n log n).
+[[nodiscard]] OccupancyReport compute_occupancy(const Instance& instance,
+                                                const SimulationResult& result,
+                                                const CostModel& model);
+
+}  // namespace dbp

@@ -1,0 +1,46 @@
+#include "analysis/ratio.hpp"
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+const AlgorithmEvaluation& InstanceEvaluation::row(const std::string& algorithm) const {
+  for (const AlgorithmEvaluation& eval : algorithms) {
+    if (eval.algorithm == algorithm) return eval;
+  }
+  DBP_REQUIRE(false, "no evaluation row for algorithm: " + algorithm);
+  return algorithms.front();  // unreachable
+}
+
+InstanceEvaluation evaluate_algorithms(const Instance& instance,
+                                       const std::vector<std::string>& algorithms,
+                                       const CostModel& model,
+                                       const EvaluateOptions& options) {
+  DBP_REQUIRE(!instance.empty(), "cannot evaluate an empty instance");
+  DBP_REQUIRE(!algorithms.empty(), "no algorithms given");
+
+  InstanceEvaluation result;
+  result.metrics = compute_metrics(instance);
+  result.opt = estimate_opt_total(instance, model, options.opt);
+
+  PackerOptions packer_options = options.packer;
+  if (options.derive_known_mu && packer_options.known_mu < 1.0) {
+    packer_options.known_mu = result.metrics.mu;
+  }
+
+  result.algorithms.reserve(algorithms.size());
+  for (const std::string& name : algorithms) {
+    const SimulationResult sim = simulate(instance, name, model, packer_options);
+    AlgorithmEvaluation eval;
+    eval.algorithm = name;
+    eval.display_name = sim.algorithm;
+    eval.total_cost = sim.total_cost;
+    eval.max_open_bins = sim.max_open_bins;
+    eval.bins_opened = sim.bins_opened;
+    eval.ratio = competitive_ratio_bounds(sim.total_cost, result.opt);
+    result.algorithms.push_back(std::move(eval));
+  }
+  return result;
+}
+
+}  // namespace dbp

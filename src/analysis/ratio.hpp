@@ -1,0 +1,51 @@
+// Competitive-ratio evaluation: run algorithms against an instance, compute
+// certified OPT_total bounds once, and report per-algorithm ratio intervals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algo/factory.hpp"
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+
+/// One algorithm's outcome on one instance.
+struct AlgorithmEvaluation {
+  std::string algorithm;     ///< factory name the caller asked for
+  std::string display_name;  ///< packer's self-description (with parameters)
+  double total_cost = 0.0;
+  std::int64_t max_open_bins = 0;
+  std::size_t bins_opened = 0;
+  RatioBounds ratio{};  ///< total_cost / OPT_total interval
+};
+
+/// Shared per-instance context plus all algorithm rows.
+struct InstanceEvaluation {
+  InstanceMetrics metrics{};
+  OptTotalResult opt{};
+  std::vector<AlgorithmEvaluation> algorithms;
+
+  /// Row lookup by algorithm name; throws when absent.
+  [[nodiscard]] const AlgorithmEvaluation& row(const std::string& algorithm) const;
+};
+
+struct EvaluateOptions {
+  PackerOptions packer{};
+  OptTotalOptions opt{};
+  /// Auto-fill packer.known_mu from the instance metrics when the algorithm
+  /// list contains modified-first-fit-known-mu.
+  bool derive_known_mu = true;
+};
+
+/// Runs every named algorithm over the instance and computes OPT bounds
+/// once. Algorithms see only the online view; the known-mu MFF variant gets
+/// the realized mu (a scalar — still no departure times).
+[[nodiscard]] InstanceEvaluation evaluate_algorithms(
+    const Instance& instance, const std::vector<std::string>& algorithms,
+    const CostModel& model, const EvaluateOptions& options = {});
+
+}  // namespace dbp

@@ -1,0 +1,46 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/compensated_sum.hpp"
+
+namespace dbp {
+
+double percentile(std::span<const double> values, double q) {
+  DBP_REQUIRE(!values.empty(), "percentile of an empty sample");
+  DBP_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SummaryStats summarize(std::span<const double> values) {
+  DBP_REQUIRE(!values.empty(), "summary of an empty sample");
+  SummaryStats stats;
+  stats.count = values.size();
+  CompensatedSum sum;
+  stats.min = values.front();
+  stats.max = values.front();
+  for (double v : values) {
+    sum.add(v);
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = sum.value() / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    CompensatedSum sq;
+    for (double v : values) sq.add((v - stats.mean) * (v - stats.mean));
+    stats.stddev = std::sqrt(sq.value() / static_cast<double>(values.size() - 1));
+  }
+  stats.p50 = percentile(values, 0.50);
+  stats.p95 = percentile(values, 0.95);
+  return stats;
+}
+
+}  // namespace dbp

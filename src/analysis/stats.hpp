@@ -1,0 +1,27 @@
+// Small summary-statistics helpers for experiment reports.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes summary statistics; requires a non-empty sample.
+[[nodiscard]] SummaryStats summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile of a sample, q in [0, 1].
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+}  // namespace dbp

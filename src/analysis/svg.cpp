@@ -1,0 +1,262 @@
+#include "analysis/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/strfmt.hpp"
+
+namespace dbp {
+
+namespace {
+
+constexpr int kMarginLeft = 56;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 34;
+constexpr int kMarginBottom = 30;
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+/// Deterministic pleasant color per index (golden-angle hue rotation).
+std::string color_for(std::size_t index) {
+  const int hue = static_cast<int>((static_cast<double>(index) * 137.508));
+  return strfmt("hsl(%d,68%%,62%%)", hue % 360);
+}
+
+void open_svg(std::ostringstream& out, int width, int height,
+              const std::string& title) {
+  out << strfmt(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n",
+      width, height, width, height);
+  out << strfmt("<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n", width,
+                height);
+  if (!title.empty()) {
+    out << strfmt(
+        "<text x=\"%d\" y=\"22\" font-size=\"15\" font-weight=\"bold\">"
+        "%s</text>\n",
+        kMarginLeft, escape_xml(title).c_str());
+  }
+}
+
+void draw_time_axis(std::ostringstream& out, int width, int axis_y,
+                    TimeInterval period) {
+  out << strfmt(
+      "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#444\"/>\n",
+      kMarginLeft, axis_y, width - kMarginRight, axis_y);
+  const int ticks = 8;
+  for (int t = 0; t <= ticks; ++t) {
+    const double frac = static_cast<double>(t) / ticks;
+    const int x = kMarginLeft + static_cast<int>(
+                                    frac * (width - kMarginLeft - kMarginRight));
+    const double value = period.begin + frac * period.length();
+    out << strfmt(
+        "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#444\"/>\n", x,
+        axis_y, x, axis_y + 4);
+    out << strfmt(
+        "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"middle\" "
+        "fill=\"#333\">%.4g</text>\n",
+        x, axis_y + 16, value);
+  }
+}
+
+}  // namespace
+
+void SvgOptions::validate() const {
+  DBP_REQUIRE(width >= 200, "svg width must be >= 200");
+  DBP_REQUIRE(band_height >= 16, "band height must be >= 16");
+  DBP_REQUIRE(chart_height >= 80, "chart height must be >= 80");
+}
+
+std::string render_bin_gantt_svg(const Instance& instance,
+                                 const SimulationResult& result,
+                                 const SvgOptions& options) {
+  options.validate();
+  DBP_REQUIRE(!instance.empty() && result.bins_opened > 0,
+              "cannot render an empty run");
+  DBP_REQUIRE(result.assignment.size() == instance.size(),
+              "simulation result does not match the instance");
+
+  const TimeInterval period = result.packing_period;
+  const int bands = static_cast<int>(result.bins_opened);
+  const int height =
+      kMarginTop + bands * (options.band_height + 6) + kMarginBottom;
+  const int plot_width = options.width - kMarginLeft - kMarginRight;
+  const auto x_of = [&](Time t) {
+    return kMarginLeft +
+           (t - period.begin) / period.length() * static_cast<double>(plot_width);
+  };
+
+  std::ostringstream out;
+  open_svg(out, options.width, height, options.title);
+
+  // First-fit vertical layout per bin: an item takes the lowest free
+  // vertical slot over its whole lifetime. Continuous sizes can fragment
+  // (no contiguous slot although capacity suffices); such items are drawn
+  // at the lowest position regardless, with extra transparency.
+  struct Placed {
+    double y0, y1;
+    TimeInterval interval;
+  };
+  std::vector<std::vector<Placed>> layout(result.bins_opened);
+
+  for (std::size_t b = 0; b < result.bins_opened; ++b) {
+    const BinUsageRecord& usage = result.bin_usage[b];
+    const int band_top =
+        kMarginTop + static_cast<int>(b) * (options.band_height + 6);
+    out << strfmt(
+        "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"#eee\" "
+        "stroke=\"#999\"/>\n",
+        x_of(usage.opened), band_top, x_of(usage.closed) - x_of(usage.opened),
+        options.band_height);
+    out << strfmt(
+        "<text x=\"%d\" y=\"%d\" font-size=\"11\" fill=\"#333\">bin %zu"
+        "</text>\n",
+        6, band_top + options.band_height / 2 + 4, b);
+  }
+
+  const double capacity_px = static_cast<double>(options.band_height);
+  for (const Item& item : instance.items()) {
+    const auto b = static_cast<std::size_t>(result.assignment[item.id]);
+    const int band_top =
+        kMarginTop + static_cast<int>(b) * (options.band_height + 6);
+    // Find the lowest y (fraction of capacity) free across the lifetime.
+    double y = 0.0;
+    bool clean = false;
+    for (int attempt = 0; attempt < 64 && !clean; ++attempt) {
+      clean = true;
+      for (const Placed& placed : layout[b]) {
+        if (!placed.interval.overlaps(item.interval())) continue;
+        if (y < placed.y1 && placed.y0 < y + item.size) {
+          y = placed.y1;  // bump above the conflict and rescan
+          clean = false;
+          break;
+        }
+      }
+    }
+    const bool overflow = y + item.size > 1.0 + 1e-9;
+    if (overflow) y = 0.0;  // fragmented: draw translucent at the bottom
+    layout[b].push_back({y, y + item.size, item.interval()});
+
+    const double rect_y =
+        band_top + capacity_px * (1.0 - y - item.size);
+    out << strfmt(
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+        "fill=\"%s\" fill-opacity=\"%.2f\" stroke=\"#555\" "
+        "stroke-width=\"0.5\"><title>item %llu size %.3g [%.4g, %.4g)"
+        "</title></rect>\n",
+        x_of(item.arrival), rect_y, x_of(item.departure) - x_of(item.arrival),
+        capacity_px * item.size, color_for(item.id).c_str(),
+        overflow ? 0.45 : 0.85, static_cast<unsigned long long>(item.id),
+        item.size, item.arrival, item.departure);
+    if (options.show_item_ids && instance.size() <= 200) {
+      out << strfmt(
+          "<text x=\"%.1f\" y=\"%.1f\" font-size=\"9\" fill=\"#222\">%llu"
+          "</text>\n",
+          x_of(item.arrival) + 2.0, rect_y + capacity_px * item.size - 2.0,
+          static_cast<unsigned long long>(item.id));
+    }
+  }
+
+  draw_time_axis(out, options.width, height - kMarginBottom + 4, period);
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string render_open_bins_svg(const std::vector<TimelineSeries>& series,
+                                 const SvgOptions& options) {
+  options.validate();
+  DBP_REQUIRE(!series.empty(), "need at least one series");
+  TimeInterval period{0.0, 0.0};
+  std::int64_t max_value = 1;
+  bool first = true;
+  for (const TimelineSeries& entry : series) {
+    DBP_REQUIRE(entry.function != nullptr && entry.function->finalized(),
+                "series must hold finalized step functions");
+    const auto& breakpoints = entry.function->breakpoints();
+    if (breakpoints.empty()) continue;
+    const Time begin = breakpoints.front().time;
+    const Time end = breakpoints.back().time;
+    if (first) {
+      period = {begin, end};
+      first = false;
+    } else {
+      period.begin = std::min(period.begin, begin);
+      period.end = std::max(period.end, end);
+    }
+    max_value = std::max(max_value, entry.function->max_value());
+  }
+  DBP_REQUIRE(!first && !period.empty(), "all series are empty");
+
+  const int height = kMarginTop + options.chart_height + kMarginBottom;
+  const int plot_width = options.width - kMarginLeft - kMarginRight;
+  const auto x_of = [&](Time t) {
+    return kMarginLeft +
+           (t - period.begin) / period.length() * static_cast<double>(plot_width);
+  };
+  const auto y_of = [&](std::int64_t v) {
+    return kMarginTop + options.chart_height *
+                            (1.0 - static_cast<double>(v) /
+                                       static_cast<double>(max_value));
+  };
+
+  std::ostringstream out;
+  open_svg(out, options.width, height, options.title);
+
+  // Horizontal grid lines + y labels.
+  const int y_ticks = std::min<std::int64_t>(max_value, 8);
+  for (int t = 0; t <= y_ticks; ++t) {
+    const auto value = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(max_value) * t / y_ticks));
+    out << strfmt(
+        "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#ddd\"/>\n",
+        kMarginLeft, y_of(value), options.width - kMarginRight, y_of(value));
+    out << strfmt(
+        "<text x=\"%d\" y=\"%.1f\" font-size=\"10\" text-anchor=\"end\" "
+        "fill=\"#333\">%lld</text>\n",
+        kMarginLeft - 6, y_of(value) + 3, static_cast<long long>(value));
+  }
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto& breakpoints = series[s].function->breakpoints();
+    if (breakpoints.empty()) continue;
+    std::ostringstream points;
+    std::int64_t previous = 0;
+    points << strfmt("%.1f,%.1f ", x_of(breakpoints.front().time),
+                     y_of(previous));
+    for (const StepFunction::Breakpoint& bp : breakpoints) {
+      points << strfmt("%.1f,%.1f ", x_of(bp.time), y_of(previous));
+      points << strfmt("%.1f,%.1f ", x_of(bp.time), y_of(bp.value));
+      previous = bp.value;
+    }
+    out << strfmt(
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+        "stroke-width=\"1.8\"/>\n",
+        points.str().c_str(), color_for(s * 5 + 1).c_str());
+    out << strfmt(
+        "<text x=\"%d\" y=\"%d\" font-size=\"11\" fill=\"%s\">%s</text>\n",
+        kMarginLeft + 8 + static_cast<int>(s) * 150, kMarginTop + 12,
+        color_for(s * 5 + 1).c_str(), escape_xml(series[s].label).c_str());
+  }
+
+  draw_time_axis(out, options.width, kMarginTop + options.chart_height + 4,
+                 period);
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace dbp

@@ -1,0 +1,48 @@
+// Standalone SVG rendering of packing runs — no external dependencies.
+//
+// Two views:
+//   * bin Gantt: one horizontal band per bin (x = time, band height =
+//     capacity), items drawn as rectangles stacked by a first-fit vertical
+//     layout — the picture behind the paper's Figures 2-3;
+//   * open-bins staircase: n(t) for one or more algorithms overlaid, i.e.
+//     the cost integrand the MinTotal objective accumulates.
+//
+// Output is a self-contained <svg> document string; write it to a .svg file
+// and open in any browser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/step_function.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+
+struct SvgOptions {
+  int width = 960;          ///< total canvas width, px
+  int band_height = 48;     ///< per-bin band height (gantt), px
+  int chart_height = 320;   ///< plot height (staircase), px
+  std::string title;        ///< optional heading
+  bool show_item_ids = true;  ///< label item rectangles (gantt)
+
+  void validate() const;
+};
+
+/// Renders the per-bin item layout of a finished run.
+[[nodiscard]] std::string render_bin_gantt_svg(const Instance& instance,
+                                               const SimulationResult& result,
+                                               const SvgOptions& options = {});
+
+/// One labelled n(t) series.
+struct TimelineSeries {
+  std::string label;
+  const StepFunction* function = nullptr;  ///< finalized; not owned
+};
+
+/// Renders one or more n(t) staircases over a shared time axis.
+[[nodiscard]] std::string render_open_bins_svg(
+    const std::vector<TimelineSeries>& series, const SvgOptions& options = {});
+
+}  // namespace dbp

@@ -1,0 +1,56 @@
+// OpenMP-parallel parameter sweeps.
+//
+// Experiment harnesses build a flat list of independent jobs (one per sweep
+// cell / seed) and map them in parallel. Results land at the job's index, so
+// output order is deterministic regardless of the schedule.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <vector>
+
+#if defined(DBP_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace dbp {
+
+/// Applies `fn(job)` to every element of `jobs` in parallel and returns the
+/// results in order. `fn` must be safe to call concurrently on distinct
+/// jobs. The first exception thrown by any job is rethrown after the loop.
+template <typename Job, typename Fn>
+auto parallel_map(const std::vector<Job>& jobs, Fn&& fn)
+    -> std::vector<decltype(fn(jobs.front()))> {
+  using Result = decltype(fn(jobs.front()));
+  std::vector<Result> results(jobs.size());
+  std::exception_ptr error;
+
+#if defined(DBP_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::size_t i = 0; i < jobs.size(); ++i) {  // NOLINT(modernize-loop-convert)
+    try {
+      results[i] = fn(jobs[i]);
+    } catch (...) {
+#if defined(DBP_HAVE_OPENMP)
+#pragma omp critical(dbp_parallel_map_error)
+#endif
+      {
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+/// Number of worker threads parallel_map will use.
+[[nodiscard]] inline int parallel_worker_count() {
+#if defined(DBP_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace dbp

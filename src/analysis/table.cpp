@@ -1,0 +1,74 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/error.hpp"
+#include "core/strfmt.hpp"
+
+namespace dbp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DBP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DBP_REQUIRE(cells.size() == headers_.size(),
+              strfmt("row has %zu cells, table has %zu columns", cells.size(),
+                     headers_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  return strfmt("%.*f", precision, value);
+}
+
+std::string Table::integer(long long value) { return strfmt("%lld", value); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << strfmt("%*s", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(std::ostream& out) const {
+  const auto escape = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string quoted = "\"";
+    for (char ch : field) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << escape(row[c]);
+    }
+    out << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace dbp

@@ -1,0 +1,38 @@
+// Fixed-width console tables and CSV emission for experiment reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dbp {
+
+/// A simple right-aligned text table: every bench binary prints one of
+/// these per reproduced paper artifact, paper-predicted columns next to
+/// measured ones.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+  [[nodiscard]] static std::string integer(long long value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Prints with a header underline, columns padded to content width.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-lite CSV (fields containing commas/quotes are quoted).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbp

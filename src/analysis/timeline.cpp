@@ -1,0 +1,58 @@
+#include "analysis/timeline.hpp"
+
+#include <ostream>
+
+#include "core/error.hpp"
+#include "core/strfmt.hpp"
+
+namespace dbp {
+
+void write_step_function_csv(const StepFunction& function, std::ostream& out) {
+  out << "time,value\n";
+  for (const StepFunction::Breakpoint& bp : function.breakpoints()) {
+    out << strfmt("%.17g,%lld\n", bp.time, static_cast<long long>(bp.value));
+  }
+  DBP_REQUIRE(out.good(), "step function csv write failed");
+}
+
+void write_bin_usage_csv(const SimulationResult& result, std::ostream& out) {
+  out << "bin,opened,closed,usage_length\n";
+  for (const BinUsageRecord& record : result.bin_usage) {
+    out << strfmt("%llu,%.17g,%.17g,%.17g\n",
+                  static_cast<unsigned long long>(record.id), record.opened,
+                  record.closed, record.usage_length());
+  }
+  DBP_REQUIRE(out.good(), "bin usage csv write failed");
+}
+
+void write_assignment_csv(const Instance& instance, const SimulationResult& result,
+                          std::ostream& out) {
+  DBP_REQUIRE(result.assignment.size() == instance.size(),
+              "simulation result does not match the instance");
+  out << "item,bin,arrival,departure,size\n";
+  for (const Item& item : instance.items()) {
+    out << strfmt("%llu,%llu,%.17g,%.17g,%.17g\n",
+                  static_cast<unsigned long long>(item.id),
+                  static_cast<unsigned long long>(
+                      result.assignment[static_cast<std::size_t>(item.id)]),
+                  item.arrival, item.departure, item.size);
+  }
+  DBP_REQUIRE(out.good(), "assignment csv write failed");
+}
+
+void write_sampled_open_bins_csv(const SimulationResult& result,
+                                 std::size_t samples, std::ostream& out) {
+  DBP_REQUIRE(samples >= 2, "need at least 2 samples");
+  out << "time,open_bins\n";
+  const TimeInterval period = result.packing_period;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const Time t = period.begin + (period.end - period.begin) *
+                                      static_cast<double>(s) /
+                                      static_cast<double>(samples - 1);
+    out << strfmt("%.17g,%lld\n", t,
+                  static_cast<long long>(result.open_bins_over_time.value_at(t)));
+  }
+  DBP_REQUIRE(out.good(), "sampled open-bins csv write failed");
+}
+
+}  // namespace dbp

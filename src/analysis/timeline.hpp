@@ -1,0 +1,31 @@
+// Timeline exports: turn packing runs into CSV series for external plotting
+// (the n(t) curves of Figures 2-3, per-bin Gantt charts, assignments).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/step_function.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+
+/// "time,value" rows: one per breakpoint, i.e. the exact staircase. A
+/// leading row at the first breakpoint's time with the pre-jump value is
+/// omitted (the function is 0 before the first breakpoint).
+void write_step_function_csv(const StepFunction& function, std::ostream& out);
+
+/// "bin,opened,closed,usage_length" rows, one per bin, in opening order.
+void write_bin_usage_csv(const SimulationResult& result, std::ostream& out);
+
+/// "item,bin,arrival,departure,size" rows, one per item, in item-id order.
+void write_assignment_csv(const Instance& instance, const SimulationResult& result,
+                          std::ostream& out);
+
+/// Uniformly samples n(t) over the packing period into `samples` rows of
+/// "time,open_bins" (useful for quick plotting without staircase handling).
+void write_sampled_open_bins_csv(const SimulationResult& result,
+                                 std::size_t samples, std::ostream& out);
+
+}  // namespace dbp

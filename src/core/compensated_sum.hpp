@@ -1,0 +1,46 @@
+// Neumaier compensated summation.
+//
+// Bin levels are maintained incrementally across up to millions of item
+// arrivals/departures; naive accumulation drifts by ~n ulps which is enough
+// to flip fit decisions near capacity. Compensated summation keeps the error
+// at O(1) ulps independent of the number of operations.
+#pragma once
+
+#include <cmath>
+
+namespace dbp {
+
+/// Running sum with Neumaier (improved Kahan) error compensation.
+/// Supports subtraction via add(-x). `reset()` restores an exact zero, which
+/// bin managers call whenever a bin empties so levels cannot drift across
+/// bin reuse.
+class CompensatedSum {
+ public:
+  constexpr CompensatedSum() = default;
+  explicit constexpr CompensatedSum(double initial) : sum_(initial) {}
+
+  void add(double x) noexcept {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      compensation_ += (sum_ - t) + x;
+    } else {
+      compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  void subtract(double x) noexcept { add(-x); }
+
+  void reset(double value = 0.0) noexcept {
+    sum_ = value;
+    compensation_ = 0.0;
+  }
+
+  [[nodiscard]] double value() const noexcept { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace dbp

@@ -1,0 +1,52 @@
+// Error-handling helpers shared across the library.
+//
+// The library reports precondition violations by throwing exceptions derived
+// from std::logic_error / std::runtime_error (C++ Core Guidelines E.2/E.3:
+// use exceptions for error handling only, design around invariants).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dbp {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is found broken (a library bug or
+/// memory corruption, never a caller error).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr +
+                          (msg.empty() ? "" : ": " + msg));
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const std::string& msg) {
+  throw InvariantError(std::string("invariant violated: ") + expr +
+                       (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace detail
+}  // namespace dbp
+
+/// Validate a documented precondition on a public API entry point.
+#define DBP_REQUIRE(expr, msg)                              \
+  do {                                                      \
+    if (!(expr)) ::dbp::detail::throw_precondition(#expr, (msg)); \
+  } while (false)
+
+/// Validate an internal invariant. Kept on in all build types: the library
+/// is a research artifact and silent corruption is worse than the check cost.
+#define DBP_CHECK(expr, msg)                             \
+  do {                                                   \
+    if (!(expr)) ::dbp::detail::throw_invariant(#expr, (msg)); \
+  } while (false)

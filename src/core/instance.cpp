@@ -1,0 +1,59 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+ItemId Instance::add(Time arrival, Time departure, double size) {
+  Item item{static_cast<ItemId>(items_.size()), arrival, departure, size};
+  item.validate();
+  items_.push_back(item);
+  return item.id;
+}
+
+Instance Instance::from_items(std::vector<Item> items) {
+  Instance instance;
+  instance.items_ = std::move(items);
+  for (std::size_t i = 0; i < instance.items_.size(); ++i) {
+    instance.items_[i].id = static_cast<ItemId>(i);
+    instance.items_[i].validate();
+  }
+  return instance;
+}
+
+const Item& Instance::item(ItemId id) const {
+  DBP_REQUIRE(id < items_.size(), "item id out of range");
+  return items_[static_cast<std::size_t>(id)];
+}
+
+std::vector<ItemId> Instance::arrival_order() const {
+  std::vector<ItemId> order(items_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<ItemId>(i);
+  std::stable_sort(order.begin(), order.end(), [this](ItemId a, ItemId b) {
+    return items_[a].arrival < items_[b].arrival ||
+           (items_[a].arrival == items_[b].arrival && a < b);
+  });
+  return order;
+}
+
+TimeInterval Instance::packing_period() const {
+  DBP_REQUIRE(!items_.empty(), "packing period of an empty instance");
+  Time lo = items_.front().arrival;
+  Time hi = items_.front().departure;
+  for (const auto& item : items_) {
+    lo = std::min(lo, item.arrival);
+    hi = std::max(hi, item.departure);
+  }
+  return {lo, hi};
+}
+
+void Instance::append(const Instance& other) {
+  items_.reserve(items_.size() + other.items_.size());
+  for (const auto& item : other.items_) {
+    add(item.arrival, item.departure, item.size);
+  }
+}
+
+}  // namespace dbp

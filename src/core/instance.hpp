@@ -1,0 +1,52 @@
+// A MinTotal DBP problem instance: the item list R.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/item.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// An immutable-after-build list of items with dense ids (`items()[i].id == i`).
+///
+/// The Instance is the *offline* description of a workload (arrivals,
+/// departures and sizes all known); the simulator reveals it to online
+/// packers one event at a time.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Adds an item, assigning the next dense id. Throws PreconditionError for
+  /// invalid items (d <= a, non-positive size, non-finite fields).
+  ItemId add(Time arrival, Time departure, double size);
+
+  /// Builds an instance from pre-existing items. Ids are reassigned densely
+  /// in the given order; every item is validated.
+  static Instance from_items(std::vector<Item> items);
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::span<const Item> items() const noexcept { return items_; }
+  [[nodiscard]] const Item& item(ItemId id) const;
+
+  /// Item ids ordered by (arrival, id). The id tiebreak makes simultaneous
+  /// arrivals deterministic: the generator's emission order is the order
+  /// the online algorithm sees.
+  [[nodiscard]] std::vector<ItemId> arrival_order() const;
+
+  /// [min arrival, max departure] — the packing period. Requires !empty().
+  [[nodiscard]] TimeInterval packing_period() const;
+
+  /// Reserves storage for `n` items.
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  /// Concatenates another instance's items after this one (ids reassigned).
+  void append(const Instance& other);
+
+ private:
+  std::vector<Item> items_;
+};
+
+}  // namespace dbp

@@ -1,0 +1,73 @@
+#include "core/interval_set.hpp"
+
+#include <algorithm>
+
+#include "core/compensated_sum.hpp"
+#include "core/error.hpp"
+
+namespace dbp {
+
+IntervalSet::IntervalSet(std::vector<TimeInterval> intervals)
+    : pieces_(std::move(intervals)) {
+  normalize();
+}
+
+void IntervalSet::normalize() {
+  std::erase_if(pieces_, [](const TimeInterval& iv) { return iv.empty(); });
+  std::sort(pieces_.begin(), pieces_.end(),
+            [](const TimeInterval& a, const TimeInterval& b) {
+              return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    if (out > 0 && pieces_[i].begin <= pieces_[out - 1].end) {
+      pieces_[out - 1].end = std::max(pieces_[out - 1].end, pieces_[i].end);
+    } else {
+      pieces_[out++] = pieces_[i];
+    }
+  }
+  pieces_.resize(out);
+}
+
+void IntervalSet::insert(TimeInterval interval) {
+  if (interval.empty()) return;
+  pieces_.push_back(interval);
+  normalize();
+}
+
+Time IntervalSet::total_length() const noexcept {
+  CompensatedSum sum;
+  for (const auto& iv : pieces_) sum.add(iv.length());
+  return sum.value();
+}
+
+bool IntervalSet::contains(Time t) const noexcept {
+  // First piece whose end is past t; it is the only candidate.
+  auto it = std::upper_bound(
+      pieces_.begin(), pieces_.end(), t,
+      [](Time value, const TimeInterval& iv) { return value < iv.end; });
+  return it != pieces_.end() && it->contains(t);
+}
+
+Time IntervalSet::min() const {
+  DBP_REQUIRE(!pieces_.empty(), "min() of an empty IntervalSet");
+  return pieces_.front().begin;
+}
+
+Time IntervalSet::max() const {
+  DBP_REQUIRE(!pieces_.empty(), "max() of an empty IntervalSet");
+  return pieces_.back().end;
+}
+
+Time IntervalSet::length_within(TimeInterval window) const noexcept {
+  if (window.empty()) return 0.0;
+  CompensatedSum sum;
+  for (const auto& iv : pieces_) {
+    const Time lo = std::max(iv.begin, window.begin);
+    const Time hi = std::min(iv.end, window.end);
+    if (hi > lo) sum.add(hi - lo);
+  }
+  return sum.value();
+}
+
+}  // namespace dbp

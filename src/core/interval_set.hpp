@@ -1,0 +1,59 @@
+// Union-of-intervals arithmetic, used for span(R) (paper Figure 1) and for
+// the usage-period bookkeeping of the First Fit analysis (Section 4.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// A normalized union of disjoint, sorted, non-empty closed-open intervals.
+///
+/// `span(R) = len(U_{r in R} I(r))` is `IntervalSet(intervals).total_length()`.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Builds the normalized union of arbitrary (possibly overlapping,
+  /// unsorted, empty) intervals. Empty intervals are dropped; touching
+  /// intervals ([0,1) and [1,2)) are merged.
+  explicit IntervalSet(std::vector<TimeInterval> intervals);
+
+  /// Adds one interval, re-normalizing. O(n) worst case; prefer the bulk
+  /// constructor for large inputs.
+  void insert(TimeInterval interval);
+
+  /// Total measure of the union.
+  [[nodiscard]] Time total_length() const noexcept;
+
+  /// Number of disjoint runs.
+  [[nodiscard]] std::size_t piece_count() const noexcept { return pieces_.size(); }
+
+  [[nodiscard]] bool empty() const noexcept { return pieces_.empty(); }
+
+  /// True when t lies in the union.
+  [[nodiscard]] bool contains(Time t) const noexcept;
+
+  /// Earliest covered point; requires !empty().
+  [[nodiscard]] Time min() const;
+  /// Supremum of covered points; requires !empty().
+  [[nodiscard]] Time max() const;
+
+  /// The disjoint sorted runs.
+  [[nodiscard]] std::span<const TimeInterval> pieces() const noexcept {
+    return pieces_;
+  }
+
+  /// Measure of the intersection with `window`.
+  [[nodiscard]] Time length_within(TimeInterval window) const noexcept;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  void normalize();
+  std::vector<TimeInterval> pieces_;  // disjoint, sorted, non-empty
+};
+
+}  // namespace dbp

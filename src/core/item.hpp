@@ -1,0 +1,58 @@
+// The item model of the MinTotal DBP problem (paper Section 3.1).
+#pragma once
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// An item r = (a(r), d(r), s(r)): it arrives at `arrival`, departs at
+/// `departure` and occupies `size` units of bin capacity while active.
+/// An item is active over the closed-open interval [arrival, departure).
+struct Item {
+  ItemId id = 0;
+  Time arrival = 0.0;
+  Time departure = 0.0;
+  double size = 0.0;
+
+  /// len(I(r)) = d(r) - a(r).
+  [[nodiscard]] Time interval_length() const noexcept { return departure - arrival; }
+
+  /// I(r) as a TimeInterval.
+  [[nodiscard]] TimeInterval interval() const noexcept { return {arrival, departure}; }
+
+  /// Resource demand u(r) = s(r) * len(I(r)).
+  [[nodiscard]] double resource_demand() const noexcept {
+    return size * interval_length();
+  }
+
+  /// True when the item is active at time t (t in [arrival, departure)).
+  [[nodiscard]] bool active_at(Time t) const noexcept {
+    return arrival <= t && t < departure;
+  }
+
+  /// Throws PreconditionError unless the item satisfies the paper's model
+  /// assumptions: d(r) > a(r) and s(r) > 0, all values finite.
+  void validate() const {
+    DBP_REQUIRE(std::isfinite(arrival) && std::isfinite(departure),
+                "item times must be finite");
+    DBP_REQUIRE(departure > arrival, "item must have d(r) > a(r)");
+    DBP_REQUIRE(std::isfinite(size) && size > 0.0, "item size must be positive");
+  }
+
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+/// The slice of an Item visible to an *online* packer at arrival time:
+/// the departure time is deliberately absent (paper Section 1: "the items
+/// must be assigned to bins as they arrive without any knowledge of their
+/// departure times").
+struct ArrivingItem {
+  ItemId id = 0;
+  Time arrival = 0.0;
+  double size = 0.0;
+};
+
+}  // namespace dbp

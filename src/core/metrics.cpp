@@ -1,0 +1,71 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "core/compensated_sum.hpp"
+#include "core/error.hpp"
+
+namespace dbp {
+
+IntervalSet interval_union_of(std::span<const Item> items) {
+  std::vector<TimeInterval> intervals;
+  intervals.reserve(items.size());
+  for (const auto& item : items) intervals.push_back(item.interval());
+  return IntervalSet(std::move(intervals));
+}
+
+Time span_of(std::span<const Item> items) {
+  return interval_union_of(items).total_length();
+}
+
+double total_demand_of(std::span<const Item> items) {
+  CompensatedSum sum;
+  for (const auto& item : items) sum.add(item.resource_demand());
+  return sum.value();
+}
+
+InstanceMetrics compute_metrics(std::span<const Item> items) {
+  DBP_REQUIRE(!items.empty(), "metrics of an empty item list");
+  InstanceMetrics m;
+  m.item_count = items.size();
+  m.min_interval_length = items.front().interval_length();
+  m.max_interval_length = m.min_interval_length;
+  m.min_size = items.front().size;
+  m.max_size = m.min_size;
+  Time begin = items.front().arrival;
+  Time end = items.front().departure;
+  CompensatedSum demand;
+  for (const auto& item : items) {
+    const Time len = item.interval_length();
+    m.min_interval_length = std::min(m.min_interval_length, len);
+    m.max_interval_length = std::max(m.max_interval_length, len);
+    m.min_size = std::min(m.min_size, item.size);
+    m.max_size = std::max(m.max_size, item.size);
+    begin = std::min(begin, item.arrival);
+    end = std::max(end, item.departure);
+    demand.add(item.resource_demand());
+  }
+  m.mu = m.max_interval_length / m.min_interval_length;
+  m.total_demand = demand.value();
+  m.span = span_of(items);
+  m.packing_period = {begin, end};
+  return m;
+}
+
+CostBounds compute_cost_bounds(std::span<const Item> items, const CostModel& model) {
+  model.validate();
+  CostBounds bounds;
+  if (items.empty()) return bounds;
+  CompensatedSum demand;
+  CompensatedSum lengths;
+  for (const auto& item : items) {
+    demand.add(item.resource_demand());
+    lengths.add(item.interval_length());
+  }
+  bounds.demand_lower = demand.value() * model.cost_rate / model.bin_capacity;
+  bounds.span_lower = span_of(items) * model.cost_rate;
+  bounds.one_per_item_upper = lengths.value() * model.cost_rate;
+  return bounds;
+}
+
+}  // namespace dbp

@@ -1,0 +1,72 @@
+// Workload metrics from paper Table 1: span(R), u(R), the max/min interval
+// length ratio mu, and the cost bounds (b.1)-(b.3) of Section 4.
+#pragma once
+
+#include <span>
+
+#include "core/instance.hpp"
+#include "core/interval_set.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// span(R) = len(U_{r in R} I(r)): the measure of time during which at least
+/// one item is active (paper Figure 1). 0 for an empty list.
+[[nodiscard]] Time span_of(std::span<const Item> items);
+[[nodiscard]] inline Time span_of(const Instance& instance) {
+  return span_of(instance.items());
+}
+
+/// The interval union itself (useful for per-bin usage-period reasoning).
+[[nodiscard]] IntervalSet interval_union_of(std::span<const Item> items);
+
+/// u(R) = sum of s(r) * len(I(r)).
+[[nodiscard]] double total_demand_of(std::span<const Item> items);
+[[nodiscard]] inline double total_demand_of(const Instance& instance) {
+  return total_demand_of(instance.items());
+}
+
+/// Summary statistics of an item list.
+struct InstanceMetrics {
+  std::size_t item_count = 0;
+  Time min_interval_length = 0.0;  ///< Delta in the paper's notation
+  Time max_interval_length = 0.0;  ///< mu * Delta
+  double mu = 1.0;                 ///< max/min interval length ratio
+  double min_size = 0.0;
+  double max_size = 0.0;
+  double total_demand = 0.0;  ///< u(R)
+  Time span = 0.0;            ///< span(R)
+  TimeInterval packing_period{};
+};
+
+/// Computes all metrics in one pass (plus an O(n log n) span). Requires a
+/// non-empty list.
+[[nodiscard]] InstanceMetrics compute_metrics(std::span<const Item> items);
+[[nodiscard]] inline InstanceMetrics compute_metrics(const Instance& instance) {
+  return compute_metrics(instance.items());
+}
+
+/// The paper's universal cost bounds for any packing algorithm A, scaled by
+/// cost rate C and capacity W:
+///   (b.1)  A_total(R) >= u(R) * C / W
+///   (b.2)  A_total(R) >= span(R) * C
+///   (b.3)  A_total(R) <= sum len(I(r)) * C
+struct CostBounds {
+  double demand_lower = 0.0;     ///< (b.1)
+  double span_lower = 0.0;       ///< (b.2)
+  double one_per_item_upper = 0.0;  ///< (b.3)
+
+  /// max of (b.1) and (b.2): the standard lower bound on OPT_total.
+  [[nodiscard]] double lower() const noexcept {
+    return demand_lower > span_lower ? demand_lower : span_lower;
+  }
+};
+
+[[nodiscard]] CostBounds compute_cost_bounds(std::span<const Item> items,
+                                             const CostModel& model);
+[[nodiscard]] inline CostBounds compute_cost_bounds(const Instance& instance,
+                                                    const CostModel& model) {
+  return compute_cost_bounds(instance.items(), model);
+}
+
+}  // namespace dbp

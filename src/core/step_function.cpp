@@ -1,0 +1,91 @@
+#include "core/step_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/compensated_sum.hpp"
+#include "core/error.hpp"
+
+namespace dbp {
+
+void StepFunction::add_delta(Time t, std::int64_t delta) {
+  DBP_REQUIRE(std::isfinite(t), "breakpoint time must be finite");
+  if (delta == 0) return;
+  deltas_.emplace_back(t, delta);
+  finalized_ = false;
+  breakpoints_.clear();
+}
+
+void StepFunction::add_interval(TimeInterval interval) {
+  if (interval.empty()) return;
+  add_delta(interval.begin, +1);
+  add_delta(interval.end, -1);
+}
+
+void StepFunction::finalize() {
+  if (finalized_) return;
+  std::sort(deltas_.begin(), deltas_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  breakpoints_.clear();
+  std::int64_t value = 0;
+  std::size_t i = 0;
+  while (i < deltas_.size()) {
+    const Time t = deltas_[i].first;
+    std::int64_t jump = 0;
+    for (; i < deltas_.size() && deltas_[i].first == t; ++i) jump += deltas_[i].second;
+    if (jump == 0) continue;
+    value += jump;
+    DBP_CHECK(value >= 0, "step function value went negative");
+    breakpoints_.push_back({t, value});
+  }
+  finalized_ = true;
+}
+
+void StepFunction::require_finalized() const {
+  DBP_REQUIRE(finalized_, "StepFunction must be finalized before queries");
+}
+
+std::int64_t StepFunction::value_at(Time t) const {
+  require_finalized();
+  auto it = std::upper_bound(
+      breakpoints_.begin(), breakpoints_.end(), t,
+      [](Time value, const Breakpoint& bp) { return value < bp.time; });
+  if (it == breakpoints_.begin()) return 0;
+  return std::prev(it)->value;
+}
+
+std::int64_t StepFunction::max_value() const {
+  require_finalized();
+  std::int64_t best = 0;
+  for (const auto& bp : breakpoints_) best = std::max(best, bp.value);
+  return best;
+}
+
+double StepFunction::integral() const {
+  return integral_of([](std::int64_t v) { return static_cast<double>(v); });
+}
+
+double StepFunction::integral_of(const std::function<double(std::int64_t)>& g) const {
+  require_finalized();
+  if (breakpoints_.empty()) return 0.0;
+  DBP_REQUIRE(breakpoints_.back().value == 0 || g(breakpoints_.back().value) == 0.0,
+              "integral of a step function with unbounded non-zero tail");
+  CompensatedSum sum;
+  for (std::size_t i = 0; i + 1 < breakpoints_.size(); ++i) {
+    const double width = breakpoints_[i + 1].time - breakpoints_[i].time;
+    const double height = g(breakpoints_[i].value);
+    if (height != 0.0) sum.add(height * width);
+  }
+  return sum.value();
+}
+
+double StepFunction::measure_positive() const {
+  return integral_of([](std::int64_t v) { return v > 0 ? 1.0 : 0.0; });
+}
+
+const std::vector<StepFunction::Breakpoint>& StepFunction::breakpoints() const {
+  require_finalized();
+  return breakpoints_;
+}
+
+}  // namespace dbp

@@ -1,0 +1,73 @@
+// Piecewise-constant integer-valued functions of time.
+//
+// The number of open bins n(t) is such a function; the total cost of a
+// packing is `C * integral(n)` (paper Section 3.1), and `span(R)` is the
+// measure of { t : n(t) > 0 } under an always-feasible packing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// An integer-valued step function assembled from +/- deltas at time points.
+/// The function is 0 before the first breakpoint and after the last one
+/// returns to whatever the accumulated deltas give (0 for balanced usage).
+///
+/// Build phase: `add_delta` in any order, then `finalize()` (idempotent);
+/// query methods require a finalized object and throw otherwise.
+class StepFunction {
+ public:
+  StepFunction() = default;
+
+  /// Records that the function jumps by `delta` at time `t`.
+  void add_delta(Time t, std::int64_t delta);
+
+  /// Adds +1 over [begin, end): the indicator of one open bin / one active
+  /// item. Empty intervals are ignored.
+  void add_interval(TimeInterval interval);
+
+  /// Sorts and coalesces breakpoints. Throws InvariantError when any prefix
+  /// value would be negative (more departures than arrivals).
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// f(t). O(log n).
+  [[nodiscard]] std::int64_t value_at(Time t) const;
+
+  /// Maximum value attained (0 for the empty function).
+  [[nodiscard]] std::int64_t max_value() const;
+
+  /// Integral of f over (-inf, +inf); the function must have bounded support
+  /// (value 0 after the last breakpoint), otherwise throws.
+  [[nodiscard]] double integral() const;
+
+  /// Integral of g(f(t)) dt over the support [first breakpoint, last
+  /// breakpoint). `g(0)` is not charged outside the support.
+  [[nodiscard]] double integral_of(const std::function<double(std::int64_t)>& g) const;
+
+  /// Measure of { t : f(t) > 0 }.
+  [[nodiscard]] double measure_positive() const;
+
+  /// The breakpoints as (time, value-from-here) pairs, strictly increasing
+  /// in time, consecutive values distinct.
+  struct Breakpoint {
+    Time time;
+    std::int64_t value;
+    friend bool operator==(const Breakpoint&, const Breakpoint&) = default;
+  };
+  [[nodiscard]] const std::vector<Breakpoint>& breakpoints() const;
+
+ private:
+  void require_finalized() const;
+
+  std::vector<std::pair<Time, std::int64_t>> deltas_;
+  std::vector<Breakpoint> breakpoints_;
+  bool finalized_ = false;
+};
+
+}  // namespace dbp

@@ -1,0 +1,29 @@
+// printf-style std::string formatting (GCC 12's libstdc++ lacks <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace dbp {
+
+/// snprintf into a std::string. Formats are compile-time checked by the
+/// attribute; output is never truncated.
+[[nodiscard]] __attribute__((format(printf, 1, 2))) inline std::string strfmt(
+    const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+}  // namespace dbp

@@ -1,0 +1,72 @@
+// Fundamental vocabulary types for the MinTotal Dynamic Bin Packing library.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+/// Continuous simulation time, matching the paper's continuous-time model.
+using Time = double;
+
+/// Identifies an item within one Instance. Dense, assigned by the Instance.
+using ItemId = std::uint64_t;
+
+/// Identifies a bin within one packing run. Assigned in opening order by the
+/// bin manager, i.e. `BinId` order *is* the temporal opening order the paper
+/// relies on for First Fit ("earliest opened bin").
+using BinId = std::uint64_t;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Parameters of the bin economy: every bin has the same capacity `W` and
+/// accrues cost at rate `C` per unit time while open (paper Section 3.1).
+struct CostModel {
+  /// Bin capacity W. Item sizes must satisfy 0 < s(r) <= W.
+  double bin_capacity = 1.0;
+  /// Cost rate C per bin per unit of open time.
+  double cost_rate = 1.0;
+  /// Absolute tolerance used in "does this item fit" tests. Item sizes are
+  /// doubles; e.g. 1000 items of size 1/1000 sum to 1 + O(ulp), and a fit
+  /// test without slack would spuriously reject the packing the paper's
+  /// constructions require. The tolerance is far below any meaningful size.
+  double fit_tolerance = 1e-9;
+
+  /// Throws PreconditionError unless the model is usable.
+  void validate() const {
+    DBP_REQUIRE(std::isfinite(bin_capacity) && bin_capacity > 0.0,
+                "bin capacity must be positive and finite");
+    DBP_REQUIRE(std::isfinite(cost_rate) && cost_rate > 0.0,
+                "cost rate must be positive and finite");
+    DBP_REQUIRE(std::isfinite(fit_tolerance) && fit_tolerance >= 0.0 &&
+                    fit_tolerance < bin_capacity,
+                "fit tolerance must be in [0, bin_capacity)");
+  }
+
+  /// True when an item of size `size` fits into residual capacity `residual`.
+  [[nodiscard]] bool fits(double size, double residual) const noexcept {
+    return size <= residual + fit_tolerance;
+  }
+};
+
+/// A closed-open time interval [begin, end). Items occupy [a(r), d(r)): at a
+/// time point where one item departs and another arrives, the capacity is
+/// released before the arrival is placed (see DESIGN.md "Semantics").
+struct TimeInterval {
+  Time begin = 0.0;
+  Time end = 0.0;
+
+  [[nodiscard]] Time length() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return end <= begin; }
+  [[nodiscard]] bool contains(Time t) const noexcept { return begin <= t && t < end; }
+  /// True when the intervals share a set of positive measure.
+  [[nodiscard]] bool overlaps(const TimeInterval& o) const noexcept {
+    return begin < o.end && o.begin < end;
+  }
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+}  // namespace dbp

@@ -1,0 +1,130 @@
+#include "gaming/dispatcher.hpp"
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+CostModel ServerSpec::to_cost_model() const {
+  // Trace time is in minutes; bill at the per-minute equivalent rate.
+  return CostModel{gpu_capacity, price_per_hour / 60.0, 1e-9 * gpu_capacity};
+}
+
+GameServerDispatcher::GameServerDispatcher(ServerSpec spec,
+                                           const std::string& algorithm,
+                                           const PackerOptions& options)
+    : spec_(spec), algorithm_(algorithm) {
+  DBP_REQUIRE(spec.gpu_capacity > 0.0, "server GPU capacity must be positive");
+  DBP_REQUIRE(spec.price_per_hour > 0.0, "server price must be positive");
+  packer_ = make_packer(algorithm, spec.to_cost_model(), options);
+}
+
+BinId GameServerDispatcher::start_session(std::uint64_t session_id,
+                                          double gpu_fraction, Time now_minutes) {
+  DBP_REQUIRE(now_minutes >= last_event_time_,
+              "dispatch events must be fed in time order");
+  last_event_time_ = now_minutes;
+  return packer_->on_arrival(ArrivingItem{session_id, now_minutes, gpu_fraction});
+}
+
+void GameServerDispatcher::end_session(std::uint64_t session_id, Time now_minutes) {
+  DBP_REQUIRE(now_minutes >= last_event_time_,
+              "dispatch events must be fed in time order");
+  last_event_time_ = now_minutes;
+  packer_->on_departure(session_id, now_minutes);
+}
+
+std::size_t GameServerDispatcher::active_servers() const {
+  return packer_->bins().open_count();
+}
+
+std::size_t GameServerDispatcher::servers_ever_rented() const {
+  return packer_->bins().total_bins_opened();
+}
+
+std::size_t GameServerDispatcher::active_sessions() const {
+  return packer_->bins().active_item_count();
+}
+
+double GameServerDispatcher::rental_cost_dollars(Time now_minutes) const {
+  double minutes = 0.0;
+  for (const BinUsageRecord& record : packer_->bins().usage_records()) {
+    const Time end = record.is_closed() ? record.closed : now_minutes;
+    if (end > record.opened) minutes += end - record.opened;
+  }
+  return minutes * spec_.price_per_hour / 60.0;
+}
+
+DispatchComparison compare_dispatch_algorithms(
+    const CloudGamingTrace& trace, const std::vector<std::string>& algorithms,
+    const ServerSpec& spec) {
+  const CostModel model = spec.to_cost_model();
+  const InstanceEvaluation evaluation =
+      evaluate_algorithms(trace.instance, algorithms, model);
+
+  DispatchComparison comparison;
+  comparison.metrics = evaluation.metrics;
+  comparison.optimal_dollars_lower = evaluation.opt.lower_cost;
+  comparison.optimal_dollars_upper = evaluation.opt.upper_cost;
+  comparison.reports.reserve(evaluation.algorithms.size());
+  for (const AlgorithmEvaluation& eval : evaluation.algorithms) {
+    DispatchReport report;
+    report.algorithm = eval.algorithm;
+    report.total_dollars = eval.total_cost;
+    report.server_hours = eval.total_cost / spec.price_per_hour;
+    report.servers_rented = eval.bins_opened;
+    report.peak_servers = eval.max_open_bins;
+    const double gpu_minutes_rented =
+        report.server_hours * 60.0 * spec.gpu_capacity;
+    report.utilization = evaluation.metrics.total_demand / gpu_minutes_rented;
+    report.overspend = eval.ratio;
+    comparison.reports.push_back(std::move(report));
+  }
+  return comparison;
+}
+
+RegionalDispatcher::RegionalDispatcher(ServerSpec spec, std::string algorithm,
+                                       PackerOptions options)
+    : spec_(spec), algorithm_(std::move(algorithm)), options_(options) {}
+
+BinId RegionalDispatcher::start_session(const std::string& region,
+                                        std::uint64_t session_id,
+                                        double gpu_fraction, Time now_minutes) {
+  auto& fleet = fleets_[region];
+  if (!fleet) {
+    fleet = std::make_unique<GameServerDispatcher>(spec_, algorithm_, options_);
+  }
+  DBP_REQUIRE(!session_fleet_.contains(session_id), "session id already active");
+  session_fleet_[session_id] = fleet.get();
+  return fleet->start_session(session_id, gpu_fraction, now_minutes);
+}
+
+void RegionalDispatcher::end_session(std::uint64_t session_id, Time now_minutes) {
+  auto it = session_fleet_.find(session_id);
+  DBP_REQUIRE(it != session_fleet_.end(), "unknown session id");
+  it->second->end_session(session_id, now_minutes);
+  session_fleet_.erase(it);
+}
+
+std::size_t RegionalDispatcher::active_servers() const {
+  std::size_t total = 0;
+  for (const auto& [region, fleet] : fleets_) total += fleet->active_servers();
+  return total;
+}
+
+double RegionalDispatcher::rental_cost_dollars(Time now_minutes) const {
+  double total = 0.0;
+  for (const auto& [region, fleet] : fleets_) {
+    total += fleet->rental_cost_dollars(now_minutes);
+  }
+  return total;
+}
+
+std::vector<std::string> RegionalDispatcher::regions() const {
+  std::vector<std::string> names;
+  names.reserve(fleets_.size());
+  for (const auto& [region, fleet] : fleets_) names.push_back(region);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace dbp

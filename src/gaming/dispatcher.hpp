@@ -1,0 +1,119 @@
+// The cloud-gaming request dispatcher: the application the paper's
+// MinTotal DBP model was built for (Section 1).
+//
+// Game servers are rented virtual machines billed per unit of running time
+// (the bins, cost rate = hourly price); play sessions are the items (size =
+// the game's GPU fraction); dispatch decisions are online and sessions
+// never migrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/factory.hpp"
+#include "algo/packer.hpp"
+#include "analysis/ratio.hpp"
+#include "core/types.hpp"
+#include "workload/cloud_gaming.hpp"
+
+namespace dbp {
+
+/// The rented server type. All servers are identical, mirroring the paper's
+/// uniform-bin assumption.
+struct ServerSpec {
+  double gpu_capacity = 1.0;     ///< bin capacity W (1.0 = one full GPU)
+  double price_per_hour = 1.0;   ///< rental price (cost rate C), $/hour
+
+  [[nodiscard]] CostModel to_cost_model() const;
+};
+
+/// Online dispatcher facade: feed it session starts/ends in time order and
+/// it maintains the rented server fleet via the chosen packing algorithm.
+class GameServerDispatcher {
+ public:
+  /// `algorithm` is any algo/factory.hpp name; "first-fit" and
+  /// "modified-first-fit" are the theoretically safe choices (Theorems 4-5;
+  /// Best Fit is provably unbounded, Theorem 2).
+  GameServerDispatcher(ServerSpec spec, const std::string& algorithm,
+                       const PackerOptions& options = {});
+
+  /// Dispatches a session needing `gpu_fraction` of a server at time
+  /// `now_minutes`; returns the server id (a fresh id when a new server is
+  /// rented). Times must be non-decreasing across calls.
+  BinId start_session(std::uint64_t session_id, double gpu_fraction,
+                      Time now_minutes);
+
+  /// Ends a session; its server is released (and returned to the provider)
+  /// when its last session ends.
+  void end_session(std::uint64_t session_id, Time now_minutes);
+
+  [[nodiscard]] std::size_t active_servers() const;
+  [[nodiscard]] std::size_t servers_ever_rented() const;
+  [[nodiscard]] std::size_t active_sessions() const;
+
+  /// Total rental bill accrued by time `now_minutes` (includes the open
+  /// tails of still-running servers).
+  [[nodiscard]] double rental_cost_dollars(Time now_minutes) const;
+
+  [[nodiscard]] const std::string& algorithm() const noexcept { return algorithm_; }
+  [[nodiscard]] const ServerSpec& spec() const noexcept { return spec_; }
+
+ private:
+  ServerSpec spec_;
+  std::string algorithm_;
+  std::unique_ptr<Packer> packer_;
+  Time last_event_time_ = -kTimeInfinity;
+};
+
+/// Offline comparison over a full trace: every algorithm's rental bill next
+/// to the certified minimum-possible bill.
+struct DispatchReport {
+  std::string algorithm;
+  double total_dollars = 0.0;
+  double server_hours = 0.0;
+  std::size_t servers_rented = 0;
+  std::int64_t peak_servers = 0;
+  /// GPU-hours demanded / GPU-hours rented: fleet utilization in (0, 1].
+  double utilization = 0.0;
+  /// total bill / optimal-bill interval.
+  RatioBounds overspend{};
+};
+
+struct DispatchComparison {
+  std::vector<DispatchReport> reports;
+  double optimal_dollars_lower = 0.0;
+  double optimal_dollars_upper = 0.0;
+  InstanceMetrics metrics{};
+};
+
+[[nodiscard]] DispatchComparison compare_dispatch_algorithms(
+    const CloudGamingTrace& trace, const std::vector<std::string>& algorithms,
+    const ServerSpec& spec);
+
+/// Section 5 future-work hook (constrained DBP): sessions carry a region
+/// tag and may only be dispatched to servers of that region. Implemented as
+/// independent per-region fleets.
+class RegionalDispatcher {
+ public:
+  RegionalDispatcher(ServerSpec spec, std::string algorithm,
+                     PackerOptions options = {});
+
+  BinId start_session(const std::string& region, std::uint64_t session_id,
+                      double gpu_fraction, Time now_minutes);
+  void end_session(std::uint64_t session_id, Time now_minutes);
+
+  [[nodiscard]] std::size_t active_servers() const;
+  [[nodiscard]] double rental_cost_dollars(Time now_minutes) const;
+  [[nodiscard]] std::vector<std::string> regions() const;
+
+ private:
+  ServerSpec spec_;
+  std::string algorithm_;
+  PackerOptions options_;
+  std::unordered_map<std::string, std::unique_ptr<GameServerDispatcher>> fleets_;
+  std::unordered_map<std::uint64_t, GameServerDispatcher*> session_fleet_;
+};
+
+}  // namespace dbp

@@ -1,0 +1,97 @@
+#include "gaming/provisioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+void ProvisioningPolicy::validate() const {
+  DBP_REQUIRE(std::isfinite(boot_minutes) && boot_minutes >= 0.0,
+              "boot time must be >= 0");
+}
+
+ProvisioningReport analyze_provisioning(const Instance& instance,
+                                        const SimulationResult& result,
+                                        const ServerSpec& spec,
+                                        const ProvisioningPolicy& policy) {
+  policy.validate();
+  DBP_REQUIRE(!instance.empty() && result.assignment.size() == instance.size(),
+              "simulation result does not match the instance");
+
+  ProvisioningReport report;
+  report.rental_dollars =
+      [&] {
+        double minutes = 0.0;
+        for (const BinUsageRecord& record : result.bin_usage) {
+          minutes += record.usage_length();
+        }
+        return minutes * spec.price_per_hour / 60.0;
+      }();
+
+  // The warm pool holds `warm_target` slots for the whole packing period
+  // (idle or booting, they are billed like any other server).
+  const TimeInterval period = result.packing_period;
+  report.warm_pool_dollars = static_cast<double>(policy.warm_target) *
+                             period.length() * spec.price_per_hour / 60.0;
+
+  // New-server ("bin open") events: the first-arriving session of each bin
+  // triggered it. Ties broken by item id, matching the simulator.
+  struct OpenEvent {
+    Time time;
+    ItemId trigger;
+  };
+  std::vector<OpenEvent> opens(result.bins_opened,
+                               OpenEvent{0.0, instance.size()});
+  for (const Item& item : instance.items()) {
+    const auto bin = static_cast<std::size_t>(result.assignment[item.id]);
+    if (item.arrival < result.bin_usage[bin].opened) continue;
+    OpenEvent& event = opens[bin];
+    if (event.trigger == instance.size() || item.arrival < event.time ||
+        (item.arrival == event.time && item.id < event.trigger)) {
+      event = {item.arrival, item.id};
+    }
+  }
+  std::sort(opens.begin(), opens.end(), [](const OpenEvent& a, const OpenEvent& b) {
+    return a.time < b.time || (a.time == b.time && a.trigger < b.trigger);
+  });
+
+  // Pool simulation. The pool starts pre-filled at the period begin.
+  std::size_t available = policy.warm_target;
+  report.boots = policy.warm_target;
+  std::priority_queue<Time, std::vector<Time>, std::greater<>> pending;
+
+  std::vector<double> waits(instance.size(), 0.0);
+  for (const OpenEvent& event : opens) {
+    while (!pending.empty() && pending.top() <= event.time) {
+      pending.pop();
+      ++available;
+    }
+    double wait = 0.0;
+    if (available > 0) {
+      --available;
+    } else if (!pending.empty() &&
+               pending.top() - event.time < policy.boot_minutes) {
+      wait = pending.top() - event.time;  // grab the replacement in flight
+      pending.pop();
+    } else {
+      wait = policy.boot_minutes;  // cold boot for this session
+      ++report.boots;
+    }
+    if (wait > 0.0) {
+      ++report.cold_starts;
+      waits[static_cast<std::size_t>(event.trigger)] = wait;
+    }
+    // Restock toward the target.
+    while (available + pending.size() < policy.warm_target) {
+      pending.push(event.time + policy.boot_minutes);
+      ++report.boots;
+    }
+  }
+  report.wait_minutes = summarize(waits);
+  return report;
+}
+
+}  // namespace dbp

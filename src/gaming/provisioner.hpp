@@ -1,0 +1,57 @@
+// Server provisioning analysis: boot delays and warm spare pools.
+//
+// The paper's model (and Section 1 motivation) treats server rental as
+// instantaneous; real clouds boot VMs in minutes, and "the provisioning of
+// game servers [is] a challenging issue". This layer quantifies the
+// latency/cost tradeoff on top of any dispatch algorithm:
+//
+//   * on-demand (warm_target = 0): every new server incurs the boot delay
+//     as player waiting time;
+//   * warm pool (warm_target = N): N idle booted spares absorb new-server
+//     demand instantly; each consumed spare triggers a replacement boot;
+//     spares are billed while idle.
+//
+// First-order model: waits are accounted per session but do not shift the
+// packing timeline (players buffer at the loading screen; the session slot
+// is reserved at request time). This keeps the analysis composable with any
+// SimulationResult.
+#pragma once
+
+#include "analysis/stats.hpp"
+#include "core/instance.hpp"
+#include "gaming/dispatcher.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+
+struct ProvisioningPolicy {
+  double boot_minutes = 3.0;    ///< VM boot time
+  std::size_t warm_target = 0;  ///< idle spares to maintain (0 = on-demand)
+
+  void validate() const;
+};
+
+struct ProvisioningReport {
+  /// Rental bill of the working fleet (same as the dispatch bill).
+  double rental_dollars = 0.0;
+  /// Extra bill for warm spares (idle + booting time, billed like servers).
+  double warm_pool_dollars = 0.0;
+  [[nodiscard]] double total_dollars() const noexcept {
+    return rental_dollars + warm_pool_dollars;
+  }
+  /// Boots triggered (initial fill + replacements).
+  std::size_t boots = 0;
+  /// Sessions that had to wait for a boot (cold starts).
+  std::size_t cold_starts = 0;
+  /// Waiting time over *all* sessions (non-waiters contribute 0).
+  SummaryStats wait_minutes{};
+};
+
+/// Evaluates a provisioning policy against a finished dispatch run.
+/// `result` must come from simulating `instance`; `spec` prices the
+/// servers; time unit is minutes throughout (as in CloudGamingTrace).
+[[nodiscard]] ProvisioningReport analyze_provisioning(
+    const Instance& instance, const SimulationResult& result,
+    const ServerSpec& spec, const ProvisioningPolicy& policy);
+
+}  // namespace dbp

@@ -1,0 +1,102 @@
+#include "opt/bin_count.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "core/compensated_sum.hpp"
+#include "core/error.hpp"
+#include "opt/classical.hpp"
+#include "opt/lower_bounds.hpp"
+
+namespace dbp {
+
+namespace {
+
+/// Largest m such that m items of size `size` fit one bin under the
+/// tolerance-based feasibility (m * size <= W + tol).
+std::size_t per_bin_count(double size, const CostModel& model) {
+  const double capacity = model.bin_capacity + model.fit_tolerance;
+  auto m = static_cast<std::size_t>(std::floor(capacity / size * (1.0 + 1e-12)));
+  return std::max<std::size_t>(m, 1);
+}
+
+BinCountBounds compute(std::span<const double> sorted_desc, const CostModel& model,
+                       const BinCountOptions& options) {
+  const std::size_t n = sorted_desc.size();
+  if (n == 0) return {0, 0};
+
+  CompensatedSum sum;
+  for (double s : sorted_desc) sum.add(s);
+
+  // Fast path: everything fits one bin.
+  if (model.fits(sum.value(), model.bin_capacity)) return {1, 1};
+
+  // Fast path: all sizes equal (within relative tolerance) => exact count.
+  const double largest = sorted_desc.front();
+  const double smallest = sorted_desc.back();
+  if (largest - smallest <= options.equal_size_rel_tolerance * largest) {
+    const std::size_t m = per_bin_count(largest, model);
+    const auto bins = static_cast<std::size_t>((n + m - 1) / m);
+    return {bins, bins};
+  }
+
+  const std::size_t lower = l2_lower_bound_sorted(sorted_desc, model);
+  const std::size_t upper = std::min(first_fit_decreasing_sorted(sorted_desc, model),
+                                     best_fit_decreasing_sorted(sorted_desc, model));
+  DBP_CHECK(lower <= upper, "L2 exceeds the FFD/BFD bin count");
+  if (lower == upper || !options.use_exact_solver) return {lower, upper};
+
+  const ExactPackingResult exact = exact_bin_count(sorted_desc, model, options.exact);
+  return {std::max(lower, exact.lower), std::min(upper, exact.upper)};
+}
+
+}  // namespace
+
+BinCountBounds optimal_bin_count(std::span<const double> sizes, const CostModel& model,
+                                 const BinCountOptions& options) {
+  model.validate();
+  std::vector<double> sorted(sizes.begin(), sizes.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  for (double s : sorted) {
+    DBP_REQUIRE(s > 0.0 && model.fits(s, model.bin_capacity),
+                "size must be in (0, bin capacity]");
+  }
+  return compute(sorted, model, options);
+}
+
+std::size_t BinCountOracle::VectorHash::operator()(
+    const std::vector<double>& v) const noexcept {
+  // FNV-1a over the raw byte representation; the key is the exact multiset.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (double d : v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+BinCountOracle::BinCountOracle(CostModel model, BinCountOptions options)
+    : model_(model), options_(options) {
+  model_.validate();
+}
+
+BinCountBounds BinCountOracle::count_sorted(std::span<const double> sorted_desc) {
+  std::vector<double> key(sorted_desc.begin(), sorted_desc.end());
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const BinCountBounds bounds = compute(key, model_, options_);
+  if (memo_.size() >= kMemoLimit) memo_.clear();
+  memo_.emplace(std::move(key), bounds);
+  return bounds;
+}
+
+}  // namespace dbp

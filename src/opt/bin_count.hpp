@@ -1,0 +1,69 @@
+// The bin-count oracle: certified [lower, upper] bounds (exact whenever
+// affordable) on the optimal number of bins for a static size multiset.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "opt/exact.hpp"
+
+namespace dbp {
+
+/// Certified bounds on the optimal bin count.
+struct BinCountBounds {
+  std::size_t lower = 0;
+  std::size_t upper = 0;
+  [[nodiscard]] bool exact() const noexcept { return lower == upper; }
+};
+
+struct BinCountOptions {
+  /// Forwarded to the exact solver when heuristic bounds do not meet.
+  ExactPackingOptions exact{};
+  /// Disable the exact solver entirely (bounds then come from L2 and
+  /// FFD/BFD only) — used by large sweeps where speed matters more.
+  bool use_exact_solver = true;
+  /// Sizes whose relative spread is below this are treated as equal,
+  /// enabling the exact equal-size fast path.
+  double equal_size_rel_tolerance = 1e-12;
+};
+
+/// Computes bounds for the given multiset. Fast paths (exact, O(n)):
+/// empty, everything-fits-one-bin, all-equal sizes. General path:
+/// max(L1, L2) lower, min(FFD, BFD) upper, branch-and-bound to close.
+[[nodiscard]] BinCountBounds optimal_bin_count(std::span<const double> sizes,
+                                               const CostModel& model,
+                                               const BinCountOptions& options = {});
+
+/// Memoizing wrapper around optimal_bin_count keyed on the exact multiset
+/// (sorted contents). The OPT_total estimator evaluates the active multiset
+/// at every event boundary; adversarial and cyclic workloads revisit the
+/// same multiset many times.
+class BinCountOracle {
+ public:
+  BinCountOracle(CostModel model, BinCountOptions options = {});
+
+  /// `sorted_desc` must be non-increasing. O(n) on a memo hit.
+  [[nodiscard]] BinCountBounds count_sorted(std::span<const double> sorted_desc);
+
+  [[nodiscard]] std::size_t memo_size() const noexcept { return memo_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  /// Evictions happen wholesale when the memo exceeds this many entries.
+  static constexpr std::size_t kMemoLimit = 1 << 18;
+
+ private:
+  struct VectorHash {
+    std::size_t operator()(const std::vector<double>& v) const noexcept;
+  };
+
+  CostModel model_;
+  BinCountOptions options_;
+  std::unordered_map<std::vector<double>, BinCountBounds, VectorHash> memo_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dbp

@@ -1,0 +1,32 @@
+// Classical (static) bin packing heuristics.
+//
+// OPT(R, t) — the paper's per-time-point optimum (Section 3.2) — is a
+// classical bin packing problem over the multiset of active item sizes.
+// FFD/BFD provide upper bounds; opt/lower_bounds.hpp provides lower bounds;
+// opt/exact.hpp closes the gap when affordable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// Number of bins First Fit Decreasing uses to pack `sizes` into bins of
+/// capacity model.bin_capacity (tolerance-aware). O(n log n).
+[[nodiscard]] std::size_t first_fit_decreasing(std::span<const double> sizes,
+                                               const CostModel& model);
+
+/// Number of bins Best Fit Decreasing uses. O(n log n).
+[[nodiscard]] std::size_t best_fit_decreasing(std::span<const double> sizes,
+                                              const CostModel& model);
+
+/// Pre-sorted variants (sizes must be non-increasing); used on hot paths
+/// where the caller maintains sorted order.
+[[nodiscard]] std::size_t first_fit_decreasing_sorted(std::span<const double> sorted_desc,
+                                                      const CostModel& model);
+[[nodiscard]] std::size_t best_fit_decreasing_sorted(std::span<const double> sorted_desc,
+                                                     const CostModel& model);
+
+}  // namespace dbp

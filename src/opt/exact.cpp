@@ -1,0 +1,126 @@
+#include "opt/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "opt/classical.hpp"
+#include "opt/lower_bounds.hpp"
+
+namespace dbp {
+
+namespace {
+
+class Search {
+ public:
+  Search(std::span<const double> sorted_desc, const CostModel& model,
+         const ExactPackingOptions& options)
+      : sizes_(sorted_desc),
+        capacity_(model.bin_capacity + model.fit_tolerance),  // for area bounds
+        real_capacity_(model.bin_capacity),  // fresh-bin residual, as BinManager
+        tolerance_(model.fit_tolerance),
+        options_(options) {
+    suffix_sum_.resize(sizes_.size() + 1, 0.0);
+    for (std::size_t i = sizes_.size(); i-- > 0;) {
+      suffix_sum_[i] = suffix_sum_[i + 1] + sizes_[i];
+    }
+  }
+
+  ExactPackingResult run(std::size_t lower, std::size_t upper) {
+    best_ = upper;
+    lower_ = lower;
+    aborted_ = false;
+    if (lower_ < best_) branch(0);
+    ExactPackingResult result;
+    result.upper = best_;
+    result.nodes = nodes_;
+    result.proven = !aborted_;
+    // An exhaustive search proves best_ optimal; an aborted one only keeps
+    // the initial lower bound.
+    result.lower = result.proven ? best_ : std::min(lower_, best_);
+    return result;
+  }
+
+ private:
+  void branch(std::size_t index) {
+    if (aborted_) return;
+    if (++nodes_ > options_.node_budget) {
+      aborted_ = true;
+      return;
+    }
+    if (index == sizes_.size()) {
+      best_ = std::min(best_, residuals_.size());
+      return;
+    }
+    // Area prune: open bins + bins forced by volume that cannot go into the
+    // open bins' spare capacity.
+    double spare = 0.0;
+    for (double r : residuals_) spare += r;
+    const double overflow = suffix_sum_[index] - spare;
+    std::size_t forced = 0;
+    if (overflow > 0.0) {
+      forced = static_cast<std::size_t>(std::ceil(overflow / capacity_ * (1.0 - 1e-12)));
+    }
+    if (residuals_.size() + forced >= best_) return;
+
+    const double size = sizes_[index];
+    // Try each open bin with a distinct residual (equal residuals are
+    // interchangeable — placing into either yields isomorphic subtrees).
+    double last_residual = -1.0;
+    for (std::size_t b = 0; b < residuals_.size(); ++b) {
+      const double residual = residuals_[b];
+      if (size > residual + tolerance_) continue;
+      if (residual == last_residual) continue;
+      last_residual = residual;
+      residuals_[b] = residual - size;
+      branch(index + 1);
+      residuals_[b] = residual;
+      if (aborted_) return;
+      // Perfect fit dominance: if the item exactly fills a bin, no other
+      // placement can do better.
+      if (std::abs(residual - size) <= tolerance_) return;
+    }
+    // Try a new bin (only useful if we may still beat best_).
+    if (residuals_.size() + 1 + (forced > 0 ? forced - 1 : 0) < best_) {
+      residuals_.push_back(real_capacity_ - size);
+      branch(index + 1);
+      residuals_.pop_back();
+    }
+  }
+
+  std::span<const double> sizes_;
+  double capacity_;
+  double real_capacity_;
+  double tolerance_;
+  ExactPackingOptions options_;
+  std::vector<double> residuals_;
+  std::vector<double> suffix_sum_;
+  std::size_t best_ = 0;
+  std::size_t lower_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+ExactPackingResult exact_bin_count(std::span<const double> sizes,
+                                   const CostModel& model,
+                                   const ExactPackingOptions& options) {
+  model.validate();
+  std::vector<double> sorted(sizes.begin(), sizes.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t lower = l2_lower_bound_sorted(sorted, model);
+  const std::size_t upper = std::min(first_fit_decreasing_sorted(sorted, model),
+                                     best_fit_decreasing_sorted(sorted, model));
+  DBP_CHECK(lower <= upper, "lower bound exceeds heuristic upper bound");
+  if (lower == upper) {
+    return ExactPackingResult{lower, upper, true, 0};
+  }
+  Search search(sorted, model, options);
+  ExactPackingResult result = search.run(lower, upper);
+  DBP_CHECK(result.lower <= result.upper, "exact search produced crossed bounds");
+  return result;
+}
+
+}  // namespace dbp

@@ -1,0 +1,30 @@
+// Lower bounds on the optimal bin count of a static packing instance.
+//
+// Soundness under floating-point: the packing feasibility test everywhere in
+// this library is `sum of sizes <= W + fit_tolerance`, so all bounds here
+// are computed against the *effective* capacity W' = W + fit_tolerance (plus
+// a relative ceil guard). A bound that is valid for W' is valid for every
+// packing the BinManager would accept.
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// L1 (continuous/area bound): ceil(sum sizes / W'). 0 for the empty set.
+[[nodiscard]] std::size_t l1_lower_bound(std::span<const double> sizes,
+                                         const CostModel& model);
+
+/// L2 (Martello-Toth): partitions items around a threshold alpha and counts
+/// bins that large items force open; maximized over all candidate alphas.
+/// Dominates L1. O(n log n).
+[[nodiscard]] std::size_t l2_lower_bound(std::span<const double> sizes,
+                                         const CostModel& model);
+
+/// Pre-sorted variant (non-increasing sizes).
+[[nodiscard]] std::size_t l2_lower_bound_sorted(std::span<const double> sorted_desc,
+                                                const CostModel& model);
+
+}  // namespace dbp

@@ -1,0 +1,184 @@
+#include "opt/no_migration.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/interval_set.hpp"
+#include "core/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+
+namespace {
+
+/// One bin of the partial assignment: resident items plus cached coverage.
+struct SearchBin {
+  std::vector<const Item*> items;
+  IntervalSet coverage;
+};
+
+class Search {
+ public:
+  Search(std::vector<const Item*> order, const CostModel& model,
+         const NoMigrationOptions& options)
+      : order_(std::move(order)), model_(model), options_(options) {}
+
+  NoMigrationResult run(double global_lower, double initial_upper) {
+    best_ = initial_upper;
+    global_lower_ = global_lower;
+    aborted_ = false;
+    branch(0, 0.0);
+    NoMigrationResult result;
+    result.upper = best_;
+    result.nodes = nodes_;
+    result.proven = !aborted_;
+    result.lower = result.proven ? best_ : global_lower_;
+    // Guard against float drift between the simulated initial upper bound
+    // and the search's own accounting.
+    result.lower = std::min(result.lower, result.upper);
+    return result;
+  }
+
+ private:
+  bool feasible(const SearchBin& bin, const Item& item) const {
+    // The level of `bin` within I(item) peaks at an arrival event; check
+    // item.arrival and every resident arrival inside the interval.
+    const auto level_at = [&](Time t) {
+      double level = 0.0;
+      for (const Item* resident : bin.items) {
+        if (resident->active_at(t)) level += resident->size;
+      }
+      return level;
+    };
+    if (!model_.fits(item.size + level_at(item.arrival), model_.bin_capacity)) {
+      return false;
+    }
+    for (const Item* resident : bin.items) {
+      if (resident->arrival > item.arrival && resident->arrival < item.departure) {
+        if (!model_.fits(item.size + level_at(resident->arrival),
+                         model_.bin_capacity)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void branch(std::size_t index, double total_coverage) {
+    if (aborted_) return;
+    if (++nodes_ > options_.node_budget) {
+      aborted_ = true;
+      return;
+    }
+    if (std::max(total_coverage, global_lower_) >= best_) return;
+    if (index == order_.size()) {
+      best_ = std::min(best_, total_coverage);
+      return;
+    }
+    const Item& item = *order_[index];
+
+    // Candidate placements sorted by incremental coverage cost (cheapest
+    // first tightens the pruning bound early).
+    struct Option {
+      std::size_t bin;  // bins_.size() = fresh bin
+      double delta;
+    };
+    std::vector<Option> options;
+    options.reserve(bins_.size() + 1);
+    // Symmetry breaking for identical consecutive items: the twin may not
+    // go into a lower-indexed bin than its predecessor chose (ids differ,
+    // so compare the payload fields).
+    std::size_t min_bin = 0;
+    if (index > 0) {
+      const Item& prev = *order_[index - 1];
+      if (prev.arrival == item.arrival && prev.departure == item.departure &&
+          prev.size == item.size) {
+        min_bin = previous_choice_;
+      }
+    }
+    for (std::size_t b = min_bin; b < bins_.size(); ++b) {
+      if (!feasible(bins_[b], item)) continue;
+      const double before = bins_[b].coverage.total_length();
+      IntervalSet extended = bins_[b].coverage;
+      extended.insert(item.interval());
+      options.push_back({b, extended.total_length() - before});
+    }
+    options.push_back({bins_.size(), item.interval_length()});  // fresh bin
+    std::stable_sort(options.begin(), options.end(),
+                     [](const Option& a, const Option& b) {
+                       return a.delta < b.delta;
+                     });
+
+    for (const Option& option : options) {
+      const std::size_t saved_choice = previous_choice_;
+      previous_choice_ = option.bin;
+      if (option.bin == bins_.size()) {
+        bins_.emplace_back();
+        bins_.back().items.push_back(&item);
+        bins_.back().coverage.insert(item.interval());
+        branch(index + 1, total_coverage + option.delta);
+        bins_.pop_back();
+      } else {
+        // Note: re-index after the recursion — deeper levels may grow
+        // `bins_` and invalidate references.
+        const IntervalSet saved = bins_[option.bin].coverage;
+        bins_[option.bin].items.push_back(&item);
+        bins_[option.bin].coverage.insert(item.interval());
+        branch(index + 1, total_coverage + option.delta);
+        bins_[option.bin].items.pop_back();
+        bins_[option.bin].coverage = saved;
+      }
+      previous_choice_ = saved_choice;
+      if (aborted_) return;
+    }
+  }
+
+  std::vector<const Item*> order_;
+  CostModel model_;
+  NoMigrationOptions options_;
+  std::vector<SearchBin> bins_;
+  double best_ = 0.0;
+  double global_lower_ = 0.0;
+  std::size_t previous_choice_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+NoMigrationResult exact_no_migration_cost(const Instance& instance,
+                                          const CostModel& model,
+                                          const NoMigrationOptions& options) {
+  model.validate();
+  DBP_REQUIRE(instance.size() <= 64,
+              "the no-migration solver is exponential; 64 items max");
+  NoMigrationResult empty;
+  if (instance.empty()) {
+    empty.proven = true;
+    return empty;
+  }
+
+  // Arrival order (ties by id), matching the simulator's processing order.
+  std::vector<const Item*> order;
+  order.reserve(instance.size());
+  for (const Item& item : instance.items()) order.push_back(&item);
+  std::stable_sort(order.begin(), order.end(), [](const Item* a, const Item* b) {
+    return a->arrival < b->arrival || (a->arrival == b->arrival && a->id < b->id);
+  });
+
+  // Initial upper bound: First Fit is a valid assignment. Costs here use
+  // C = 1 (coverage time); scale at the end.
+  CostModel unit = model;
+  unit.cost_rate = 1.0;
+  const SimulationResult ff = simulate(instance, "first-fit", unit);
+  const CostBounds closed = compute_cost_bounds(instance, unit);
+
+  Search search(std::move(order), unit, options);
+  NoMigrationResult result = search.run(closed.lower(), ff.total_cost);
+  result.lower *= model.cost_rate;
+  result.upper *= model.cost_rate;
+  return result;
+}
+
+}  // namespace dbp

@@ -1,0 +1,47 @@
+// Exact offline optimum WITHOUT migration.
+//
+// The paper measures algorithms against OPT(R, t) — repacking allowed at
+// every instant — which is a stronger adversary than the algorithms' own
+// class: an online packer commits each item to one bin forever. This module
+// computes (for small instances) the best possible *assignment* cost:
+//
+//   NoMigrationOPT(R) = min over assignments item -> bin, feasible at all
+//   times, of sum over bins of len(union of assigned intervals) * C.
+//
+// Sandwich: OPT_total(R) <= NoMigrationOPT(R) <= A_total(R) for every
+// (online or offline) non-migrating algorithm A. The gap between the two
+// optima is the "price of commitment"; the gap from NoMigrationOPT to an
+// online algorithm is the genuine "price of not knowing the future".
+// Experiment E16 measures both.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+struct NoMigrationResult {
+  /// Certified bounds: lower <= NoMigrationOPT(R) <= upper.
+  double lower = 0.0;
+  double upper = 0.0;
+  bool proven = false;  ///< search was exhaustive (lower == upper)
+  std::uint64_t nodes = 0;
+};
+
+struct NoMigrationOptions {
+  /// Abort (keeping sound bounds) beyond this many search nodes. The
+  /// default handles ~14 mixed items; the search is exponential.
+  std::uint64_t node_budget = 2'000'000;
+};
+
+/// Branch-and-bound over assignments in arrival order, with symmetry
+/// breaking (one fresh bin per level; identical consecutive items never
+/// placed in a lower-indexed bin than their twin). Intended for small
+/// instances; throws for instances above 64 items.
+[[nodiscard]] NoMigrationResult exact_no_migration_cost(
+    const Instance& instance, const CostModel& model,
+    const NoMigrationOptions& options = {});
+
+}  // namespace dbp

@@ -1,0 +1,69 @@
+// Certified bounds on OPT_total(R) (paper Section 3.2).
+//
+// OPT(R, t) — the minimum number of bins into which the items active at
+// time t can be repacked — is piecewise constant between events, so
+//   OPT_total(R) = sum over inter-event segments of opt(active) * len * C
+// is computed *exactly* whenever the per-segment bin-count oracle proves
+// optimality; otherwise certified [lower, upper] interval bounds are
+// integrated instead.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "core/types.hpp"
+#include "opt/bin_count.hpp"
+
+namespace dbp {
+
+struct OptTotalResult {
+  /// Integral bounds: lower_cost <= OPT_total(R) <= upper_cost.
+  double lower_cost = 0.0;
+  double upper_cost = 0.0;
+  /// True when every evaluated segment was proven optimal (lower == upper).
+  bool exact = false;
+
+  /// The paper's closed-form lower bounds (b.1) and (b.2) for reference;
+  /// `lower_cost` always dominates their max.
+  CostBounds closed_form{};
+
+  /// Number of distinct time segments evaluated and how many were exact.
+  std::size_t segments = 0;
+  std::size_t exact_segments = 0;
+
+  /// Bounds on max_t OPT(R, t): the *classical* DBP objective (Coffman,
+  /// Garey & Johnson), computed in the same sweep. Lets experiments relate
+  /// the MinTotal objective to the classical max-bins one (paper Section 2).
+  std::size_t max_bins_lower = 0;
+  std::size_t max_bins_upper = 0;
+
+  /// Midpoint estimate, handy for plotting.
+  [[nodiscard]] double midpoint() const noexcept {
+    return 0.5 * (lower_cost + upper_cost);
+  }
+};
+
+struct OptTotalOptions {
+  BinCountOptions bin_count{};
+};
+
+/// Walks the instance's event sequence, maintaining the active size multiset,
+/// and integrates the oracle's per-segment bounds. O(E * (A log A + oracle))
+/// where E = event batch count and A = active items; memoization collapses
+/// repeated multisets.
+[[nodiscard]] OptTotalResult estimate_opt_total(const Instance& instance,
+                                                const CostModel& model,
+                                                const OptTotalOptions& options = {});
+
+/// Bounds on the competitive ratio A_total / OPT_total given a measured
+/// algorithm cost and an OPT estimate.
+struct RatioBounds {
+  double lower = 0.0;  ///< algorithm_cost / opt.upper_cost
+  double upper = 0.0;  ///< algorithm_cost / opt.lower_cost
+};
+
+[[nodiscard]] RatioBounds competitive_ratio_bounds(double algorithm_cost,
+                                                   const OptTotalResult& opt);
+
+}  // namespace dbp

@@ -1,0 +1,98 @@
+#include "opt/repack_baseline.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compensated_sum.hpp"
+#include "core/error.hpp"
+#include "sim/event.hpp"
+
+namespace dbp {
+
+namespace {
+
+/// FFD over (size, id) pairs; returns item -> bin index. Sorting by
+/// (size desc, id asc) makes assignments deterministic and stable, which
+/// keeps the migration count meaningful.
+std::unordered_map<ItemId, std::size_t> ffd_assign(
+    std::vector<std::pair<double, ItemId>>& active, const CostModel& model,
+    std::size_t* bins_used) {
+  std::sort(active.begin(), active.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  std::unordered_map<ItemId, std::size_t> assignment;
+  assignment.reserve(active.size());
+  std::vector<double> residual;
+  for (const auto& [size, id] : active) {
+    std::size_t bin = residual.size();
+    for (std::size_t b = 0; b < residual.size(); ++b) {
+      if (model.fits(size, residual[b])) {
+        bin = b;
+        break;
+      }
+    }
+    if (bin == residual.size()) residual.push_back(model.bin_capacity);
+    residual[bin] -= size;
+    assignment.emplace(id, bin);
+  }
+  *bins_used = residual.size();
+  return assignment;
+}
+
+}  // namespace
+
+RepackBaselineResult run_repack_baseline(const Instance& instance,
+                                         const CostModel& model) {
+  model.validate();
+  RepackBaselineResult result;
+  if (instance.empty()) return result;
+
+  const std::vector<Event> events = build_event_sequence(instance);
+  std::unordered_map<ItemId, double> active;  // id -> size
+  std::unordered_map<ItemId, std::size_t> previous_assignment;
+  CompensatedSum cost;
+
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const Time t = events[i].time;
+    for (; i < events.size() && events[i].time == t; ++i) {
+      const Item& item = instance.item(events[i].item);
+      if (events[i].kind == EventKind::kArrival) {
+        active.emplace(item.id, item.size);
+      } else {
+        active.erase(item.id);
+      }
+    }
+    if (i == events.size()) break;
+    const double width = events[i].time - t;
+    if (active.empty()) {
+      previous_assignment.clear();
+      continue;
+    }
+
+    std::vector<std::pair<double, ItemId>> items;
+    items.reserve(active.size());
+    for (const auto& [id, size] : active) items.emplace_back(size, id);
+    std::size_t bins = 0;
+    std::unordered_map<ItemId, std::size_t> assignment =
+        ffd_assign(items, model, &bins);
+    ++result.batches;
+    result.max_bins = std::max(result.max_bins, bins);
+    if (width > 0.0) {
+      cost.add(static_cast<double>(bins) * width);
+    }
+    for (const auto& [id, bin] : assignment) {
+      auto prev = previous_assignment.find(id);
+      if (prev != previous_assignment.end() && prev->second != bin) {
+        ++result.migrations;
+        result.migrated_volume += active.at(id);
+      }
+    }
+    previous_assignment = std::move(assignment);
+  }
+  result.total_cost = cost.value() * model.cost_rate;
+  return result;
+}
+
+}  // namespace dbp

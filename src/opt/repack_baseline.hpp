@@ -1,0 +1,37 @@
+// Fully-dynamic repacking baseline — NON-PAPER reference.
+//
+// The paper's model forbids migration; the classical fully dynamic bin
+// packing literature (Ivkovic & Lloyd, cited in Section 2) allows it. This
+// baseline repacks the entire active set with FFD at every event batch,
+// giving (a) an achievable-with-migration cost trajectory that sandwiches
+// tightly against OPT_total, and (b) the migration volume such a policy
+// would require — quantifying what the no-migration constraint costs and
+// why cloud gaming cannot pay it (Section 1: "migration ... is not
+// preferable due to large migration overheads").
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+struct RepackBaselineResult {
+  /// Total cost of the FFD-repacked fleet: integral of FFD(active) * C.
+  double total_cost = 0.0;
+  /// Peak FFD bin count.
+  std::size_t max_bins = 0;
+  /// Number of item moves: at each event batch, items whose bin index
+  /// changed relative to the previous FFD packing (matched by item id).
+  std::uint64_t migrations = 0;
+  /// Item-size volume moved (sum of sizes over migrations).
+  double migrated_volume = 0.0;
+  /// Event batches evaluated.
+  std::size_t batches = 0;
+};
+
+/// Runs the repack-everything-with-FFD-at-every-event baseline.
+/// Deterministic: FFD processes active items by (size desc, id asc).
+[[nodiscard]] RepackBaselineResult run_repack_baseline(const Instance& instance,
+                                                       const CostModel& model);
+
+}  // namespace dbp

@@ -1,0 +1,24 @@
+#include "sim/event.hpp"
+
+#include <algorithm>
+
+namespace dbp {
+
+bool event_before(const Event& a, const Event& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.item < b.item;
+}
+
+std::vector<Event> build_event_sequence(const Instance& instance) {
+  std::vector<Event> events;
+  events.reserve(instance.size() * 2);
+  for (const Item& item : instance.items()) {
+    events.push_back({item.arrival, EventKind::kArrival, item.id});
+    events.push_back({item.departure, EventKind::kDeparture, item.id});
+  }
+  std::sort(events.begin(), events.end(), event_before);
+  return events;
+}
+
+}  // namespace dbp

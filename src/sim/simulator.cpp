@@ -1,0 +1,87 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+
+#include "algo/clairvoyant.hpp"
+
+#include "core/compensated_sum.hpp"
+#include "core/error.hpp"
+
+namespace dbp {
+
+std::vector<std::vector<ItemId>> SimulationResult::items_by_bin() const {
+  std::vector<std::vector<ItemId>> result(bins_opened);
+  for (std::size_t item = 0; item < assignment.size(); ++item) {
+    result[static_cast<std::size_t>(assignment[item])].push_back(
+        static_cast<ItemId>(item));
+  }
+  return result;
+}
+
+SimulationResult simulate(const Instance& instance, Packer& packer) {
+  DBP_REQUIRE(packer.bins().total_bins_opened() == 0,
+              "packers are single-use; construct a fresh one per run");
+  SimulationResult result;
+  result.algorithm = packer.name();
+  if (instance.empty()) {
+    result.open_bins_over_time.finalize();
+    return result;
+  }
+  result.packing_period = instance.packing_period();
+
+  // Clairvoyant (departure-aware) baselines get the full item; online
+  // packers get only the ArrivingItem slice.
+  auto* clairvoyant = dynamic_cast<ClairvoyantPacker*>(&packer);
+  for (const Event& event : build_event_sequence(instance)) {
+    const Item& item = instance.item(event.item);
+    if (event.kind == EventKind::kArrival) {
+      if (clairvoyant != nullptr) {
+        clairvoyant->on_arrival_clairvoyant(item);
+      } else {
+        packer.on_arrival(ArrivingItem{item.id, item.arrival, item.size});
+      }
+    } else {
+      packer.on_departure(item.id, item.departure);
+    }
+  }
+
+  const BinManager& bins = packer.bins();
+  DBP_CHECK(bins.open_count() == 0, "bins remain open after the last departure");
+
+  result.bins_opened = bins.total_bins_opened();
+  result.bin_usage.assign(bins.usage_records().begin(), bins.usage_records().end());
+
+  const double rate = packer.model().cost_rate;
+  CompensatedSum per_bin_cost;
+  for (const BinUsageRecord& record : result.bin_usage) {
+    DBP_CHECK(record.is_closed(), "usage record of an unclosed bin");
+    result.open_bins_over_time.add_interval({record.opened, record.closed});
+    per_bin_cost.add(record.usage_length() * rate);
+  }
+  result.open_bins_over_time.finalize();
+  result.total_cost_from_bins = per_bin_cost.value();
+  result.total_cost = result.open_bins_over_time.integral() * rate;
+  result.max_open_bins = result.open_bins_over_time.max_value();
+
+  const double scale = std::max({std::abs(result.total_cost),
+                                 std::abs(result.total_cost_from_bins), 1.0});
+  DBP_CHECK(std::abs(result.total_cost - result.total_cost_from_bins) <=
+                1e-9 * scale,
+            "per-bin and integral cost accounting disagree");
+
+  result.assignment.resize(instance.size());
+  for (const Item& item : instance.items()) {
+    auto bin = bins.assignment_of(item.id);
+    DBP_CHECK(bin.has_value(), "item missing from assignment history");
+    result.assignment[static_cast<std::size_t>(item.id)] = *bin;
+  }
+  return result;
+}
+
+SimulationResult simulate(const Instance& instance, const std::string& algorithm,
+                          const CostModel& model, const PackerOptions& options) {
+  auto packer = make_packer(algorithm, model, options);
+  return simulate(instance, *packer);
+}
+
+}  // namespace dbp

@@ -1,0 +1,61 @@
+// The adaptive form of the Theorem 1 adversary.
+//
+// The paper's footnote to Theorem 1 observes that the construction lower-
+// bounds *any* online algorithm, not just the Any Fit family. The static
+// generator (adversary_anyfit.hpp) hardcodes the grouping that Any Fit
+// algorithms produce; this adaptive engine instead *probes* the target
+// algorithm: it feeds the k^2 equal-size items, inspects which bins the
+// algorithm actually opened, and then schedules departures so that exactly
+// one item survives per opened bin until mu*Delta. The resulting instance
+// is tailored to that algorithm (and that seed, for randomized ones).
+//
+// For any online algorithm that opens m bins in phase one, the forced cost
+// is >= m*Delta + (number of open bins)*(mu-1)*Delta while the optimum
+// repacks the survivors into ceil(survivors * s / W) bins — the mu lower
+// bound machinery, algorithm-independent.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "algo/packer.hpp"
+#include "core/instance.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+
+struct AdaptiveAdversaryConfig {
+  std::size_t k = 10;  ///< k^2 items of size W/k
+  double mu = 4.0;     ///< interval length ratio
+  Time delta = 1.0;
+  double bin_capacity = 1.0;
+
+  void validate() const;
+};
+
+struct AdaptiveAdversaryOutcome {
+  /// The instance the adversary constructed against this algorithm.
+  Instance instance;
+  /// Bins the algorithm opened in the probe phase (k for Any Fit members).
+  std::size_t probe_bins = 0;
+  /// Full replay of the constructed instance against a fresh packer.
+  SimulationResult replay;
+  /// Certified OPT bounds (exact: all sizes are equal).
+  OptTotalResult opt;
+  /// replay cost / OPT upper bound.
+  double ratio = 0.0;
+};
+
+/// Builds a fresh packer of the targeted configuration; called twice (probe
+/// + replay), so it must return identically-behaving packers (same seed for
+/// randomized algorithms).
+using PackerFactoryFn = std::function<std::unique_ptr<Packer>()>;
+
+/// Runs the adaptive adversary. The target must be an *online* packer
+/// (clairvoyant packers are rejected: the adversary decides departures
+/// after placement, so promising them up front would be a different game).
+[[nodiscard]] AdaptiveAdversaryOutcome run_adaptive_adversary(
+    const PackerFactoryFn& make_packer, const AdaptiveAdversaryConfig& config);
+
+}  // namespace dbp

@@ -1,0 +1,45 @@
+#include "workload/adversary_anyfit.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+void AnyFitAdversaryConfig::validate() const {
+  DBP_REQUIRE(k >= 1, "k must be >= 1");
+  DBP_REQUIRE(std::isfinite(mu) && mu >= 1.0, "mu must be >= 1");
+  DBP_REQUIRE(std::isfinite(delta) && delta > 0.0, "Delta must be positive");
+  DBP_REQUIRE(std::isfinite(bin_capacity) && bin_capacity > 0.0,
+              "bin capacity must be positive");
+}
+
+AnyFitAdversaryInstance build_anyfit_adversary(const AnyFitAdversaryConfig& config) {
+  config.validate();
+  const std::size_t k = config.k;
+  const double size = config.bin_capacity / static_cast<double>(k);
+  const Time delta = config.delta;
+  const Time mu_delta = config.mu * delta;
+
+  AnyFitAdversaryInstance result;
+  result.config = config;
+  result.instance.reserve(k * k);
+
+  // Ids in arrival-processing order: group g fills bin g. The *first* item
+  // of each group is the survivor (departs at mu*Delta); the other k-1
+  // depart at Delta, leaving one item per bin as in Figure 2.
+  for (std::size_t g = 0; g < k; ++g) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const Time departure = (j == 0) ? mu_delta : delta;
+      result.instance.add(0.0, departure, size);
+    }
+  }
+
+  result.predicted_anyfit_cost = static_cast<double>(k) * mu_delta;
+  result.predicted_opt_cost =
+      static_cast<double>(k) * delta + (config.mu - 1.0) * delta;
+  result.predicted_ratio = result.predicted_anyfit_cost / result.predicted_opt_cost;
+  return result;
+}
+
+}  // namespace dbp

@@ -1,0 +1,49 @@
+// The Theorem 1 adversarial construction (paper Section 4.1, Figure 2).
+//
+// k^2 items of size W/k arrive at time 0: any Any Fit algorithm opens k
+// bins. At time Delta all but one item per bin departs; the k survivors
+// stay until mu*Delta. Any Fit then keeps k bins open for the whole
+// [0, mu*Delta] while an optimal repacking needs k bins only during
+// [0, Delta) and a single bin afterwards:
+//
+//   AF_total / OPT_total = k*mu / (k + mu - 1)  -->  mu as k -> infinity.
+//
+// The footnote of Theorem 1 notes the same instance lower-bounds *any*
+// online algorithm, not just Any Fit.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+struct AnyFitAdversaryConfig {
+  std::size_t k = 10;    ///< bins forced open; k^2 items are emitted
+  double mu = 4.0;       ///< max/min interval length ratio (>= 1)
+  Time delta = 1.0;      ///< minimum interval length Delta
+  double bin_capacity = 1.0;
+
+  void validate() const;
+};
+
+struct AnyFitAdversaryInstance {
+  Instance instance;
+  AnyFitAdversaryConfig config;
+
+  /// Paper-predicted Any Fit cost: k * mu * Delta * C (with C = cost rate 1).
+  double predicted_anyfit_cost = 0.0;
+  /// Paper-predicted optimum: (k + mu - 1) * Delta.
+  double predicted_opt_cost = 0.0;
+  /// k * mu / (k + mu - 1), equation (1) of the paper.
+  double predicted_ratio = 0.0;
+};
+
+/// Builds the construction. The departure pattern assumes the packer
+/// processes simultaneous arrivals in item-id order (our simulator's
+/// documented tie-break), under which every deterministic Any Fit algorithm
+/// fills bin g with items [g*k, (g+1)*k) — all items are the same size, so
+/// each opened bin accepts exactly k of them in sequence.
+[[nodiscard]] AnyFitAdversaryInstance build_anyfit_adversary(
+    const AnyFitAdversaryConfig& config);
+
+}  // namespace dbp

@@ -1,0 +1,117 @@
+#include "workload/adversary_bestfit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+void BestFitAdversaryConfig::validate() const {
+  DBP_REQUIRE(k >= 2, "k must be >= 2 (a single bin cannot exhibit the gap)");
+  DBP_REQUIRE(std::isfinite(mu) && mu > 1.0, "mu must be > 1");
+  DBP_REQUIRE(std::isfinite(delta) && delta > 0.0, "Delta must be positive");
+  DBP_REQUIRE(std::isfinite(window) && window > 0.0, "window must be positive");
+  // The schedule needs window + h <= (mu-1)*Delta with h = window/k;
+  // window <= (mu-1)*Delta/2 is a safe sufficient condition for all k >= 2.
+  DBP_REQUIRE(window <= (mu - 1.0) * delta / 2.0,
+              "window must be <= (mu-1)*Delta/2 so all interval lengths stay "
+              "in [Delta, mu*Delta]");
+  DBP_REQUIRE(std::isfinite(bin_capacity) && bin_capacity > 0.0,
+              "bin capacity must be positive");
+}
+
+std::size_t BestFitAdversaryConfig::effective_iterations() const {
+  if (iterations > 0) return iterations;
+  // Paper: n >= (k-1)*Delta / (mu*Delta - delta_w) makes the ratio >= k/2;
+  // one extra iteration of margin absorbs the h-shift of the schedule.
+  const double need =
+      (static_cast<double>(k) - 1.0) * delta / (mu * delta - window);
+  return static_cast<std::size_t>(std::ceil(need)) + 1;
+}
+
+std::size_t BestFitAdversaryConfig::slices_per_chunk() const {
+  // q = 1/(k*eps). Group (j, m) holds q - (j*k + m) items; the last group
+  // (j = n, m = k) must stay positive: q >= n*k + k + 1. q = (n+2)*k gives
+  // a k-item margin.
+  return (effective_iterations() + 2) * k;
+}
+
+BestFitAdversaryInstance build_bestfit_adversary(const BestFitAdversaryConfig& config) {
+  config.validate();
+  const std::size_t k = config.k;
+  const std::size_t n = config.effective_iterations();
+  const std::size_t q = config.slices_per_chunk();
+  const double eps = config.bin_capacity / static_cast<double>(k * q);
+  const Time delta = config.delta;
+
+  // Intra-window slot width and the (slightly contracted) window period.
+  // Group m of iteration j arrives at a(j, m) = j*T - window + (m-1)*h and
+  // the *previous* generation in bin m departs at a(j, m+1) (at a batch
+  // boundary, departures are processed before arrivals — exactly the
+  // proof's "before the next group arrives"). T = mu*Delta - h makes every
+  // group item's interval length exactly mu*Delta.
+  const Time h = config.window / static_cast<double>(k);
+  const Time T = config.mu * delta - h;
+  DBP_CHECK(T - config.window >= delta,
+            "schedule violates the minimum interval length");
+
+  const auto arrival_of = [&](std::size_t j, std::size_t m) -> Time {
+    // j in [1, n], m in [1, k].
+    return static_cast<double>(j) * T - config.window +
+           static_cast<double>(m - 1) * h;
+  };
+  const auto old_departure_of = [&](std::size_t j, std::size_t m) -> Time {
+    return m < k ? arrival_of(j, m + 1) : static_cast<double>(j) * T;
+  };
+
+  BestFitAdversaryInstance result;
+  result.config = config;
+  result.epsilon = eps;
+  result.iterations = n;
+
+  Instance& inst = result.instance;
+
+  // --- t = 0: k bins' worth of items. Best Fit fills bins in id order; in
+  // bin i (1-based), the first q - i items are the survivors forming the
+  // configuration <(1/k - i*eps)|eps> at time Delta; they depart as the
+  // "old" items of iteration 1. The rest depart at Delta.
+  for (std::size_t i = 1; i <= k; ++i) {
+    const std::size_t survivors = q - i;
+    const Time survivor_departure = old_departure_of(1, i);
+    for (std::size_t item = 0; item < k * q; ++item) {
+      const Time departure = item < survivors ? survivor_departure : delta;
+      inst.add(0.0, departure, eps);
+    }
+  }
+
+  // --- iterations: group (j, m) arrives together and departs together as
+  // the old items of iteration j+1; the final generation departs after
+  // exactly Delta (the minimum interval length).
+  for (std::size_t j = 1; j <= n; ++j) {
+    for (std::size_t m = 1; m <= k; ++m) {
+      const std::size_t count = q - (j * k + m);
+      DBP_CHECK(count >= 1, "group size underflow");
+      const Time arrival = arrival_of(j, m);
+      const Time departure =
+          j < n ? old_departure_of(j + 1, m) : arrival + delta;
+      for (std::size_t c = 0; c < count; ++c) {
+        inst.add(arrival, departure, eps);
+      }
+    }
+  }
+
+  // Predictions for reports. Bin m stays open from 0 until its final
+  // generation departs at a(n, m) + Delta.
+  double bf_cost = 0.0;
+  for (std::size_t m = 1; m <= k; ++m) bf_cost += arrival_of(n, m) + delta;
+  result.predicted_bestfit_cost = bf_cost;
+  const Time span = arrival_of(n, k) + delta;  // packing period length
+  result.predicted_opt_upper = static_cast<double>(k) * delta + (span - delta) +
+                               static_cast<double>(n) * config.window;
+  result.predicted_ratio_lower =
+      result.predicted_bestfit_cost / result.predicted_opt_upper;
+  return result;
+}
+
+}  // namespace dbp

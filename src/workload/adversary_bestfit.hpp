@@ -1,0 +1,64 @@
+// The Theorem 2 adversarial construction (paper Section 4.2, Figure 3):
+// Best Fit has no bounded competitive ratio for any fixed mu.
+//
+// Construction (W = 1, all items have size eps = 1/(k*q)):
+//   * t = 0:     k*q items per bin * k bins arrive; Best Fit fills bins
+//                b_1..b_k to level exactly 1.
+//   * t = Delta: departures leave bin b_i with q - i items, i.e. the
+//                configuration <(1/k - i*eps)|eps> — levels strictly
+//                decreasing in i, b_1 the fullest.
+//   * iteration j = 1..n, inside the window [j*mu*Delta - delta_w, j*mu*Delta]:
+//                group m (m = 1..k) of q - (j*k + m) items arrives; Best Fit
+//                puts the whole group into b_m (the currently fullest bin);
+//                immediately afterwards all "old" items of b_m depart,
+//                leaving b_m at level (1/k - (j*k + m)*eps).
+// Best Fit thus keeps k bins open for ~n*mu*Delta time while the optimum
+// uses ~1 bin almost everywhere:  BF_total / OPT_total >= k/2 once
+// n >= (k-1)*Delta / (mu*Delta - delta_w)  (inequality (2) of the paper).
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+struct BestFitAdversaryConfig {
+  std::size_t k = 6;     ///< bins kept open; the achieved ratio approaches k/2
+  double mu = 4.0;       ///< max/min interval length ratio; must be > 1
+  std::size_t iterations = 0;  ///< n; 0 = auto (smallest n with ratio >= k/2)
+  Time delta = 1.0;      ///< minimum interval length Delta
+  /// Width of each arrival window [j*mu*Delta - window, j*mu*Delta]
+  /// (the paper's "very small" delta). Must satisfy window < (mu-1)*Delta.
+  Time window = 1.0 / 64.0;
+  double bin_capacity = 1.0;
+
+  void validate() const;
+  /// q = 1/(k*eps): items initially stacked per 1/k of capacity. Derived so
+  /// every group in every iteration keeps a positive item count.
+  [[nodiscard]] std::size_t slices_per_chunk() const;
+  [[nodiscard]] std::size_t effective_iterations() const;
+};
+
+struct BestFitAdversaryInstance {
+  Instance instance;
+  BestFitAdversaryConfig config;
+  double epsilon = 0.0;       ///< common item size
+  std::size_t iterations = 0; ///< n actually used
+
+  /// Paper-predicted Best Fit cost ~ k * n * mu * Delta.
+  double predicted_bestfit_cost = 0.0;
+  /// Paper upper bound on OPT_total:
+  ///   k*Delta + (n*mu*Delta - Delta) + n*window.
+  double predicted_opt_upper = 0.0;
+  /// predicted_bestfit_cost / predicted_opt_upper (>= k/2 by construction).
+  double predicted_ratio_lower = 0.0;
+};
+
+/// Builds the full deterministic arrival/departure schedule. Correct Best
+/// Fit behaviour (groups landing in the intended bins) is asserted by the
+/// test suite, which replays the instance against the Best Fit packer and
+/// checks the bin evolution of Figure 3.
+[[nodiscard]] BestFitAdversaryInstance build_bestfit_adversary(
+    const BestFitAdversaryConfig& config);
+
+}  // namespace dbp

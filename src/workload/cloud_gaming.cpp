@@ -1,0 +1,93 @@
+#include "workload/cloud_gaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+#include "workload/rng.hpp"
+
+namespace dbp {
+
+void CloudGamingConfig::validate() const {
+  DBP_REQUIRE(horizon_hours > 0.0, "horizon must be positive");
+  DBP_REQUIRE(peak_arrivals_per_minute > 0.0, "peak arrival rate must be positive");
+  DBP_REQUIRE(diurnal_trough_ratio > 0.0 && diurnal_trough_ratio <= 1.0,
+              "trough ratio must be in (0, 1]");
+  DBP_REQUIRE(peak_hour >= 0.0 && peak_hour < 24.0, "peak hour must be in [0, 24)");
+  DBP_REQUIRE(min_session_minutes > 0.0 &&
+                  max_session_minutes >= min_session_minutes,
+              "session length bounds must satisfy 0 < min <= max");
+  for (const GameProfile& game : catalog) {
+    DBP_REQUIRE(game.gpu_fraction > 0.0 && game.gpu_fraction <= 1.0,
+                "gpu fraction must be in (0, 1]");
+    DBP_REQUIRE(game.popularity > 0.0, "popularity must be positive");
+    DBP_REQUIRE(game.mean_minutes > 0.0, "mean session length must be positive");
+    DBP_REQUIRE(game.sigma >= 0.0, "sigma must be non-negative");
+  }
+}
+
+std::vector<GameProfile> default_game_catalog() {
+  return {
+      {"puzzle-casual", 1.0 / 8.0, 3.0, 20.0, 0.5},
+      {"card-battler", 1.0 / 8.0, 2.0, 35.0, 0.5},
+      {"indie-platformer", 1.0 / 4.0, 2.5, 40.0, 0.6},
+      {"moba-arena", 1.0 / 4.0, 4.0, 45.0, 0.4},
+      {"battle-royale", 3.0 / 8.0, 3.5, 60.0, 0.5},
+      {"open-world-rpg", 1.0 / 2.0, 2.0, 90.0, 0.7},
+      {"racing-sim", 3.0 / 8.0, 1.5, 50.0, 0.5},
+      {"aaa-shooter", 1.0 / 2.0, 3.0, 55.0, 0.5},
+  };
+}
+
+CloudGamingTrace generate_cloud_gaming_trace(const CloudGamingConfig& config,
+                                             std::uint64_t seed) {
+  config.validate();
+  CloudGamingTrace trace;
+  trace.config = config;
+  trace.catalog = config.catalog.empty() ? default_game_catalog() : config.catalog;
+  Rng rng(seed);
+
+  std::vector<double> weights;
+  weights.reserve(trace.catalog.size());
+  for (const GameProfile& game : trace.catalog) weights.push_back(game.popularity);
+  std::discrete_distribution<std::size_t> pick_game(weights.begin(), weights.end());
+
+  const double horizon_min = config.horizon_hours * 60.0;
+  const double peak_rate = config.peak_arrivals_per_minute;
+
+  // Diurnal rate: sinusoid between trough and peak, peaking at peak_hour.
+  const auto rate_at = [&](double minute) {
+    const double hours = minute / 60.0;
+    const double phase =
+        2.0 * std::numbers::pi * (hours - config.peak_hour) / 24.0;
+    const double mix = 0.5 + 0.5 * std::cos(phase);  // 1 at peak, 0 at trough
+    return peak_rate * (config.diurnal_trough_ratio +
+                        (1.0 - config.diurnal_trough_ratio) * mix);
+  };
+
+  // Thinning: candidate arrivals at the peak rate, accepted with
+  // probability rate(t)/peak_rate.
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(peak_rate);
+    if (t >= horizon_min) break;
+    if (!rng.bernoulli(rate_at(t) / peak_rate)) continue;
+
+    const std::size_t game_index = pick_game(rng.engine());
+    const GameProfile& game = trace.catalog[game_index];
+    // Log-normal with the configured mean: E[X] = exp(m + s^2/2).
+    const double log_mean =
+        std::log(game.mean_minutes) - 0.5 * game.sigma * game.sigma;
+    const double length = std::clamp(rng.lognormal(log_mean, game.sigma),
+                                     config.min_session_minutes,
+                                     config.max_session_minutes);
+    trace.instance.add(t, t + length, game.gpu_fraction);
+    trace.game_of_item.push_back(game_index);
+  }
+  DBP_REQUIRE(!trace.instance.empty(),
+              "horizon/rate combination produced no sessions");
+  return trace;
+}
+
+}  // namespace dbp

@@ -1,0 +1,63 @@
+// Synthetic cloud-gaming session traces (the paper's motivating workload,
+// Section 1).
+//
+// The paper has no public trace, so we substitute a parameterized generator
+// that preserves the structure the theory addresses: sessions ("items")
+// demand a game-specific fraction of a game server's GPU ("bin"), arrive by
+// a diurnal Poisson process, and play for heavy-tailed but bounded times —
+// so the max/min interval length ratio mu is finite and controllable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// One game title in the service catalog.
+struct GameProfile {
+  std::string name;
+  double gpu_fraction = 0.25;   ///< of one server's GPU (the item size)
+  double popularity = 1.0;      ///< relative arrival weight
+  double mean_minutes = 45.0;   ///< mean session length
+  double sigma = 0.6;           ///< log-normal shape of the session length
+};
+
+struct CloudGamingConfig {
+  std::vector<GameProfile> catalog;  ///< empty = default_game_catalog()
+  double horizon_hours = 24.0;
+  /// Expected arrivals per minute at the diurnal peak.
+  double peak_arrivals_per_minute = 2.0;
+  /// Trough-to-peak arrival rate ratio in (0, 1].
+  double diurnal_trough_ratio = 0.25;
+  /// Hour of day (0-24) at which the arrival rate peaks.
+  double peak_hour = 20.0;
+  /// Session length clamps, minutes. mu = max/min.
+  double min_session_minutes = 5.0;
+  double max_session_minutes = 240.0;
+
+  void validate() const;
+};
+
+/// A generated trace: the packing instance (time unit = minutes, bin
+/// capacity = 1 server GPU) plus the per-session game labels.
+struct CloudGamingTrace {
+  Instance instance;
+  std::vector<std::size_t> game_of_item;  ///< index into catalog, by ItemId
+  std::vector<GameProfile> catalog;
+  CloudGamingConfig config;
+};
+
+/// Eight-title catalog with dyadic GPU fractions (1/8 .. 1/2) spanning the
+/// casual-to-AAA range.
+[[nodiscard]] std::vector<GameProfile> default_game_catalog();
+
+/// Generates a reproducible trace via a thinned non-homogeneous Poisson
+/// process.
+[[nodiscard]] CloudGamingTrace generate_cloud_gaming_trace(
+    const CloudGamingConfig& config, std::uint64_t seed);
+
+}  // namespace dbp

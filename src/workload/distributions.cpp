@@ -1,0 +1,114 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+void DurationModel::validate() const {
+  DBP_REQUIRE(std::isfinite(min_length) && min_length > 0.0,
+              "minimum interval length must be positive");
+  DBP_REQUIRE(std::isfinite(max_length) && max_length >= min_length,
+              "maximum interval length must be >= minimum");
+  switch (kind) {
+    case Kind::kExponential:
+      DBP_REQUIRE(exponential_rate > 0.0, "exponential rate must be positive");
+      break;
+    case Kind::kLogNormal:
+      DBP_REQUIRE(log_sigma >= 0.0, "log-normal sigma must be non-negative");
+      break;
+    case Kind::kPareto:
+      DBP_REQUIRE(pareto_shape > 0.0, "pareto shape must be positive");
+      break;
+    case Kind::kFixed:
+    case Kind::kUniform:
+      break;
+  }
+}
+
+Time DurationModel::sample(Rng& rng) const {
+  double raw;
+  switch (kind) {
+    case Kind::kFixed:
+      return min_length;
+    case Kind::kUniform:
+      raw = rng.uniform(min_length, max_length);
+      break;
+    case Kind::kExponential:
+      raw = min_length + rng.exponential(exponential_rate);
+      break;
+    case Kind::kLogNormal:
+      raw = rng.lognormal(log_mean, log_sigma);
+      break;
+    case Kind::kPareto:
+      raw = rng.pareto(min_length, pareto_shape);
+      break;
+    default:
+      DBP_REQUIRE(false, "unknown duration kind");
+      return min_length;
+  }
+  return std::clamp(raw, min_length, max_length);
+}
+
+void SizeModel::validate() const {
+  switch (kind) {
+    case Kind::kFixed:
+      DBP_REQUIRE(fixed_fraction > 0.0 && fixed_fraction <= 1.0,
+                  "fixed size fraction must be in (0, 1]");
+      break;
+    case Kind::kUniform:
+      DBP_REQUIRE(min_fraction > 0.0 && min_fraction <= max_fraction &&
+                      max_fraction <= 1.0,
+                  "uniform size fractions must satisfy 0 < min <= max <= 1");
+      break;
+    case Kind::kDiscrete: {
+      DBP_REQUIRE(!fractions.empty(), "discrete size model needs values");
+      for (double f : fractions) {
+        DBP_REQUIRE(f > 0.0 && f <= 1.0, "size fractions must be in (0, 1]");
+      }
+      if (!weights.empty()) {
+        DBP_REQUIRE(weights.size() == fractions.size(),
+                    "weights must match fractions");
+        for (double w : weights) DBP_REQUIRE(w >= 0.0, "weights must be >= 0");
+        DBP_REQUIRE(std::accumulate(weights.begin(), weights.end(), 0.0) > 0.0,
+                    "weights must not all be zero");
+      }
+      break;
+    }
+    case Kind::kDyadic:
+      DBP_REQUIRE(min_exponent >= 0 && min_exponent <= max_exponent &&
+                      max_exponent <= 30,
+                  "dyadic exponents must satisfy 0 <= min <= max <= 30");
+      break;
+  }
+}
+
+double SizeModel::sample_fraction(Rng& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return fixed_fraction;
+    case Kind::kUniform:
+      return rng.uniform(min_fraction, max_fraction);
+    case Kind::kDiscrete: {
+      if (weights.empty()) {
+        return fractions[static_cast<std::size_t>(
+            rng.uniform_int(0, fractions.size() - 1))];
+      }
+      std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
+      return fractions[pick(rng.engine())];
+    }
+    case Kind::kDyadic: {
+      const auto e = static_cast<int>(rng.uniform_int(
+          static_cast<std::uint64_t>(min_exponent),
+          static_cast<std::uint64_t>(max_exponent)));
+      return std::ldexp(1.0, -e);
+    }
+  }
+  DBP_REQUIRE(false, "unknown size kind");
+  return 0.0;
+}
+
+}  // namespace dbp

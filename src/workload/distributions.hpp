@@ -1,0 +1,62 @@
+// Configurable duration and size models for synthetic workloads.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "workload/rng.hpp"
+
+namespace dbp {
+
+/// Item interval-length model. All samples are clamped into
+/// [min_length, max_length], so the realized max/min interval ratio mu never
+/// exceeds max_length / min_length (generators can additionally pin the
+/// extremes to make the realized mu exact; see RandomInstanceConfig).
+struct DurationModel {
+  enum class Kind {
+    kFixed,        ///< always min_length (mu = 1)
+    kUniform,      ///< uniform on [min_length, max_length]
+    kExponential,  ///< min_length + Exp(rate), clamped
+    kLogNormal,    ///< LogNormal(log_mean, log_sigma), clamped
+    kPareto,       ///< Pareto(min_length, shape), clamped
+  };
+
+  Kind kind = Kind::kUniform;
+  Time min_length = 1.0;  ///< Delta, the minimum interval length
+  Time max_length = 4.0;  ///< mu * Delta, the maximum interval length
+
+  double exponential_rate = 1.0;  ///< kExponential: rate of the shifted tail
+  double log_mean = 0.0;          ///< kLogNormal
+  double log_sigma = 1.0;         ///< kLogNormal
+  double pareto_shape = 1.5;      ///< kPareto
+
+  void validate() const;
+  [[nodiscard]] Time sample(Rng& rng) const;
+  [[nodiscard]] double nominal_mu() const noexcept { return max_length / min_length; }
+};
+
+/// Item size model. Sizes are expressed as fractions of the bin capacity W
+/// and scaled by the generator.
+struct SizeModel {
+  enum class Kind {
+    kFixed,           ///< always `fixed_fraction`
+    kUniform,         ///< uniform on [min_fraction, max_fraction]
+    kDiscrete,        ///< weighted choice from `fractions`
+    kDyadic,          ///< 2^-e, e uniform on [min_exponent, max_exponent];
+                      ///< exactly representable => numerically exact packings
+  };
+
+  Kind kind = Kind::kUniform;
+  double fixed_fraction = 0.25;
+  double min_fraction = 0.05;
+  double max_fraction = 0.5;
+  std::vector<double> fractions{};          ///< kDiscrete values (of W)
+  std::vector<double> weights{};            ///< kDiscrete weights (optional)
+  int min_exponent = 1;                     ///< kDyadic: largest size 2^-min
+  int max_exponent = 5;                     ///< kDyadic: smallest size 2^-max
+
+  void validate() const;
+  [[nodiscard]] double sample_fraction(Rng& rng) const;
+};
+
+}  // namespace dbp

@@ -1,0 +1,63 @@
+#include "workload/random_instance.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+void ArrivalModel::validate() const {
+  switch (kind) {
+    case Kind::kPoisson:
+      DBP_REQUIRE(std::isfinite(rate) && rate > 0.0,
+                  "poisson arrival rate must be positive");
+      break;
+    case Kind::kBursts:
+      DBP_REQUIRE(burst_size > 0, "burst size must be positive");
+      DBP_REQUIRE(std::isfinite(burst_gap) && burst_gap > 0.0,
+                  "burst gap must be positive");
+      break;
+  }
+}
+
+void RandomInstanceConfig::validate() const {
+  DBP_REQUIRE(item_count > 0, "instance must contain items");
+  DBP_REQUIRE(std::isfinite(bin_capacity) && bin_capacity > 0.0,
+              "bin capacity must be positive");
+  arrival.validate();
+  duration.validate();
+  size.validate();
+}
+
+Instance generate_random_instance(const RandomInstanceConfig& config,
+                                  std::uint64_t seed) {
+  config.validate();
+  Rng rng(seed);
+  Instance instance;
+  instance.reserve(config.item_count);
+
+  Time now = 0.0;
+  for (std::size_t i = 0; i < config.item_count; ++i) {
+    // Arrival time.
+    if (config.arrival.kind == ArrivalModel::Kind::kPoisson) {
+      now += rng.exponential(config.arrival.rate);
+    } else if (i > 0 && i % config.arrival.burst_size == 0) {
+      now += config.arrival.burst_gap;
+    }
+    // Duration: optionally pin the first two items to the extremes so the
+    // realized mu matches the nominal one.
+    Time length;
+    if (config.pin_mu_extremes && i == 0) {
+      length = config.duration.min_length;
+    } else if (config.pin_mu_extremes && i == 1) {
+      length = config.duration.max_length;
+    } else {
+      length = config.duration.sample(rng);
+    }
+    const double size = config.size.sample_fraction(rng) * config.bin_capacity;
+    instance.add(now, now + length, size);
+  }
+  return instance;
+}
+
+}  // namespace dbp

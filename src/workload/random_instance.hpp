@@ -1,0 +1,45 @@
+// Random MinTotal DBP instance generation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "workload/distributions.hpp"
+
+namespace dbp {
+
+/// Arrival process for random instances.
+struct ArrivalModel {
+  enum class Kind {
+    kPoisson,  ///< i.i.d. exponential inter-arrival times with `rate`
+    kBursts,   ///< `burst_size` simultaneous arrivals every `burst_gap`
+  };
+  Kind kind = Kind::kPoisson;
+  double rate = 1.0;        ///< kPoisson arrivals per unit time
+  std::size_t burst_size = 8;
+  Time burst_gap = 1.0;
+
+  void validate() const;
+};
+
+struct RandomInstanceConfig {
+  std::size_t item_count = 1000;
+  ArrivalModel arrival{};
+  DurationModel duration{};
+  SizeModel size{};
+  /// Bin capacity the size fractions are scaled by.
+  double bin_capacity = 1.0;
+  /// Force the first two items to take the min and max interval lengths so
+  /// the realized mu equals duration.nominal_mu() exactly.
+  bool pin_mu_extremes = true;
+
+  void validate() const;
+};
+
+/// Generates a reproducible random instance. Identical (config, seed) pairs
+/// produce identical instances.
+[[nodiscard]] Instance generate_random_instance(const RandomInstanceConfig& config,
+                                                std::uint64_t seed);
+
+}  // namespace dbp

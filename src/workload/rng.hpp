@@ -1,0 +1,61 @@
+// Seeded random number generation for reproducible workloads.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dbp {
+
+/// A seeded mt19937_64 with the sampling helpers the generators need.
+/// Every generator takes an explicit seed; identical seeds give identical
+/// instances on every platform (we only use distributions with portable
+/// algorithms or accept the libstdc++ implementation as the reference).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  [[nodiscard]] double lognormal(double log_mean, double log_sigma) {
+    return std::lognormal_distribution<double>(log_mean, log_sigma)(engine_);
+  }
+
+  /// Pareto with scale x_m and shape alpha (heavy-tailed durations).
+  [[nodiscard]] double pareto(double x_m, double alpha) {
+    const double u = uniform(0.0, 1.0);
+    return x_m / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derives an independent child stream (e.g. one per sweep cell) without
+  /// correlations between siblings.
+  [[nodiscard]] Rng fork(std::uint64_t stream) {
+    // SplitMix64 over (state, stream) — standard seed derivation.
+    std::uint64_t z = engine_() + 0x9E3779B97F4A7C15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dbp

@@ -1,0 +1,81 @@
+#include "workload/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/strfmt.hpp"
+
+namespace dbp {
+
+namespace {
+
+double parse_double(std::string_view field, std::size_t line) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  DBP_REQUIRE(ec == std::errc{} && ptr == field.data() + field.size(),
+              strfmt("trace csv line %zu: bad number '%.*s'", line,
+                     static_cast<int>(field.size()), field.data()));
+  return value;
+}
+
+}  // namespace
+
+void write_instance_csv(const Instance& instance, std::ostream& out) {
+  out << "id,arrival,departure,size\n";
+  for (const Item& item : instance.items()) {
+    out << strfmt("%llu,%.17g,%.17g,%.17g\n",
+                  static_cast<unsigned long long>(item.id), item.arrival,
+                  item.departure, item.size);
+  }
+  DBP_REQUIRE(out.good(), "trace csv write failed");
+}
+
+void write_instance_csv(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  DBP_REQUIRE(out.is_open(), "cannot open trace csv for writing: " + path);
+  write_instance_csv(instance, out);
+}
+
+Instance read_instance_csv(std::istream& in) {
+  std::string line;
+  DBP_REQUIRE(static_cast<bool>(std::getline(in, line)), "trace csv is empty");
+  DBP_REQUIRE(line.starts_with("id,arrival,departure,size"),
+              "trace csv header mismatch");
+  std::vector<Item> items;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string_view view(line);
+    std::vector<std::string_view> fields;
+    while (!view.empty()) {
+      const std::size_t comma = view.find(',');
+      fields.push_back(view.substr(0, comma));
+      if (comma == std::string_view::npos) break;
+      view.remove_prefix(comma + 1);
+    }
+    DBP_REQUIRE(fields.size() == 4,
+                strfmt("trace csv line %zu: expected 4 fields, got %zu", line_no,
+                       fields.size()));
+    Item item;
+    item.arrival = parse_double(fields[1], line_no);
+    item.departure = parse_double(fields[2], line_no);
+    item.size = parse_double(fields[3], line_no);
+    items.push_back(item);
+  }
+  return Instance::from_items(std::move(items));
+}
+
+Instance read_instance_csv(const std::string& path) {
+  std::ifstream in(path);
+  DBP_REQUIRE(in.is_open(), "cannot open trace csv for reading: " + path);
+  return read_instance_csv(in);
+}
+
+}  // namespace dbp

@@ -1,0 +1,23 @@
+// CSV serialization of instances: interoperate with external trace tooling
+// and freeze generated workloads for regression comparisons.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace dbp {
+
+/// Writes "id,arrival,departure,size" rows (with header) at full double
+/// round-trip precision.
+void write_instance_csv(const Instance& instance, std::ostream& out);
+void write_instance_csv(const Instance& instance, const std::string& path);
+
+/// Reads the format written by write_instance_csv. Ids are reassigned
+/// densely in row order; malformed rows throw PreconditionError with the
+/// line number.
+[[nodiscard]] Instance read_instance_csv(std::istream& in);
+[[nodiscard]] Instance read_instance_csv(const std::string& path);
+
+}  // namespace dbp

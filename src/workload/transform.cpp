@@ -1,0 +1,84 @@
+#include "workload/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+Instance scale_time(const Instance& instance, double factor, Time offset) {
+  DBP_REQUIRE(std::isfinite(factor) && factor > 0.0,
+              "time scale factor must be positive");
+  DBP_REQUIRE(std::isfinite(offset), "time offset must be finite");
+  Instance result;
+  result.reserve(instance.size());
+  for (const Item& item : instance.items()) {
+    result.add(offset + factor * item.arrival, offset + factor * item.departure,
+               item.size);
+  }
+  return result;
+}
+
+Instance scale_sizes(const Instance& instance, double factor) {
+  DBP_REQUIRE(std::isfinite(factor) && factor > 0.0,
+              "size scale factor must be positive");
+  Instance result;
+  result.reserve(instance.size());
+  for (const Item& item : instance.items()) {
+    result.add(item.arrival, item.departure, factor * item.size);
+  }
+  return result;
+}
+
+Instance crop(const Instance& instance, TimeInterval window) {
+  DBP_REQUIRE(!window.empty(), "crop window must be non-empty");
+  Instance result;
+  for (const Item& item : instance.items()) {
+    const Time begin = std::max(item.arrival, window.begin);
+    const Time end = std::min(item.departure, window.end);
+    if (end > begin) result.add(begin, end, item.size);
+  }
+  return result;
+}
+
+Instance concatenate(const Instance& a, const Instance& b, Time gap) {
+  DBP_REQUIRE(!a.empty() && !b.empty(), "concatenate needs non-empty pieces");
+  DBP_REQUIRE(std::isfinite(gap) && gap >= 0.0, "gap must be >= 0");
+  const Time shift = a.packing_period().end + gap - b.packing_period().begin;
+  Instance result;
+  result.reserve(a.size() + b.size());
+  for (const Item& item : a.items()) {
+    result.add(item.arrival, item.departure, item.size);
+  }
+  for (const Item& item : b.items()) {
+    result.add(item.arrival + shift, item.departure + shift, item.size);
+  }
+  return result;
+}
+
+Instance overlay(const Instance& a, const Instance& b) {
+  Instance result;
+  result.reserve(a.size() + b.size());
+  for (const Item& item : a.items()) {
+    result.add(item.arrival, item.departure, item.size);
+  }
+  for (const Item& item : b.items()) {
+    result.add(item.arrival, item.departure, item.size);
+  }
+  return result;
+}
+
+Instance reverse_time(const Instance& instance) {
+  DBP_REQUIRE(!instance.empty(), "reverse of an empty instance");
+  const TimeInterval period = instance.packing_period();
+  const Time total = period.begin + period.end;
+  Instance result;
+  result.reserve(instance.size());
+  for (const Item& item : instance.items()) {
+    result.add(total - item.departure, total - item.arrival, item.size);
+  }
+  return result;
+}
+
+}  // namespace dbp

@@ -1,0 +1,42 @@
+// Instance transformations for experiment design.
+//
+// The MinTotal DBP objective has clean covariances under these maps (scaling
+// time scales every algorithm's cost linearly; scaling sizes together with
+// W leaves packings unchanged), which the property tests exploit as strong
+// end-to-end oracles.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// t -> offset + factor * t on arrivals and departures (factor > 0).
+/// Every algorithm's total cost scales by exactly `factor`; assignments are
+/// unchanged.
+[[nodiscard]] Instance scale_time(const Instance& instance, double factor,
+                                  Time offset = 0.0);
+
+/// s -> factor * s on item sizes (factor > 0). Pack against a capacity
+/// scaled by the same factor to leave every decision unchanged.
+[[nodiscard]] Instance scale_sizes(const Instance& instance, double factor);
+
+/// Keeps items whose interval intersects [window.begin, window.end),
+/// clamping their intervals to the window. Ids are re-densified.
+[[nodiscard]] Instance crop(const Instance& instance, TimeInterval window);
+
+/// Items of `a` followed by items of `b` shifted so that `b` starts `gap`
+/// after `a`'s packing period ends (gap >= 0 keeps the pieces disjoint in
+/// time; both pieces must be non-empty).
+[[nodiscard]] Instance concatenate(const Instance& a, const Instance& b,
+                                   Time gap = 0.0);
+
+/// Interleaves two instances on a shared timeline (plain union of items).
+[[nodiscard]] Instance overlay(const Instance& a, const Instance& b);
+
+/// Reverses time: item [a, d) becomes [T - d, T - a) where T spans the
+/// packing period. OPT_total is invariant (repacking is time-symmetric);
+/// online algorithms generally are not — a useful asymmetry probe.
+[[nodiscard]] Instance reverse_time(const Instance& instance);
+
+}  // namespace dbp

@@ -1,0 +1,122 @@
+// Theorem 1 / Figure 2: the Any Fit lower-bound construction must reproduce
+// the paper's bin evolution and the ratio k*mu / (k + mu - 1) exactly.
+#include "workload/adversary_anyfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(AnyFitAdversaryTest, EmitsKSquaredItems) {
+  const auto built = build_anyfit_adversary({.k = 5, .mu = 4.0});
+  EXPECT_EQ(built.instance.size(), 25u);
+  const InstanceMetrics metrics = compute_metrics(built.instance);
+  EXPECT_DOUBLE_EQ(metrics.mu, 4.0);
+  EXPECT_DOUBLE_EQ(metrics.min_interval_length, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.max_size, 1.0 / 5.0);
+}
+
+TEST(AnyFitAdversaryTest, PredictedRatioFormula) {
+  const auto built = build_anyfit_adversary({.k = 10, .mu = 8.0});
+  EXPECT_DOUBLE_EQ(built.predicted_ratio, 10.0 * 8.0 / (10.0 + 8.0 - 1.0));
+}
+
+TEST(AnyFitAdversaryTest, FirstFitCostMatchesPrediction) {
+  const auto built = build_anyfit_adversary({.k = 8, .mu = 4.0});
+  const SimulationResult result =
+      simulate(built.instance, "first-fit", unit_model());
+  EXPECT_EQ(result.bins_opened, 8u);
+  EXPECT_EQ(result.max_open_bins, 8);
+  EXPECT_NEAR(result.total_cost, built.predicted_anyfit_cost, 1e-9);
+  // Figure 2: all k bins stay open the whole [0, mu*Delta].
+  EXPECT_EQ(result.open_bins_over_time.value_at(0.5), 8);
+  EXPECT_EQ(result.open_bins_over_time.value_at(3.9), 8);
+  EXPECT_EQ(result.open_bins_over_time.value_at(4.0), 0);
+}
+
+TEST(AnyFitAdversaryTest, BestFitCostMatchesPrediction) {
+  const auto built = build_anyfit_adversary({.k = 8, .mu = 4.0});
+  const SimulationResult result =
+      simulate(built.instance, "best-fit", unit_model());
+  EXPECT_NEAR(result.total_cost, built.predicted_anyfit_cost, 1e-9);
+}
+
+TEST(AnyFitAdversaryTest, OptEstimatorMatchesPaperOpt) {
+  const auto built = build_anyfit_adversary({.k = 6, .mu = 4.0});
+  const OptTotalResult opt = estimate_opt_total(built.instance, unit_model());
+  EXPECT_TRUE(opt.exact);  // equal sizes -> exact fast path
+  EXPECT_NEAR(opt.lower_cost, built.predicted_opt_cost, 1e-9);
+  EXPECT_NEAR(opt.upper_cost, built.predicted_opt_cost, 1e-9);
+}
+
+TEST(AnyFitAdversaryTest, MeasuredRatioMatchesEquationOne) {
+  for (const std::size_t k : {2u, 4u, 8u, 16u}) {
+    const auto built = build_anyfit_adversary(
+        {.k = k, .mu = 4.0, .delta = 1.0, .bin_capacity = 1.0});
+    const SimulationResult ff = simulate(built.instance, "first-fit", unit_model());
+    const OptTotalResult opt = estimate_opt_total(built.instance, unit_model());
+    const double ratio = ff.total_cost / opt.upper_cost;
+    EXPECT_NEAR(ratio, built.predicted_ratio, 1e-9) << "k = " << k;
+  }
+}
+
+TEST(AnyFitAdversaryTest, RatioApproachesMuAsKGrows) {
+  const double mu = 6.0;
+  double previous = 0.0;
+  for (const std::size_t k : {2u, 8u, 32u}) {
+    const auto built = build_anyfit_adversary({.k = k, .mu = mu});
+    EXPECT_GT(built.predicted_ratio, previous);
+    previous = built.predicted_ratio;
+  }
+  const auto large = build_anyfit_adversary({.k = 64, .mu = mu});
+  EXPECT_GT(large.predicted_ratio, mu - 0.6);
+  EXPECT_LT(large.predicted_ratio, mu);
+}
+
+TEST(AnyFitAdversaryTest, MuEqualsOneDegeneratesToRatioOne) {
+  const auto built = build_anyfit_adversary({.k = 4, .mu = 1.0});
+  EXPECT_DOUBLE_EQ(built.predicted_ratio, 1.0);
+  const SimulationResult ff = simulate(built.instance, "first-fit", unit_model());
+  const OptTotalResult opt = estimate_opt_total(built.instance, unit_model());
+  EXPECT_NEAR(ff.total_cost / opt.upper_cost, 1.0, 1e-9);
+}
+
+TEST(AnyFitAdversaryTest, DeltaAndCapacityScale) {
+  const auto built = build_anyfit_adversary(
+      {.k = 4, .mu = 2.0, .delta = 0.5, .bin_capacity = 8.0});
+  const InstanceMetrics metrics = compute_metrics(built.instance);
+  EXPECT_DOUBLE_EQ(metrics.min_interval_length, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.max_interval_length, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.max_size, 2.0);
+  const CostModel model{8.0, 1.0, 1e-9};
+  const SimulationResult ff = simulate(built.instance, "first-fit", model);
+  EXPECT_EQ(ff.bins_opened, 4u);
+}
+
+TEST(AnyFitAdversaryTest, ValidatesConfig) {
+  EXPECT_THROW((void)build_anyfit_adversary({.k = 0}), PreconditionError);
+  EXPECT_THROW((void)build_anyfit_adversary({.k = 2, .mu = 0.5}), PreconditionError);
+  EXPECT_THROW((void)build_anyfit_adversary({.k = 2, .mu = 2.0, .delta = 0.0}),
+               PreconditionError);
+}
+
+TEST(AnyFitAdversaryTest, EveryAnyFitFamilyMemberSuffersTheBound) {
+  // Theorem 1 applies to the whole family: FF, BF, WF, LF, MTF all keep k
+  // bins open (random-fit too, but its grouping depends on the seed).
+  const auto built = build_anyfit_adversary({.k = 6, .mu = 4.0});
+  for (const std::string name :
+       {"first-fit", "best-fit", "worst-fit", "last-fit", "move-to-front-fit"}) {
+    const SimulationResult result = simulate(built.instance, name, unit_model());
+    EXPECT_NEAR(result.total_cost, built.predicted_anyfit_cost, 1e-9) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,133 @@
+#include "algo/any_fit_packer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algo/strategies.hpp"
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+std::unique_ptr<AnyFitPacker> make_ff() {
+  auto packer = std::make_unique<AnyFitPacker>(
+      unit_model(), std::make_unique<FirstFitStrategy>(unit_model()));
+  packer->set_paranoid(true);
+  return packer;
+}
+
+std::unique_ptr<AnyFitPacker> make_bf() {
+  auto packer = std::make_unique<AnyFitPacker>(
+      unit_model(), std::make_unique<BestFitStrategy>(unit_model()));
+  packer->set_paranoid(true);
+  return packer;
+}
+
+TEST(AnyFitPackerTest, RequiresStrategy) {
+  EXPECT_THROW(AnyFitPacker(unit_model(), nullptr), PreconditionError);
+}
+
+TEST(AnyFitPackerTest, NameComesFromStrategy) {
+  EXPECT_EQ(make_ff()->name(), "first-fit");
+  EXPECT_EQ(make_bf()->name(), "best-fit");
+}
+
+TEST(AnyFitPackerTest, OpensBinOnlyWhenNeeded) {
+  auto packer = make_ff();
+  EXPECT_EQ(packer->on_arrival({0, 0.0, 0.6}), 0u);
+  EXPECT_EQ(packer->on_arrival({1, 0.0, 0.6}), 1u);  // does not fit bin 0
+  EXPECT_EQ(packer->on_arrival({2, 0.0, 0.4}), 0u);  // fits bin 0
+  EXPECT_EQ(packer->bins().total_bins_opened(), 2u);
+}
+
+TEST(AnyFitPackerTest, RejectsOversizeItem) {
+  auto packer = make_ff();
+  EXPECT_THROW(packer->on_arrival({0, 0.0, 1.5}), PreconditionError);
+}
+
+TEST(AnyFitPackerTest, DepartureClosesBin) {
+  auto packer = make_ff();
+  packer->on_arrival({0, 0.0, 0.5});
+  packer->on_arrival({1, 0.0, 0.5});
+  packer->on_departure(0, 1.0);
+  EXPECT_EQ(packer->bins().open_count(), 1u);
+  packer->on_departure(1, 2.0);
+  EXPECT_EQ(packer->bins().open_count(), 0u);
+  EXPECT_DOUBLE_EQ(packer->bins().usage(0).closed, 2.0);
+}
+
+TEST(AnyFitPackerTest, ClosedBinIsNeverReused) {
+  auto packer = make_ff();
+  packer->on_arrival({0, 0.0, 0.5});
+  packer->on_departure(0, 1.0);
+  // Bin 0 closed; the next arrival must open bin 1.
+  EXPECT_EQ(packer->on_arrival({1, 1.0, 0.1}), 1u);
+}
+
+TEST(AnyFitPackerTest, FirstFitScenarioFromPaperDefinition) {
+  // FF puts each item into the earliest opened bin that accommodates it.
+  auto packer = make_ff();
+  packer->on_arrival({0, 0.0, 0.5});   // bin 0
+  packer->on_arrival({1, 0.0, 0.7});   // bin 1
+  packer->on_arrival({2, 0.0, 0.5});   // bin 0 (exactly fills)
+  packer->on_arrival({3, 0.0, 0.2});   // bin 1 (level 0.9)
+  packer->on_departure(0, 1.0);
+  packer->on_departure(2, 1.0);        // bin 0 closes
+  EXPECT_EQ(packer->on_arrival({4, 1.0, 0.1}), 1u);  // earliest open = bin 1
+}
+
+TEST(AnyFitPackerTest, BestFitPrefersFullestBin) {
+  auto packer = make_bf();
+  packer->on_arrival({0, 0.0, 0.5});  // bin 0, level .5
+  packer->on_arrival({1, 0.0, 0.7});  // bin 1, level .7
+  // 0.2 fits both; BF picks bin 1 (residual .3 < .5).
+  EXPECT_EQ(packer->on_arrival({2, 0.0, 0.2}), 1u);
+  // 0.4 fits only bin 0.
+  EXPECT_EQ(packer->on_arrival({3, 0.0, 0.4}), 0u);
+}
+
+TEST(AnyFitPackerTest, FirstFitVersusBestFitDivergence) {
+  // Same arrivals, different placement: the canonical FF/BF distinction.
+  auto ff = make_ff();
+  auto bf = make_bf();
+  for (auto* packer : {ff.get(), bf.get()}) {
+    packer->on_arrival({0, 0.0, 0.4});  // bin 0
+    packer->on_arrival({1, 0.0, 0.6});  // bin 1 for both (0.6 fits bin 0 -> no!
+                                        // 0.4+0.6=1.0 exactly fits bin 0)
+  }
+  // 0.6 fits bin 0 exactly for both policies (FF earliest, BF smallest
+  // residual 0.6 vs nothing else) -> both still one bin.
+  EXPECT_EQ(ff->bins().total_bins_opened(), 1u);
+  EXPECT_EQ(bf->bins().total_bins_opened(), 1u);
+
+  auto ff2 = make_ff();
+  auto bf2 = make_bf();
+  for (auto* packer : {ff2.get(), bf2.get()}) {
+    packer->on_arrival({0, 0.0, 0.3});  // bin 0
+    packer->on_arrival({1, 0.0, 0.8});  // bin 1
+    packer->on_arrival({2, 0.0, 0.15});
+  }
+  // FF: 0.15 goes to bin 0 (earliest, residual .7). BF: bin 1 (residual .2).
+  EXPECT_EQ(ff2->bins().assignment_of(2), std::optional<BinId>(0));
+  EXPECT_EQ(bf2->bins().assignment_of(2), std::optional<BinId>(1));
+}
+
+TEST(AnyFitPackerTest, ManyItemsSingleBinExactFill) {
+  // 1000 items of 1e-3 fill one bin despite fp rounding (tolerance).
+  auto packer = make_ff();
+  for (ItemId i = 0; i < 1000; ++i) packer->on_arrival({i, 0.0, 1e-3});
+  EXPECT_EQ(packer->bins().total_bins_opened(), 1u);
+  packer->on_arrival({1000, 0.0, 1e-3});
+  EXPECT_EQ(packer->bins().total_bins_opened(), 2u);
+}
+
+TEST(AnyFitPackerTest, UnknownDepartureThrows) {
+  auto packer = make_ff();
+  EXPECT_THROW(packer->on_departure(3, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

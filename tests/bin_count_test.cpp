@@ -1,0 +1,103 @@
+#include "opt/bin_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(BinCountTest, EmptyMultiset) {
+  const BinCountBounds bounds = optimal_bin_count({}, unit_model());
+  EXPECT_EQ(bounds.lower, 0u);
+  EXPECT_EQ(bounds.upper, 0u);
+  EXPECT_TRUE(bounds.exact());
+}
+
+TEST(BinCountTest, EverythingFitsOneBin) {
+  const std::vector<double> sizes{0.3, 0.3, 0.3};
+  const BinCountBounds bounds = optimal_bin_count(sizes, unit_model());
+  EXPECT_TRUE(bounds.exact());
+  EXPECT_EQ(bounds.upper, 1u);
+}
+
+TEST(BinCountTest, EqualSizesFastPathExact) {
+  // 7 items of size 0.3: 3 per bin -> ceil(7/3) = 3.
+  const std::vector<double> sizes(7, 0.3);
+  const BinCountBounds bounds = optimal_bin_count(sizes, unit_model());
+  EXPECT_TRUE(bounds.exact());
+  EXPECT_EQ(bounds.upper, 3u);
+}
+
+TEST(BinCountTest, EqualSizesWithFpNoise) {
+  // 2000 items of 1e-3: exactly 2 bins (1000 per bin with tolerance).
+  const std::vector<double> sizes(2000, 1e-3);
+  const BinCountBounds bounds = optimal_bin_count(sizes, unit_model());
+  EXPECT_TRUE(bounds.exact());
+  EXPECT_EQ(bounds.upper, 2u);
+}
+
+TEST(BinCountTest, EqualSizeHalfPacksPairs) {
+  const std::vector<double> sizes(5, 0.5);
+  const BinCountBounds bounds = optimal_bin_count(sizes, unit_model());
+  EXPECT_TRUE(bounds.exact());
+  EXPECT_EQ(bounds.upper, 3u);
+}
+
+TEST(BinCountTest, GeneralMixSolvedExactly) {
+  const std::vector<double> sizes{0.45, 0.4, 0.35, 0.3, 0.25, 0.25};
+  const BinCountBounds bounds = optimal_bin_count(sizes, unit_model());
+  EXPECT_TRUE(bounds.exact());
+  EXPECT_EQ(bounds.upper, 2u);
+}
+
+TEST(BinCountTest, SolverDisabledGivesHeuristicBounds) {
+  const std::vector<double> sizes{0.45, 0.4, 0.35, 0.3, 0.25, 0.25};
+  BinCountOptions options;
+  options.use_exact_solver = false;
+  const BinCountBounds bounds = optimal_bin_count(sizes, unit_model(), options);
+  EXPECT_LE(bounds.lower, 2u);
+  EXPECT_GE(bounds.upper, 2u);
+}
+
+TEST(BinCountTest, RejectsInvalidSizes) {
+  EXPECT_THROW((void)optimal_bin_count(std::vector<double>{1.5}, unit_model()),
+               PreconditionError);
+  EXPECT_THROW((void)optimal_bin_count(std::vector<double>{0.0}, unit_model()),
+               PreconditionError);
+}
+
+TEST(BinCountOracleTest, MemoHitsOnRepeatedMultiset) {
+  BinCountOracle oracle(unit_model());
+  const std::vector<double> sorted{0.5, 0.4, 0.3};
+  const BinCountBounds first = oracle.count_sorted(sorted);
+  const BinCountBounds second = oracle.count_sorted(sorted);
+  EXPECT_EQ(first.lower, second.lower);
+  EXPECT_EQ(first.upper, second.upper);
+  EXPECT_EQ(oracle.hits(), 1u);
+  EXPECT_EQ(oracle.misses(), 1u);
+  EXPECT_EQ(oracle.memo_size(), 1u);
+}
+
+TEST(BinCountOracleTest, DistinguishesDifferentMultisets) {
+  BinCountOracle oracle(unit_model());
+  (void)oracle.count_sorted(std::vector<double>{0.5, 0.5});
+  (void)oracle.count_sorted(std::vector<double>{0.5, 0.5, 0.5});
+  EXPECT_EQ(oracle.misses(), 2u);
+}
+
+TEST(BinCountOracleTest, AgreesWithDirectComputation) {
+  BinCountOracle oracle(unit_model());
+  const std::vector<double> sorted{0.9, 0.6, 0.6, 0.2, 0.2, 0.1};
+  const BinCountBounds via_oracle = oracle.count_sorted(sorted);
+  const BinCountBounds direct = optimal_bin_count(sorted, unit_model());
+  EXPECT_EQ(via_oracle.lower, direct.lower);
+  EXPECT_EQ(via_oracle.upper, direct.upper);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,159 @@
+#include "algo/bin_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(BinManagerTest, OpenAssignsSequentialIds) {
+  BinManager manager(unit_model());
+  EXPECT_EQ(manager.open_bin(0.0), 0u);
+  EXPECT_EQ(manager.open_bin(1.0), 1u);
+  EXPECT_EQ(manager.open_count(), 2u);
+  EXPECT_EQ(manager.total_bins_opened(), 2u);
+}
+
+TEST(BinManagerTest, PlaceUpdatesLevelAndResidual) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(0.0);
+  manager.place({0, 0.0, 0.3}, bin);
+  EXPECT_DOUBLE_EQ(manager.level(bin), 0.3);
+  EXPECT_DOUBLE_EQ(manager.residual(bin), 0.7);
+  manager.place({1, 0.0, 0.5}, bin);
+  EXPECT_NEAR(manager.level(bin), 0.8, 1e-15);
+  EXPECT_EQ(manager.item_count(bin), 2u);
+  EXPECT_EQ(manager.active_item_count(), 2u);
+}
+
+TEST(BinManagerTest, PlaceRejectsOverflow) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(0.0);
+  manager.place({0, 0.0, 0.8}, bin);
+  EXPECT_THROW(manager.place({1, 0.0, 0.3}, bin), PreconditionError);
+  EXPECT_EQ(manager.item_count(bin), 1u);  // unchanged after failure
+}
+
+TEST(BinManagerTest, PlaceAllowsExactFill) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(0.0);
+  manager.place({0, 0.0, 0.5}, bin);
+  EXPECT_NO_THROW(manager.place({1, 0.0, 0.5}, bin));
+  EXPECT_NEAR(manager.level(bin), 1.0, 1e-15);
+}
+
+TEST(BinManagerTest, PlaceRejectsDuplicateItem) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(0.0);
+  manager.place({0, 0.0, 0.1}, bin);
+  EXPECT_THROW(manager.place({0, 0.0, 0.1}, bin), PreconditionError);
+}
+
+TEST(BinManagerTest, PlaceRejectsUnknownOrClosedBin) {
+  BinManager manager(unit_model());
+  EXPECT_THROW(manager.place({0, 0.0, 0.1}, 0), PreconditionError);
+  const BinId bin = manager.open_bin(0.0);
+  manager.place({0, 0.0, 0.1}, bin);
+  manager.remove(0, 1.0);  // closes the bin
+  EXPECT_THROW(manager.place({1, 1.0, 0.1}, bin), PreconditionError);
+}
+
+TEST(BinManagerTest, RemoveClosesEmptyBin) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(0.0);
+  manager.place({0, 0.0, 0.4}, bin);
+  manager.place({1, 0.0, 0.4}, bin);
+  const DepartureOutcome first = manager.remove(0, 2.0);
+  EXPECT_EQ(first.bin, bin);
+  EXPECT_FALSE(first.bin_closed);
+  EXPECT_TRUE(manager.is_open(bin));
+  const DepartureOutcome second = manager.remove(1, 3.0);
+  EXPECT_TRUE(second.bin_closed);
+  EXPECT_FALSE(manager.is_open(bin));
+  EXPECT_EQ(manager.open_count(), 0u);
+  EXPECT_DOUBLE_EQ(manager.usage(bin).opened, 0.0);
+  EXPECT_DOUBLE_EQ(manager.usage(bin).closed, 3.0);
+}
+
+TEST(BinManagerTest, RemoveUnknownItemThrows) {
+  BinManager manager(unit_model());
+  EXPECT_THROW(manager.remove(42, 0.0), PreconditionError);
+}
+
+TEST(BinManagerTest, LevelResetsExactlyOnClose) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(0.0);
+  for (ItemId i = 0; i < 1000; ++i) manager.place({i, 0.0, 1e-3}, bin);
+  for (ItemId i = 0; i < 1000; ++i) manager.remove(i, 1.0);
+  EXPECT_EQ(manager.level(bin), 0.0);  // exact zero, no fp residue
+}
+
+TEST(BinManagerTest, FitsIsToleranceAware) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(0.0);
+  for (ItemId i = 0; i < 1000; ++i) manager.place({i, 0.0, 1e-3}, bin);
+  // Bin is full up to fp noise; another milli-item must not fit.
+  EXPECT_FALSE(manager.fits(1e-3, bin));
+  EXPECT_TRUE(manager.fits(1e-3 / 2, bin) ==
+              manager.model().fits(5e-4, manager.residual(bin)));
+}
+
+TEST(BinManagerTest, OpenBinsListsAscending) {
+  BinManager manager(unit_model());
+  const BinId a = manager.open_bin(0.0);
+  const BinId b = manager.open_bin(0.0);
+  const BinId c = manager.open_bin(0.0);
+  manager.place({0, 0.0, 0.1}, b);
+  manager.remove(0, 1.0);  // closes b
+  const auto open = manager.open_bins();
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_EQ(open[0], a);
+  EXPECT_EQ(open[1], c);
+}
+
+TEST(BinManagerTest, AssignmentHistorySurvivesDeparture) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(0.0);
+  manager.place({7, 0.0, 0.1}, bin);
+  manager.remove(7, 1.0);
+  ASSERT_TRUE(manager.assignment_of(7).has_value());
+  EXPECT_EQ(*manager.assignment_of(7), bin);
+  EXPECT_FALSE(manager.assignment_of(8).has_value());
+}
+
+TEST(BinManagerTest, ItemsInBin) {
+  BinManager manager(unit_model());
+  const BinId a = manager.open_bin(0.0);
+  const BinId b = manager.open_bin(0.0);
+  manager.place({2, 0.0, 0.1}, a);
+  manager.place({0, 0.0, 0.1}, a);
+  manager.place({1, 0.0, 0.1}, b);
+  const auto in_a = manager.items_in(a);
+  ASSERT_EQ(in_a.size(), 2u);
+  EXPECT_EQ(in_a[0], 0u);  // sorted
+  EXPECT_EQ(in_a[1], 2u);
+}
+
+TEST(BinManagerTest, ResetClearsEverything) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(0.0);
+  manager.place({0, 0.0, 0.1}, bin);
+  manager.reset();
+  EXPECT_EQ(manager.total_bins_opened(), 0u);
+  EXPECT_EQ(manager.open_count(), 0u);
+  EXPECT_EQ(manager.active_item_count(), 0u);
+  EXPECT_FALSE(manager.assignment_of(0).has_value());
+}
+
+TEST(BinManagerTest, UsageOfOpenBinIsUnbounded) {
+  BinManager manager(unit_model());
+  const BinId bin = manager.open_bin(5.0);
+  EXPECT_FALSE(manager.usage(bin).is_closed());
+  EXPECT_DOUBLE_EQ(manager.usage(bin).opened, 5.0);
+}
+
+}  // namespace
+}  // namespace dbp

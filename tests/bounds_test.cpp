@@ -1,0 +1,80 @@
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbp {
+namespace {
+
+TEST(BoundsTest, PaperHeadlineValues) {
+  // Abstract's numbers.
+  EXPECT_DOUBLE_EQ(ff_general_bound(1.0), 15.0);           // 2mu+13
+  EXPECT_DOUBLE_EQ(mff_bound(1.0), 8.0 / 7.0 + 55.0 / 7.0);  // 8/7 mu + 55/7 = 9
+  EXPECT_DOUBLE_EQ(mff_known_mu_bound(1.0), 9.0);          // mu + 8
+  EXPECT_DOUBLE_EQ(ff_small_items_bound(2.0, 1.0), 2.0 + 12.0 + 1.0);
+  EXPECT_DOUBLE_EQ(ff_large_items_bound(4.0), 4.0);
+}
+
+TEST(BoundsTest, MffBeatsFfForAllMu) {
+  for (double mu = 1.0; mu <= 64.0; mu *= 2.0) {
+    EXPECT_LT(mff_bound(mu), ff_general_bound(mu)) << mu;
+    EXPECT_LE(mff_known_mu_bound(mu), mff_bound(mu) + 1e-12) << mu;
+  }
+}
+
+TEST(BoundsTest, SmallItemBoundImprovesWithK) {
+  // k/(k-1) -> 1: the mu coefficient shrinks toward 1 as items get smaller.
+  EXPECT_GT(ff_small_items_bound(2.0, 8.0), ff_small_items_bound(4.0, 8.0));
+  EXPECT_GT(ff_small_items_bound(4.0, 8.0), ff_small_items_bound(16.0, 8.0));
+}
+
+TEST(BoundsTest, MffSplitBoundMinimizedNearMuPlus7) {
+  // The paper: k = mu + 7 minimizes max{k, (mu+6)/(1-1/k)}, giving mu + 7
+  // (plus the +1 span term -> mu + 8).
+  const double mu = 5.0;
+  const double at_optimum = mff_bound_for_split(mu + 7.0, mu);
+  EXPECT_DOUBLE_EQ(at_optimum, mu + 8.0);
+  for (const double k : {2.0, 5.0, 9.0, 20.0, 50.0}) {
+    EXPECT_GE(mff_bound_for_split(k, mu), at_optimum - 1e-12) << k;
+  }
+}
+
+TEST(BoundsTest, MffDefaultSplitMatchesPaperK8) {
+  // With k = 8 the bound is max{8, 8/7*(mu+6)} + 1; for mu >= 1 that is
+  // 8/7 mu + 48/7 + 1 = 8/7 mu + 55/7 (the abstract's formula).
+  for (double mu = 1.0; mu <= 32.0; mu *= 2.0) {
+    EXPECT_NEAR(mff_bound_for_split(8.0, mu), mff_bound(mu), 1e-12) << mu;
+  }
+}
+
+TEST(BoundsTest, ConstructionRatioApproachesMu) {
+  EXPECT_DOUBLE_EQ(anyfit_construction_ratio(1.0, 4.0), 1.0);
+  EXPECT_LT(anyfit_construction_ratio(100.0, 4.0), 4.0);
+  EXPECT_GT(anyfit_construction_ratio(1000.0, 4.0), 3.98);
+  EXPECT_DOUBLE_EQ(universal_lower_bound(4.0), 4.0);
+}
+
+TEST(BoundsTest, ProvenBoundLookup) {
+  EXPECT_DOUBLE_EQ(*proven_bound_for("first-fit", 4.0), 21.0);
+  EXPECT_DOUBLE_EQ(*proven_bound_for("modified-first-fit", 4.0),
+                   8.0 / 7.0 * 4.0 + 55.0 / 7.0);
+  EXPECT_DOUBLE_EQ(*proven_bound_for("modified-first-fit-known-mu", 4.0), 12.0);
+  EXPECT_FALSE(proven_bound_for("best-fit", 4.0).has_value());
+  EXPECT_FALSE(proven_bound_for("worst-fit", 4.0).has_value());
+}
+
+TEST(BoundsTest, SizeRestrictionsTightenFf) {
+  // All sizes < W/16, mu = 2: Theorem 4 beats Theorem 5.
+  EXPECT_LT(*proven_bound_for("first-fit", 2.0, 16.0), ff_general_bound(2.0));
+  // All sizes >= W/2: Theorem 3 gives the constant 2.
+  EXPECT_DOUBLE_EQ(*proven_bound_for("first-fit", 50.0, std::nullopt, 2.0), 2.0);
+}
+
+TEST(BoundsTest, Validation) {
+  EXPECT_THROW((void)ff_general_bound(0.5), PreconditionError);
+  EXPECT_THROW((void)ff_small_items_bound(1.0, 2.0), PreconditionError);
+  EXPECT_THROW((void)mff_bound_for_split(0.9, 2.0), PreconditionError);
+  EXPECT_THROW((void)anyfit_construction_ratio(0.0, 2.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

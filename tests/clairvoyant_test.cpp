@@ -1,0 +1,121 @@
+#include "algo/clairvoyant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(ClairvoyantTest, RejectsOnlineArrivals) {
+  DurationAwarePacker packer(unit_model(),
+                             DurationAwarePacker::Policy::kAlignDepartures);
+  EXPECT_THROW((void)packer.on_arrival(ArrivingItem{0, 0.0, 0.5}), PreconditionError);
+}
+
+TEST(ClairvoyantTest, Names) {
+  EXPECT_EQ(DurationAwarePacker(unit_model(),
+                                DurationAwarePacker::Policy::kAlignDepartures)
+                .name(),
+            "align-departures-fit");
+  EXPECT_EQ(DurationAwarePacker(unit_model(),
+                                DurationAwarePacker::Policy::kMinimizeExtension)
+                .name(),
+            "min-extension-fit");
+}
+
+TEST(ClairvoyantTest, AlignDeparturesPrefersMatchingCloseTime) {
+  DurationAwarePacker packer(unit_model(),
+                             DurationAwarePacker::Policy::kAlignDepartures);
+  // Bin 0 closes at 10, bin 1 closes at 4.
+  packer.on_arrival_clairvoyant({0, 0.0, 10.0, 0.6});
+  packer.on_arrival_clairvoyant({1, 0.0, 4.0, 0.6});
+  EXPECT_DOUBLE_EQ(packer.projected_close(0), 10.0);
+  EXPECT_DOUBLE_EQ(packer.projected_close(1), 4.0);
+  // An item departing at 4.5 aligns with bin 1, even though FF -> bin 0.
+  EXPECT_EQ(packer.on_arrival_clairvoyant({2, 1.0, 4.5, 0.3}), 1u);
+  // An item departing at 9 aligns with bin 0.
+  EXPECT_EQ(packer.on_arrival_clairvoyant({3, 1.0, 9.0, 0.3}), 0u);
+}
+
+TEST(ClairvoyantTest, MinExtensionPrefersNoExtension) {
+  DurationAwarePacker packer(unit_model(),
+                             DurationAwarePacker::Policy::kMinimizeExtension);
+  packer.on_arrival_clairvoyant({0, 0.0, 10.0, 0.6});  // bin 0 closes at 10
+  packer.on_arrival_clairvoyant({1, 0.0, 4.0, 0.6});   // bin 1 closes at 4
+  // Item departing at 8: extends bin 1 by 4 but bin 0 by 0 -> bin 0.
+  EXPECT_EQ(packer.on_arrival_clairvoyant({2, 1.0, 8.0, 0.3}), 0u);
+  // Item departing at 12: extends bin 0 by 2, bin 1 by 8 -> bin 0.
+  EXPECT_EQ(packer.on_arrival_clairvoyant({3, 1.0, 12.0, 0.05}), 0u);
+  EXPECT_DOUBLE_EQ(packer.projected_close(0), 12.0);
+}
+
+TEST(ClairvoyantTest, OpensNewBinOnlyWhenNothingFits) {
+  DurationAwarePacker packer(unit_model(),
+                             DurationAwarePacker::Policy::kAlignDepartures);
+  packer.on_arrival_clairvoyant({0, 0.0, 5.0, 0.7});
+  // 0.4 does not fit -> new bin.
+  EXPECT_EQ(packer.on_arrival_clairvoyant({1, 0.0, 5.0, 0.4}), 1u);
+  // 0.2 fits both; stays in an existing bin.
+  const BinId chosen = packer.on_arrival_clairvoyant({2, 0.0, 5.0, 0.2});
+  EXPECT_LE(chosen, 1u);
+  EXPECT_EQ(packer.bins().total_bins_opened(), 2u);
+}
+
+TEST(ClairvoyantTest, DeparturesMaintainProjectedClose) {
+  DurationAwarePacker packer(unit_model(),
+                             DurationAwarePacker::Policy::kAlignDepartures);
+  packer.on_arrival_clairvoyant({0, 0.0, 10.0, 0.3});
+  packer.on_arrival_clairvoyant({1, 0.0, 6.0, 0.3});
+  EXPECT_DOUBLE_EQ(packer.projected_close(0), 10.0);
+  packer.on_departure(0, 10.0);  // longest leaves; close estimate drops
+  EXPECT_DOUBLE_EQ(packer.projected_close(0), 6.0);
+  packer.on_departure(1, 6.0);
+  EXPECT_EQ(packer.bins().open_count(), 0u);
+  EXPECT_THROW((void)packer.projected_close(0), PreconditionError);
+}
+
+TEST(ClairvoyantTest, SimulatorRoutesFullItems) {
+  RandomInstanceConfig config;
+  config.item_count = 300;
+  const Instance instance = generate_random_instance(config, 12);
+  for (const std::string& name : clairvoyant_algorithm_names()) {
+    const SimulationResult result = simulate(instance, name, unit_model());
+    EXPECT_GT(result.bins_opened, 0u) << name;
+    EXPECT_NEAR(result.total_cost, result.total_cost_from_bins,
+                1e-9 * result.total_cost)
+        << name;
+  }
+}
+
+TEST(ClairvoyantTest, DepartureKnowledgeAvoidsBinExtension) {
+  // b0 holds a short item (closes at 2), b1 a long one (closes at 10). A
+  // mid-length item fits both: First Fit extends b0's life from 2 to 9
+  // (+7 cost); min-extension parks it in b1 for free.
+  Instance instance;
+  instance.add(0.0, 2.0, 0.4);   // -> b0
+  instance.add(0.0, 10.0, 0.7);  // does not fit b0 -> b1
+  instance.add(1.0, 9.0, 0.3);   // the contested item
+  const SimulationResult ff = simulate(instance, "first-fit", unit_model());
+  const SimulationResult min_ext =
+      simulate(instance, "min-extension-fit", unit_model());
+  EXPECT_EQ(ff.assignment[2], 0u);
+  EXPECT_EQ(min_ext.assignment[2], 1u);
+  EXPECT_DOUBLE_EQ(ff.total_cost, 9.0 + 10.0);
+  EXPECT_DOUBLE_EQ(min_ext.total_cost, 2.0 + 10.0);
+}
+
+TEST(ClairvoyantTest, FactoryIntegration) {
+  for (const std::string& name : clairvoyant_algorithm_names()) {
+    auto packer = make_packer(name, unit_model());
+    ASSERT_NE(packer, nullptr);
+    EXPECT_NE(dynamic_cast<ClairvoyantPacker*>(packer.get()), nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dbp

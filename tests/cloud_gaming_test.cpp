@@ -1,0 +1,120 @@
+#include "workload/cloud_gaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+
+namespace dbp {
+namespace {
+
+CloudGamingConfig small_config() {
+  CloudGamingConfig config;
+  config.horizon_hours = 6.0;
+  config.peak_arrivals_per_minute = 1.0;
+  return config;
+}
+
+TEST(CloudGamingTest, DefaultCatalogIsSane) {
+  const auto catalog = default_game_catalog();
+  EXPECT_EQ(catalog.size(), 8u);
+  for (const GameProfile& game : catalog) {
+    EXPECT_FALSE(game.name.empty());
+    EXPECT_GT(game.gpu_fraction, 0.0);
+    EXPECT_LE(game.gpu_fraction, 1.0);
+    EXPECT_GT(game.popularity, 0.0);
+    EXPECT_GT(game.mean_minutes, 0.0);
+  }
+}
+
+TEST(CloudGamingTest, DeterministicUnderSeed) {
+  const CloudGamingTrace a = generate_cloud_gaming_trace(small_config(), 11);
+  const CloudGamingTrace b = generate_cloud_gaming_trace(small_config(), 11);
+  ASSERT_EQ(a.instance.size(), b.instance.size());
+  for (std::size_t i = 0; i < a.instance.size(); ++i) {
+    EXPECT_EQ(a.instance.items()[i], b.instance.items()[i]);
+  }
+  EXPECT_EQ(a.game_of_item, b.game_of_item);
+}
+
+TEST(CloudGamingTest, SessionsRespectClampsAndHorizon) {
+  const CloudGamingConfig config = small_config();
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 3);
+  for (const Item& item : trace.instance.items()) {
+    EXPECT_GE(item.arrival, 0.0);
+    EXPECT_LT(item.arrival, config.horizon_hours * 60.0);
+    EXPECT_GE(item.interval_length(), config.min_session_minutes - 1e-12);
+    EXPECT_LE(item.interval_length(), config.max_session_minutes + 1e-12);
+  }
+}
+
+TEST(CloudGamingTest, SizesComeFromCatalog) {
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(small_config(), 5);
+  ASSERT_EQ(trace.game_of_item.size(), trace.instance.size());
+  for (std::size_t i = 0; i < trace.instance.size(); ++i) {
+    const GameProfile& game = trace.catalog[trace.game_of_item[i]];
+    EXPECT_DOUBLE_EQ(trace.instance.items()[i].size, game.gpu_fraction);
+  }
+}
+
+TEST(CloudGamingTest, MuIsBoundedByConfig) {
+  const CloudGamingConfig config = small_config();
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 5);
+  const InstanceMetrics metrics = compute_metrics(trace.instance);
+  EXPECT_LE(metrics.mu,
+            config.max_session_minutes / config.min_session_minutes + 1e-9);
+}
+
+TEST(CloudGamingTest, PopularGamesAppearMoreOften) {
+  CloudGamingConfig config = small_config();
+  config.horizon_hours = 48.0;
+  config.catalog = {
+      {"rare", 0.25, 0.5, 30.0, 0.3},
+      {"hit", 0.25, 10.0, 30.0, 0.3},
+  };
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 17);
+  std::size_t hits = 0;
+  for (std::size_t g : trace.game_of_item) hits += (g == 1);
+  EXPECT_GT(hits, trace.instance.size() * 3 / 4);
+}
+
+TEST(CloudGamingTest, DiurnalPatternModulatesArrivals) {
+  CloudGamingConfig config;
+  config.horizon_hours = 24.0;
+  config.peak_arrivals_per_minute = 4.0;
+  config.diurnal_trough_ratio = 0.1;
+  config.peak_hour = 20.0;
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 23);
+  // Count arrivals near the peak (19:00-21:00) vs near the trough
+  // (07:00-09:00): the peak window must be busier.
+  std::size_t peak = 0;
+  std::size_t trough = 0;
+  for (const Item& item : trace.instance.items()) {
+    const double hour = item.arrival / 60.0;
+    if (hour >= 19.0 && hour < 21.0) ++peak;
+    if (hour >= 7.0 && hour < 9.0) ++trough;
+  }
+  EXPECT_GT(peak, 2 * trough);
+}
+
+TEST(CloudGamingTest, ValidatesConfig) {
+  CloudGamingConfig config = small_config();
+  config.horizon_hours = 0.0;
+  EXPECT_THROW((void)generate_cloud_gaming_trace(config, 0), PreconditionError);
+
+  config = small_config();
+  config.diurnal_trough_ratio = 0.0;
+  EXPECT_THROW((void)generate_cloud_gaming_trace(config, 0), PreconditionError);
+
+  config = small_config();
+  config.catalog = {{"bad", 1.5, 1.0, 30.0, 0.3}};  // gpu fraction > 1
+  EXPECT_THROW((void)generate_cloud_gaming_trace(config, 0), PreconditionError);
+
+  config = small_config();
+  config.min_session_minutes = 10.0;
+  config.max_session_minutes = 5.0;
+  EXPECT_THROW((void)generate_cloud_gaming_trace(config, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,73 @@
+#include "core/compensated_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace dbp {
+namespace {
+
+TEST(CompensatedSumTest, StartsAtZero) {
+  CompensatedSum sum;
+  EXPECT_DOUBLE_EQ(sum.value(), 0.0);
+}
+
+TEST(CompensatedSumTest, SimpleAddSubtract) {
+  CompensatedSum sum;
+  sum.add(1.5);
+  sum.add(2.5);
+  sum.subtract(1.0);
+  EXPECT_DOUBLE_EQ(sum.value(), 3.0);
+}
+
+TEST(CompensatedSumTest, InitialValueConstructor) {
+  CompensatedSum sum(10.0);
+  sum.add(0.5);
+  EXPECT_DOUBLE_EQ(sum.value(), 10.5);
+}
+
+TEST(CompensatedSumTest, ResetRestoresExactZero) {
+  CompensatedSum sum;
+  for (int i = 0; i < 1000; ++i) sum.add(0.1);
+  sum.reset();
+  EXPECT_EQ(sum.value(), 0.0);
+  sum.reset(42.0);
+  EXPECT_EQ(sum.value(), 42.0);
+}
+
+TEST(CompensatedSumTest, ManySmallAdditionsStayExactish) {
+  // 10^6 additions of 1e-3: naive summation drifts by ~1e-10; compensated
+  // stays within a few ulps of 1000.
+  CompensatedSum sum;
+  for (int i = 0; i < 1'000'000; ++i) sum.add(1e-3);
+  EXPECT_NEAR(sum.value(), 1000.0, 1e-12);
+}
+
+TEST(CompensatedSumTest, AddRemoveChurnReturnsToStart) {
+  // The bin-level workload: repeatedly add and remove the same sizes.
+  CompensatedSum level;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.001, 0.1);
+  std::vector<double> sizes;
+  for (int round = 0; round < 200; ++round) {
+    sizes.clear();
+    for (int i = 0; i < 50; ++i) {
+      sizes.push_back(dist(rng));
+      level.add(sizes.back());
+    }
+    for (double s : sizes) level.subtract(s);
+  }
+  EXPECT_NEAR(level.value(), 0.0, 1e-12);
+}
+
+TEST(CompensatedSumTest, CancellationOfLargeAndSmall) {
+  CompensatedSum sum;
+  sum.add(1e16);
+  sum.add(1.0);
+  sum.subtract(1e16);
+  EXPECT_DOUBLE_EQ(sum.value(), 1.0);  // naive double arithmetic loses the 1.0
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,102 @@
+#include "core/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dbp {
+namespace {
+
+TEST(CostModelTest, DefaultsAreValid) {
+  CostModel model;
+  EXPECT_NO_THROW(model.validate());
+  EXPECT_DOUBLE_EQ(model.bin_capacity, 1.0);
+  EXPECT_DOUBLE_EQ(model.cost_rate, 1.0);
+}
+
+TEST(CostModelTest, RejectsNonPositiveCapacity) {
+  CostModel model;
+  model.bin_capacity = 0.0;
+  EXPECT_THROW(model.validate(), PreconditionError);
+  model.bin_capacity = -1.0;
+  EXPECT_THROW(model.validate(), PreconditionError);
+}
+
+TEST(CostModelTest, RejectsNonFiniteCapacity) {
+  CostModel model;
+  model.bin_capacity = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(model.validate(), PreconditionError);
+  model.bin_capacity = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(model.validate(), PreconditionError);
+}
+
+TEST(CostModelTest, RejectsNonPositiveCostRate) {
+  CostModel model;
+  model.cost_rate = 0.0;
+  EXPECT_THROW(model.validate(), PreconditionError);
+}
+
+TEST(CostModelTest, RejectsBadTolerance) {
+  CostModel model;
+  model.fit_tolerance = -1e-12;
+  EXPECT_THROW(model.validate(), PreconditionError);
+  model.fit_tolerance = model.bin_capacity;  // must be < capacity
+  EXPECT_THROW(model.validate(), PreconditionError);
+}
+
+TEST(CostModelTest, FitsExactAndWithTolerance) {
+  CostModel model;  // W = 1, tol = 1e-9
+  EXPECT_TRUE(model.fits(0.5, 0.5));
+  EXPECT_TRUE(model.fits(1.0, 1.0));
+  EXPECT_TRUE(model.fits(0.5 + 5e-10, 0.5));   // within tolerance
+  EXPECT_FALSE(model.fits(0.5 + 2e-9, 0.5));   // beyond tolerance
+  EXPECT_FALSE(model.fits(0.3, 0.2));
+}
+
+TEST(CostModelTest, ZeroToleranceIsStrict) {
+  CostModel model;
+  model.fit_tolerance = 0.0;
+  EXPECT_TRUE(model.fits(0.5, 0.5));
+  EXPECT_FALSE(model.fits(std::nextafter(0.5, 1.0), 0.5));
+}
+
+TEST(TimeIntervalTest, LengthAndEmptiness) {
+  EXPECT_DOUBLE_EQ((TimeInterval{1.0, 3.5}).length(), 2.5);
+  EXPECT_FALSE((TimeInterval{1.0, 3.5}).empty());
+  EXPECT_TRUE((TimeInterval{2.0, 2.0}).empty());
+  EXPECT_TRUE((TimeInterval{3.0, 2.0}).empty());
+}
+
+TEST(TimeIntervalTest, ContainsIsHalfOpen) {
+  const TimeInterval iv{1.0, 2.0};
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(1.5));
+  EXPECT_FALSE(iv.contains(2.0));
+  EXPECT_FALSE(iv.contains(0.999));
+}
+
+TEST(TimeIntervalTest, OverlapsRequiresPositiveMeasure) {
+  const TimeInterval a{0.0, 1.0};
+  EXPECT_TRUE(a.overlaps({0.5, 1.5}));
+  EXPECT_FALSE(a.overlaps({1.0, 2.0}));  // touching, zero measure
+  EXPECT_FALSE(a.overlaps({2.0, 3.0}));
+  EXPECT_TRUE(a.overlaps({-1.0, 0.5}));
+  EXPECT_TRUE(a.overlaps({0.25, 0.75}));  // nested
+}
+
+TEST(ErrorTest, RequireMacroThrowsWithMessage) {
+  try {
+    DBP_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMacroThrowsInvariantError) {
+  EXPECT_THROW(DBP_CHECK(false, "broken"), InvariantError);
+  EXPECT_NO_THROW(DBP_CHECK(true, "fine"));
+}
+
+}  // namespace
+}  // namespace dbp

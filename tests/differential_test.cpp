@@ -1,0 +1,139 @@
+// Differential testing: the optimized packers (segment trees, ordered
+// residual indexes) against straightforward O(n*m) reference
+// implementations, item by item, on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "sim/event.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+/// Textbook reference: bins as a plain map from id to (level, items),
+/// linear scans for every decision.
+class ReferencePacker {
+ public:
+  enum class Policy { kFirstFit, kBestFit, kWorstFit, kLastFit };
+
+  ReferencePacker(CostModel model, Policy policy)
+      : model_(model), policy_(policy) {}
+
+  BinId on_arrival(ItemId id, double size) {
+    std::optional<BinId> chosen;
+    for (const auto& [bin, state] : bins_) {
+      if (!model_.fits(size, model_.bin_capacity - state.level)) continue;
+      if (!chosen) {
+        chosen = bin;
+        continue;
+      }
+      const double current = bins_.at(*chosen).level;
+      switch (policy_) {
+        case Policy::kFirstFit:
+          break;  // first qualifying id (map is id-ordered)
+        case Policy::kBestFit:
+          if (state.level > current) chosen = bin;
+          break;
+        case Policy::kWorstFit:
+          if (state.level < current) chosen = bin;
+          break;
+        case Policy::kLastFit:
+          chosen = bin;  // keep the largest qualifying id
+          break;
+      }
+    }
+    const BinId bin = chosen.value_or(next_id_);
+    if (!chosen) {
+      bins_[bin];  // open
+      ++next_id_;
+    }
+    bins_[bin].level += size;
+    bins_[bin].items[id] = size;
+    return bin;
+  }
+
+  void on_departure(ItemId id) {
+    for (auto it = bins_.begin(); it != bins_.end(); ++it) {
+      auto item = it->second.items.find(id);
+      if (item == it->second.items.end()) continue;
+      it->second.level -= item->second;
+      it->second.items.erase(item);
+      if (it->second.items.empty()) bins_.erase(it);
+      return;
+    }
+    FAIL() << "departure of unknown item " << id;
+  }
+
+ private:
+  struct BinState {
+    double level = 0.0;
+    std::map<ItemId, double> items;
+  };
+  CostModel model_;
+  Policy policy_;
+  std::map<BinId, BinState> bins_;  // only open bins
+  BinId next_id_ = 0;
+};
+
+using Cell = std::tuple<std::string, std::uint64_t>;
+
+class DifferentialTest : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(DifferentialTest, OptimizedMatchesReferenceDecisionForDecision) {
+  const auto [name, seed] = GetParam();
+  ReferencePacker::Policy policy{};
+  if (name == "first-fit") policy = ReferencePacker::Policy::kFirstFit;
+  if (name == "best-fit") policy = ReferencePacker::Policy::kBestFit;
+  if (name == "worst-fit") policy = ReferencePacker::Policy::kWorstFit;
+  if (name == "last-fit") policy = ReferencePacker::Policy::kLastFit;
+
+  RandomInstanceConfig config;
+  config.item_count = 1500;
+  config.arrival.rate = 12.0 + static_cast<double>(seed % 3) * 8.0;
+  config.duration.max_length = 1.0 + static_cast<double>(seed % 7);
+  config.size.min_fraction = 0.01;
+  config.size.max_fraction = 0.97;
+  const Instance instance = generate_random_instance(config, seed);
+
+  auto optimized = make_packer(name, unit_model());
+  ReferencePacker reference(unit_model(), policy);
+
+  // Drive both through the same event sequence, comparing every placement.
+  // Bin ids are comparable because both assign them densely in opening
+  // order.
+  for (const Event& event : build_event_sequence(instance)) {
+    const Item& item = instance.item(event.item);
+    if (event.kind == EventKind::kArrival) {
+      const BinId fast = optimized->on_arrival(
+          ArrivingItem{item.id, item.arrival, item.size});
+      const BinId slow = reference.on_arrival(item.id, item.size);
+      ASSERT_EQ(fast, slow) << name << " diverged at item " << item.id;
+    } else {
+      optimized->on_departure(item.id, item.departure);
+      reference.on_departure(item.id);
+    }
+  }
+  EXPECT_EQ(optimized->bins().open_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialTest,
+    ::testing::Combine(::testing::Values("first-fit", "best-fit", "worst-fit",
+                                         "last-fit"),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dbp

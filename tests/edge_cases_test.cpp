@@ -1,0 +1,124 @@
+// Edge cases across the stack: negative times, extreme scales, mass ties,
+// capacity corner cases.
+#include <gtest/gtest.h>
+
+#include "analysis/ratio.hpp"
+#include "core/metrics.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(EdgeCaseTest, NegativeTimesAreFine) {
+  Instance instance;
+  instance.add(-10.0, -2.0, 0.5);
+  instance.add(-5.0, 3.0, 0.5);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  EXPECT_DOUBLE_EQ(result.total_cost, 13.0);  // one bin [-10, 3)
+  EXPECT_EQ(result.bins_opened, 1u);
+  const OptTotalResult opt = estimate_opt_total(instance, unit_model());
+  EXPECT_DOUBLE_EQ(opt.lower_cost, 13.0);
+}
+
+TEST(EdgeCaseTest, TinyAndHugeTimeScalesKeepRatiosFinite) {
+  for (const double scale : {1e-6, 1e6}) {
+    Instance instance;
+    instance.add(0.0, 1.0 * scale, 0.6);
+    instance.add(0.25 * scale, 1.25 * scale, 0.6);
+    const SimulationResult result = simulate(instance, "first-fit", unit_model());
+    const OptTotalResult opt = estimate_opt_total(instance, unit_model());
+    const RatioBounds ratio = competitive_ratio_bounds(result.total_cost, opt);
+    EXPECT_GE(ratio.lower, 1.0 - 1e-9) << scale;
+    EXPECT_LT(ratio.upper, 3.0) << scale;
+  }
+}
+
+TEST(EdgeCaseTest, MassSimultaneousArrivalsAndDepartures) {
+  // 500 identical items, all [0, 1): one big batch in, one big batch out.
+  Instance instance;
+  for (int i = 0; i < 500; ++i) instance.add(0.0, 1.0, 0.25);
+  const SimulationResult result = simulate(instance, "best-fit", unit_model());
+  EXPECT_EQ(result.bins_opened, 125u);  // 4 per bin
+  EXPECT_EQ(result.max_open_bins, 125);
+  EXPECT_DOUBLE_EQ(result.total_cost, 125.0);
+  const OptTotalResult opt = estimate_opt_total(instance, unit_model());
+  EXPECT_TRUE(opt.exact);
+  EXPECT_DOUBLE_EQ(opt.lower_cost, 125.0);  // optimal too
+}
+
+TEST(EdgeCaseTest, ItemExactlyAtCapacity) {
+  Instance instance;
+  instance.add(0.0, 1.0, 1.0);
+  instance.add(0.0, 1.0, 1.0);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  EXPECT_EQ(result.bins_opened, 2u);
+}
+
+TEST(EdgeCaseTest, InstantTurnoverChains) {
+  // Item i departs exactly when item i+1 arrives; departures process first,
+  // so each bin closes and a fresh one opens: n(t) stays 1 throughout.
+  Instance instance;
+  for (int i = 0; i < 50; ++i) {
+    instance.add(static_cast<double>(i), static_cast<double>(i + 1), 0.9);
+  }
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  EXPECT_EQ(result.bins_opened, 50u);
+  EXPECT_EQ(result.max_open_bins, 1);
+  EXPECT_DOUBLE_EQ(result.total_cost, 50.0);
+}
+
+TEST(EdgeCaseTest, VeryLongLivedItemAmongChurn) {
+  Instance instance;
+  instance.add(0.0, 1000.0, 0.5);  // anchor
+  for (int i = 0; i < 200; ++i) {
+    instance.add(5.0 * i, 5.0 * i + 1.0, 0.5);  // churners share the anchor bin
+  }
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  EXPECT_EQ(result.bins_opened, 1u);
+  EXPECT_DOUBLE_EQ(result.total_cost, 1000.0);
+  const InstanceMetrics metrics = compute_metrics(instance);
+  EXPECT_DOUBLE_EQ(metrics.mu, 1000.0);
+}
+
+TEST(EdgeCaseTest, NonUnitCapacityEndToEnd) {
+  const CostModel model{16.0, 0.25, 1e-9};
+  Instance instance;
+  instance.add(0.0, 4.0, 10.0);
+  instance.add(1.0, 3.0, 6.0);   // exactly fills the bin with item 0
+  instance.add(1.5, 2.0, 0.5);   // needs a second bin
+  const InstanceEvaluation evaluation =
+      evaluate_algorithms(instance, {"first-fit"}, model);
+  EXPECT_EQ(evaluation.algorithms[0].bins_opened, 2u);
+  // Bin 0: [0,4) = 4; bin 1: [1.5,2) = 0.5 -> 4.5 * C(0.25).
+  EXPECT_DOUBLE_EQ(evaluation.algorithms[0].total_cost, 4.5 * 0.25);
+}
+
+TEST(EdgeCaseTest, SingleItemEveryAlgorithmIdentical) {
+  Instance instance;
+  instance.add(2.0, 9.0, 0.7);
+  PackerOptions options;
+  options.known_mu = 1.0;
+  for (const std::string& name : all_algorithm_names()) {
+    const SimulationResult result = simulate(instance, name, unit_model(), options);
+    EXPECT_DOUBLE_EQ(result.total_cost, 7.0) << name;
+    EXPECT_EQ(result.bins_opened, 1u) << name;
+  }
+}
+
+TEST(EdgeCaseTest, ZeroWidthOptSegmentsIgnored) {
+  // Arrival and departure batches at the same instant create zero-width
+  // segments; the estimator must skip them without contributing cost.
+  Instance instance;
+  instance.add(0.0, 1.0, 0.5);
+  instance.add(1.0, 2.0, 0.5);
+  instance.add(1.0, 2.0, 0.4);
+  const OptTotalResult opt = estimate_opt_total(instance, unit_model());
+  EXPECT_DOUBLE_EQ(opt.lower_cost, 2.0);
+  EXPECT_TRUE(opt.exact);
+}
+
+}  // namespace
+}  // namespace dbp

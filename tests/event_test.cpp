@@ -1,0 +1,74 @@
+#include "sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dbp {
+namespace {
+
+TEST(EventOrderTest, TimeDominates) {
+  const Event a{1.0, EventKind::kArrival, 0};
+  const Event b{2.0, EventKind::kDeparture, 1};
+  EXPECT_TRUE(event_before(a, b));
+  EXPECT_FALSE(event_before(b, a));
+}
+
+TEST(EventOrderTest, DeparturesBeforeArrivalsAtEqualTime) {
+  const Event arrival{1.0, EventKind::kArrival, 0};
+  const Event departure{1.0, EventKind::kDeparture, 5};
+  EXPECT_TRUE(event_before(departure, arrival));
+  EXPECT_FALSE(event_before(arrival, departure));
+}
+
+TEST(EventOrderTest, ItemIdBreaksRemainingTies) {
+  const Event a{1.0, EventKind::kArrival, 2};
+  const Event b{1.0, EventKind::kArrival, 3};
+  EXPECT_TRUE(event_before(a, b));
+  EXPECT_FALSE(event_before(b, a));
+  EXPECT_FALSE(event_before(a, a));  // irreflexive
+}
+
+TEST(EventSequenceTest, TwoEventsPerItemSorted) {
+  Instance instance;
+  instance.add(1.0, 3.0, 0.5);  // id 0
+  instance.add(0.0, 1.0, 0.5);  // id 1
+  const auto events = build_event_sequence(instance);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], (Event{0.0, EventKind::kArrival, 1}));
+  // At t = 1: item 1 departs before item 0 arrives.
+  EXPECT_EQ(events[1], (Event{1.0, EventKind::kDeparture, 1}));
+  EXPECT_EQ(events[2], (Event{1.0, EventKind::kArrival, 0}));
+  EXPECT_EQ(events[3], (Event{3.0, EventKind::kDeparture, 0}));
+}
+
+TEST(EventSequenceTest, SimultaneousArrivalsOrderedById) {
+  Instance instance;
+  instance.add(0.0, 1.0, 0.1);
+  instance.add(0.0, 1.0, 0.1);
+  instance.add(0.0, 1.0, 0.1);
+  const auto events = build_event_sequence(instance);
+  ASSERT_EQ(events.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].kind, EventKind::kArrival);
+    EXPECT_EQ(events[i].item, static_cast<ItemId>(i));
+  }
+}
+
+TEST(EventSequenceTest, EmptyInstance) {
+  EXPECT_TRUE(build_event_sequence(Instance{}).empty());
+}
+
+TEST(EventSequenceTest, IsSortedForRandomishInput) {
+  Instance instance;
+  for (int i = 0; i < 100; ++i) {
+    const double a = static_cast<double>((i * 37) % 50);
+    instance.add(a, a + 1.0 + (i % 7), 0.1);
+  }
+  const auto events = build_event_sequence(instance);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(), event_before));
+  EXPECT_EQ(events.size(), 200u);
+}
+
+}  // namespace
+}  // namespace dbp

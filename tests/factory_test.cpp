@@ -1,0 +1,72 @@
+#include "algo/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(FactoryTest, BuildsEveryRegisteredAlgorithm) {
+  PackerOptions options;
+  options.known_mu = 4.0;
+  for (const std::string& name : all_algorithm_names()) {
+    auto packer = make_packer(name, unit_model(), options);
+    ASSERT_NE(packer, nullptr) << name;
+    EXPECT_FALSE(packer->name().empty()) << name;
+    // Smoke: the packer can place and release an item.
+    packer->on_arrival({0, 0.0, 0.5});
+    packer->on_departure(0, 1.0);
+    EXPECT_EQ(packer->bins().open_count(), 0u) << name;
+  }
+}
+
+TEST(FactoryTest, UnknownNameThrows) {
+  EXPECT_THROW((void)make_packer("frist-fit", unit_model()), PreconditionError);
+  EXPECT_THROW((void)make_packer("", unit_model()), PreconditionError);
+}
+
+TEST(FactoryTest, KnownMuVariantRequiresMu) {
+  EXPECT_THROW((void)make_packer("modified-first-fit-known-mu", unit_model()),
+               PreconditionError);
+  PackerOptions options;
+  options.known_mu = 2.0;
+  EXPECT_NO_THROW(make_packer("modified-first-fit-known-mu", unit_model(), options));
+}
+
+TEST(FactoryTest, MffKIsConfigurable) {
+  PackerOptions options;
+  options.mff_k = 4.0;
+  auto packer = make_packer("modified-first-fit", unit_model(), options);
+  EXPECT_EQ(packer->name(), "modified-first-fit(k=4)");
+}
+
+TEST(FactoryTest, HarmonicClassesConfigurable) {
+  PackerOptions options;
+  options.harmonic_classes = 7;
+  auto packer = make_packer("harmonic-first-fit", unit_model(), options);
+  EXPECT_EQ(packer->name(), "harmonic-first-fit(K=7)");
+}
+
+TEST(FactoryTest, RandomFitSeedIsDeterministic) {
+  PackerOptions options;
+  options.seed = 7;
+  auto a = make_packer("random-fit", unit_model(), options);
+  auto b = make_packer("random-fit", unit_model(), options);
+  for (ItemId i = 0; i < 200; ++i) {
+    const double size = 0.1 + 0.05 * static_cast<double>(i % 5);
+    EXPECT_EQ(a->on_arrival({i, 0.0, size}), b->on_arrival({i, 0.0, size}));
+  }
+}
+
+TEST(FactoryTest, PaperAlgorithmsAreSubsetOfAll) {
+  const auto& all = all_algorithm_names();
+  for (const std::string& name : paper_algorithm_names()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,207 @@
+// Section 4.3 machinery: decomposition of First Fit traces into usage
+// periods, sub-periods, reference periods, and the paper's invariants.
+#include "analysis/ff_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+struct FfRun {
+  Instance instance;
+  SimulationResult result;
+  FFDecomposition decomposition;
+};
+
+FfRun run_ff(Instance instance) {
+  FfRun run;
+  run.result = simulate(instance, "first-fit", unit_model());
+  run.decomposition = decompose_first_fit(instance, run.result);
+  run.instance = std::move(instance);
+  return run;
+}
+
+TEST(FfDecompositionTest, SingleBinHasEmptyLeftPart) {
+  Instance instance;
+  instance.add(0.0, 4.0, 0.5);
+  instance.add(1.0, 3.0, 0.25);
+  const FfRun run = run_ff(std::move(instance));
+  const FFDecomposition& d = run.decomposition;
+  ASSERT_EQ(d.usage.size(), 1u);
+  EXPECT_TRUE(d.left_part[0].empty());
+  EXPECT_EQ(d.right_part[0], (TimeInterval{0.0, 4.0}));
+  EXPECT_TRUE(d.sub_periods.empty());
+  EXPECT_DOUBLE_EQ(d.span, 4.0);
+  EXPECT_DOUBLE_EQ(d.ff_total, 4.0);
+}
+
+TEST(FfDecompositionTest, SecondBinLeftPartEndsAtPriorClose) {
+  // Bin 0: [0, 10). Bin 1 opens at 2 (forced by capacity) and outlives
+  // bin 0: I_2^L = [2, 10), I_2^R = [10, 12).
+  Instance instance;
+  instance.add(0.0, 10.0, 0.8);  // bin 0
+  instance.add(2.0, 12.0, 0.8);  // bin 1
+  const FfRun run = run_ff(std::move(instance));
+  const FFDecomposition& d = run.decomposition;
+  ASSERT_EQ(d.usage.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.latest_prior_close[1], 10.0);
+  EXPECT_EQ(d.left_part[1], (TimeInterval{2.0, 10.0}));
+  EXPECT_EQ(d.right_part[1], (TimeInterval{10.0, 12.0}));
+  // span(R) = sum of right parts (equation 5).
+  EXPECT_DOUBLE_EQ(d.span, 10.0 + 2.0);
+}
+
+TEST(FfDecompositionTest, LeftPartContainedInPriorUsageIsAllLeft) {
+  // Bin 1 opens and closes inside bin 0's usage: I^R empty.
+  Instance instance;
+  instance.add(0.0, 10.0, 0.8);  // bin 0
+  instance.add(2.0, 5.0, 0.8);   // bin 1, nested
+  const FfRun run = run_ff(std::move(instance));
+  const FFDecomposition& d = run.decomposition;
+  EXPECT_EQ(d.left_part[1], (TimeInterval{2.0, 5.0}));
+  EXPECT_TRUE(d.right_part[1].empty());
+  ASSERT_EQ(d.sub_periods.size(), 1u);
+  const SubPeriod& sub = d.sub_periods[0];
+  EXPECT_EQ(sub.bin, 1u);
+  EXPECT_EQ(sub.index, 1u);
+  // f.4: reference point = left endpoint = bin opening.
+  EXPECT_DOUBLE_EQ(sub.reference_point, 2.0);
+  // Reference bin: the only earlier bin still open at t = 2.
+  EXPECT_EQ(sub.reference_bin, 0u);
+}
+
+// Two bins kept continuously open by overlapping chains: bin 0 receives a
+// 0.45-item every 2 time units (level 0.9 from t = 2 on), so the 0.45-items
+// arriving at odd times don't fit bin 0 and sustain bin 1. All interval
+// lengths are 4, so mu = 1, Delta = 4, (mu+2)*Delta = 12.
+Instance two_chain_instance(int bin0_arrivals, Time bin1_first,
+                            int bin1_arrivals) {
+  Instance instance;
+  for (int i = 0; i < bin0_arrivals; ++i) {
+    instance.add(2.0 * i, 2.0 * i + 4.0, 0.45);
+  }
+  for (int i = 0; i < bin1_arrivals; ++i) {
+    instance.add(bin1_first + 2.0 * i, bin1_first + 2.0 * i + 4.0, 0.45);
+  }
+  return instance;
+}
+
+TEST(FfDecompositionTest, LongLeftPartIsSplit) {
+  // Bin 0 open [0, 32); bin 1 open [3, 23): I_1^L = [3, 23), length 20 > 12.
+  // Split backwards from 23 at 11 => [3,11) (length 8 = 2*Delta, no merge)
+  // and [11,23) (length 12).
+  const FfRun run = run_ff(two_chain_instance(15, 3.0, 9));
+  const FFDecomposition& d = run.decomposition;
+  EXPECT_DOUBLE_EQ(d.mu, 1.0);
+  EXPECT_DOUBLE_EQ(d.delta, 4.0);
+  ASSERT_EQ(d.usage.size(), 2u);
+  EXPECT_EQ(d.usage[1], (TimeInterval{3.0, 23.0}));
+  EXPECT_EQ(d.left_part[1], (TimeInterval{3.0, 23.0}));
+  std::size_t bin1_subs = 0;
+  for (const SubPeriod& sub : d.sub_periods) {
+    if (sub.bin == 1) ++bin1_subs;
+  }
+  EXPECT_EQ(bin1_subs, 2u);
+  const DecompositionReport report =
+      verify_ff_decomposition(run.instance, run.result, d, unit_model());
+  EXPECT_TRUE(report.all_ok()) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+}
+
+TEST(FfDecompositionTest, ShortFirstPieceIsMerged) {
+  // Bin 1 open [3, 17): length 14 > 12, remainder piece [3,5) is shorter
+  // than 2*Delta = 8 => merged into a single 14-long first sub-period.
+  const FfRun run = run_ff(two_chain_instance(15, 3.0, 6));
+  const FFDecomposition& d = run.decomposition;
+  ASSERT_EQ(d.usage.size(), 2u);
+  EXPECT_EQ(d.left_part[1], (TimeInterval{3.0, 17.0}));
+  std::size_t bin1_subs = 0;
+  for (const SubPeriod& sub : d.sub_periods) {
+    if (sub.bin == 1) ++bin1_subs;
+  }
+  EXPECT_EQ(bin1_subs, 1u);  // merged
+  // f.1: the merged piece is within (mu+4)*Delta = 20.
+  const DecompositionReport report =
+      verify_ff_decomposition(run.instance, run.result, d, unit_model());
+  EXPECT_TRUE(report.features_ok) << (report.violations.empty()
+                                          ? ""
+                                          : report.violations.front());
+}
+
+TEST(FfDecompositionTest, AggregateIdentities) {
+  RandomInstanceConfig config;
+  config.item_count = 400;
+  config.arrival.rate = 8.0;
+  const Instance instance = generate_random_instance(config, 21);
+  const FfRun run = run_ff(Instance{instance});
+  const FFDecomposition& d = run.decomposition;
+  // Equation (4)/(6): FF_total = sum(left) + span.
+  EXPECT_NEAR(d.ff_total, d.sum_left_lengths + d.span, 1e-9 * d.ff_total);
+  // FF_total from decomposition equals the simulator's accounting (C = 1).
+  EXPECT_NEAR(d.ff_total, run.result.total_cost, 1e-9 * d.ff_total);
+  // span equals the instance span.
+  EXPECT_NEAR(d.span, span_of(instance), 1e-9 * d.span);
+}
+
+TEST(FfDecompositionTest, VerifierPassesOnRandomFirstFitTrace) {
+  RandomInstanceConfig config;
+  config.item_count = 600;
+  config.arrival.rate = 10.0;
+  config.duration.min_length = 1.0;
+  config.duration.max_length = 4.0;
+  const Instance instance = generate_random_instance(config, 31);
+  const FfRun run = run_ff(Instance{instance});
+  const DecompositionReport report = verify_ff_decomposition(
+      run.instance, run.result, run.decomposition, unit_model());
+  EXPECT_TRUE(report.all_ok()) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+}
+
+TEST(FfDecompositionTest, SmallItemInequalityEight) {
+  // All sizes < W/k with k = 4: inequality (8) must hold for every counted
+  // reference period.
+  RandomInstanceConfig config;
+  config.item_count = 600;
+  config.arrival.rate = 20.0;
+  config.size.kind = SizeModel::Kind::kUniform;
+  config.size.min_fraction = 0.01;
+  config.size.max_fraction = 0.24;
+  const Instance instance = generate_random_instance(config, 41);
+  const FfRun run = run_ff(Instance{instance});
+  const DecompositionReport report = verify_ff_decomposition(
+      run.instance, run.result, run.decomposition, unit_model(), 4.0);
+  EXPECT_TRUE(report.all_ok()) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+}
+
+TEST(FfDecompositionTest, CostBoundInequalityTen) {
+  RandomInstanceConfig config;
+  config.item_count = 500;
+  config.arrival.rate = 10.0;
+  const Instance instance = generate_random_instance(config, 51);
+  const FfRun run = run_ff(Instance{instance});
+  EXPECT_LE(run.decomposition.ff_total, run.decomposition.cost_bound(1.0) + 1e-9);
+}
+
+TEST(FfDecompositionTest, RejectsMismatchedInputs) {
+  Instance instance;
+  instance.add(0.0, 1.0, 0.5);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  Instance other;
+  other.add(0.0, 1.0, 0.5);
+  other.add(0.0, 1.0, 0.25);
+  EXPECT_THROW(decompose_first_fit(other, result), PreconditionError);
+  EXPECT_THROW(decompose_first_fit(Instance{}, result), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,110 @@
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/item.hpp"
+
+namespace dbp {
+namespace {
+
+TEST(ItemTest, DerivedQuantities) {
+  const Item item{3, 1.0, 4.0, 0.25};
+  EXPECT_DOUBLE_EQ(item.interval_length(), 3.0);
+  EXPECT_DOUBLE_EQ(item.resource_demand(), 0.75);
+  EXPECT_EQ(item.interval(), (TimeInterval{1.0, 4.0}));
+}
+
+TEST(ItemTest, ActivityIsHalfOpen) {
+  const Item item{0, 1.0, 4.0, 0.25};
+  EXPECT_TRUE(item.active_at(1.0));
+  EXPECT_TRUE(item.active_at(3.999));
+  EXPECT_FALSE(item.active_at(4.0));
+  EXPECT_FALSE(item.active_at(0.999));
+}
+
+TEST(ItemTest, ValidationRejectsBadItems) {
+  EXPECT_NO_THROW((Item{0, 0.0, 1.0, 0.5}).validate());
+  EXPECT_THROW((Item{0, 1.0, 1.0, 0.5}).validate(), PreconditionError);  // d == a
+  EXPECT_THROW((Item{0, 2.0, 1.0, 0.5}).validate(), PreconditionError);  // d < a
+  EXPECT_THROW((Item{0, 0.0, 1.0, 0.0}).validate(), PreconditionError);  // size 0
+  EXPECT_THROW((Item{0, 0.0, 1.0, -0.5}).validate(), PreconditionError);
+}
+
+TEST(InstanceTest, AddAssignsDenseIds) {
+  Instance instance;
+  EXPECT_EQ(instance.add(0.0, 1.0, 0.5), 0u);
+  EXPECT_EQ(instance.add(1.0, 2.0, 0.25), 1u);
+  EXPECT_EQ(instance.size(), 2u);
+  EXPECT_EQ(instance.item(0).id, 0u);
+  EXPECT_EQ(instance.item(1).id, 1u);
+}
+
+TEST(InstanceTest, AddValidates) {
+  Instance instance;
+  EXPECT_THROW(instance.add(1.0, 1.0, 0.5), PreconditionError);
+  EXPECT_THROW(instance.add(0.0, 1.0, 0.0), PreconditionError);
+  EXPECT_EQ(instance.size(), 0u);
+}
+
+TEST(InstanceTest, ItemOutOfRangeThrows) {
+  Instance instance;
+  instance.add(0.0, 1.0, 0.5);
+  EXPECT_THROW((void)instance.item(1), PreconditionError);
+}
+
+TEST(InstanceTest, FromItemsReassignsIds) {
+  std::vector<Item> items{{99, 0.0, 1.0, 0.5}, {7, 1.0, 2.0, 0.25}};
+  const Instance instance = Instance::from_items(std::move(items));
+  EXPECT_EQ(instance.item(0).id, 0u);
+  EXPECT_EQ(instance.item(1).id, 1u);
+  EXPECT_DOUBLE_EQ(instance.item(1).size, 0.25);
+}
+
+TEST(InstanceTest, FromItemsValidates) {
+  std::vector<Item> items{{0, 2.0, 1.0, 0.5}};
+  EXPECT_THROW(Instance::from_items(std::move(items)), PreconditionError);
+}
+
+TEST(InstanceTest, ArrivalOrderSortsByTimeThenId) {
+  Instance instance;
+  instance.add(2.0, 3.0, 0.1);  // id 0
+  instance.add(1.0, 3.0, 0.1);  // id 1
+  instance.add(1.0, 2.0, 0.1);  // id 2 (ties with id 1 on arrival)
+  instance.add(0.5, 1.0, 0.1);  // id 3
+  const auto order = instance.arrival_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(InstanceTest, PackingPeriodSpansAllItems) {
+  Instance instance;
+  instance.add(3.0, 5.0, 0.1);
+  instance.add(1.0, 2.0, 0.1);
+  instance.add(4.0, 9.0, 0.1);
+  EXPECT_EQ(instance.packing_period(), (TimeInterval{1.0, 9.0}));
+}
+
+TEST(InstanceTest, PackingPeriodOfEmptyThrows) {
+  Instance instance;
+  EXPECT_THROW((void)instance.packing_period(), PreconditionError);
+}
+
+TEST(InstanceTest, AppendReassignsIds) {
+  Instance a;
+  a.add(0.0, 1.0, 0.5);
+  Instance b;
+  b.add(2.0, 3.0, 0.25);
+  b.add(3.0, 4.0, 0.75);
+  a.append(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.item(1).id, 1u);
+  EXPECT_DOUBLE_EQ(a.item(2).size, 0.75);
+  EXPECT_EQ(b.size(), 2u);  // source untouched
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,102 @@
+#include "core/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+TEST(IntervalSetTest, EmptySet) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.total_length(), 0.0);
+  EXPECT_EQ(set.piece_count(), 0u);
+  EXPECT_FALSE(set.contains(0.0));
+  EXPECT_THROW((void)set.min(), PreconditionError);
+  EXPECT_THROW((void)set.max(), PreconditionError);
+}
+
+TEST(IntervalSetTest, SingleInterval) {
+  IntervalSet set({{1.0, 3.0}});
+  EXPECT_DOUBLE_EQ(set.total_length(), 2.0);
+  EXPECT_EQ(set.piece_count(), 1u);
+  EXPECT_DOUBLE_EQ(set.min(), 1.0);
+  EXPECT_DOUBLE_EQ(set.max(), 3.0);
+}
+
+TEST(IntervalSetTest, DropsEmptyIntervals) {
+  IntervalSet set({{1.0, 1.0}, {3.0, 2.0}, {5.0, 6.0}});
+  EXPECT_EQ(set.piece_count(), 1u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 1.0);
+}
+
+TEST(IntervalSetTest, MergesOverlapping) {
+  IntervalSet set({{0.0, 2.0}, {1.0, 3.0}, {2.5, 4.0}});
+  EXPECT_EQ(set.piece_count(), 1u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 4.0);
+}
+
+TEST(IntervalSetTest, MergesTouching) {
+  IntervalSet set({{0.0, 1.0}, {1.0, 2.0}});
+  EXPECT_EQ(set.piece_count(), 1u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 2.0);
+}
+
+TEST(IntervalSetTest, KeepsDisjointPieces) {
+  IntervalSet set({{0.0, 1.0}, {2.0, 3.0}, {5.0, 8.0}});
+  EXPECT_EQ(set.piece_count(), 3u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 5.0);
+}
+
+TEST(IntervalSetTest, UnsortedInputIsNormalized) {
+  IntervalSet set({{5.0, 8.0}, {0.0, 1.0}, {2.0, 3.0}});
+  ASSERT_EQ(set.piece_count(), 3u);
+  EXPECT_DOUBLE_EQ(set.pieces()[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(set.pieces()[2].end, 8.0);
+}
+
+TEST(IntervalSetTest, PaperFigure1SpanExample) {
+  // Figure 1's shape: overlapping item intervals whose union is shorter
+  // than the sum of lengths but longer than any single interval.
+  IntervalSet set({{0.0, 3.0}, {2.0, 5.0}, {7.0, 9.0}});
+  EXPECT_DOUBLE_EQ(set.total_length(), 7.0);  // [0,5) u [7,9)
+  EXPECT_EQ(set.piece_count(), 2u);
+}
+
+TEST(IntervalSetTest, ContainsQueriesHalfOpen) {
+  IntervalSet set({{0.0, 1.0}, {2.0, 3.0}});
+  EXPECT_TRUE(set.contains(0.0));
+  EXPECT_TRUE(set.contains(0.5));
+  EXPECT_FALSE(set.contains(1.0));
+  EXPECT_FALSE(set.contains(1.5));
+  EXPECT_TRUE(set.contains(2.0));
+  EXPECT_FALSE(set.contains(3.0));
+}
+
+TEST(IntervalSetTest, InsertRenormalizes) {
+  IntervalSet set({{0.0, 1.0}, {3.0, 4.0}});
+  set.insert({0.5, 3.5});
+  EXPECT_EQ(set.piece_count(), 1u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 4.0);
+  set.insert({10.0, 10.0});  // empty: no-op
+  EXPECT_EQ(set.piece_count(), 1u);
+}
+
+TEST(IntervalSetTest, LengthWithinWindow) {
+  IntervalSet set({{0.0, 2.0}, {4.0, 6.0}});
+  EXPECT_DOUBLE_EQ(set.length_within({0.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(set.length_within({1.0, 5.0}), 2.0);
+  EXPECT_DOUBLE_EQ(set.length_within({2.0, 4.0}), 0.0);
+  EXPECT_DOUBLE_EQ(set.length_within({5.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(set.length_within({-10.0, 10.0}), 4.0);
+}
+
+TEST(IntervalSetTest, EqualityComparesNormalizedForm) {
+  IntervalSet a({{0.0, 1.0}, {1.0, 2.0}});
+  IntervalSet b({{0.0, 2.0}});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,96 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+Instance make_three_item_instance() {
+  Instance instance;
+  instance.add(0.0, 3.0, 0.5);   // len 3, demand 1.5
+  instance.add(2.0, 5.0, 0.25);  // len 3, demand 0.75
+  instance.add(7.0, 9.0, 1.0);   // len 2, demand 2.0
+  return instance;
+}
+
+TEST(MetricsTest, SpanMatchesFigure1Semantics) {
+  const Instance instance = make_three_item_instance();
+  EXPECT_DOUBLE_EQ(span_of(instance), 7.0);  // [0,5) u [7,9)
+}
+
+TEST(MetricsTest, SpanOfEmptyListIsZero) {
+  EXPECT_DOUBLE_EQ(span_of(std::span<const Item>{}), 0.0);
+}
+
+TEST(MetricsTest, IntervalUnion) {
+  const Instance instance = make_three_item_instance();
+  const IntervalSet set = interval_union_of(instance.items());
+  EXPECT_EQ(set.piece_count(), 2u);
+}
+
+TEST(MetricsTest, TotalDemand) {
+  const Instance instance = make_three_item_instance();
+  EXPECT_DOUBLE_EQ(total_demand_of(instance), 1.5 + 0.75 + 2.0);
+}
+
+TEST(MetricsTest, ComputeMetricsAggregates) {
+  const InstanceMetrics m = compute_metrics(make_three_item_instance());
+  EXPECT_EQ(m.item_count, 3u);
+  EXPECT_DOUBLE_EQ(m.min_interval_length, 2.0);
+  EXPECT_DOUBLE_EQ(m.max_interval_length, 3.0);
+  EXPECT_DOUBLE_EQ(m.mu, 1.5);
+  EXPECT_DOUBLE_EQ(m.min_size, 0.25);
+  EXPECT_DOUBLE_EQ(m.max_size, 1.0);
+  EXPECT_DOUBLE_EQ(m.total_demand, 4.25);
+  EXPECT_DOUBLE_EQ(m.span, 7.0);
+  EXPECT_EQ(m.packing_period, (TimeInterval{0.0, 9.0}));
+}
+
+TEST(MetricsTest, ComputeMetricsOfEmptyThrows) {
+  EXPECT_THROW((void)compute_metrics(std::span<const Item>{}), PreconditionError);
+}
+
+TEST(MetricsTest, MuOfUniformLengthsIsOne) {
+  Instance instance;
+  instance.add(0.0, 2.0, 0.5);
+  instance.add(5.0, 7.0, 0.5);
+  EXPECT_DOUBLE_EQ(compute_metrics(instance).mu, 1.0);
+}
+
+TEST(CostBoundsTest, PaperBoundsB1B2B3) {
+  const Instance instance = make_three_item_instance();
+  const CostModel model{1.0, 2.0, 1e-9};  // W = 1, C = 2
+  const CostBounds bounds = compute_cost_bounds(instance, model);
+  EXPECT_DOUBLE_EQ(bounds.demand_lower, 4.25 * 2.0 / 1.0);       // (b.1)
+  EXPECT_DOUBLE_EQ(bounds.span_lower, 7.0 * 2.0);                // (b.2)
+  EXPECT_DOUBLE_EQ(bounds.one_per_item_upper, (3.0 + 3.0 + 2.0) * 2.0);  // (b.3)
+  EXPECT_DOUBLE_EQ(bounds.lower(), 14.0);
+}
+
+TEST(CostBoundsTest, CapacityScalesDemandBound) {
+  const Instance instance = make_three_item_instance();
+  const CostModel model{2.0, 1.0, 1e-9};  // W = 2
+  const CostBounds bounds = compute_cost_bounds(instance, model);
+  EXPECT_DOUBLE_EQ(bounds.demand_lower, 4.25 / 2.0);
+}
+
+TEST(CostBoundsTest, EmptyListGivesZeros) {
+  const CostBounds bounds =
+      compute_cost_bounds(std::span<const Item>{}, CostModel{});
+  EXPECT_DOUBLE_EQ(bounds.demand_lower, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.span_lower, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.one_per_item_upper, 0.0);
+}
+
+TEST(CostBoundsTest, BoundsAreOrdered) {
+  // (b.1), (b.2) <= (b.3) always.
+  const Instance instance = make_three_item_instance();
+  const CostBounds bounds = compute_cost_bounds(instance, CostModel{});
+  EXPECT_LE(bounds.demand_lower, bounds.one_per_item_upper);
+  EXPECT_LE(bounds.span_lower, bounds.one_per_item_upper);
+}
+
+}  // namespace
+}  // namespace dbp

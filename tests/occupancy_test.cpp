@@ -1,0 +1,98 @@
+#include "analysis/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(OccupancyTest, SingleFullBin) {
+  Instance instance;
+  instance.add(0.0, 4.0, 1.0);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  const OccupancyReport report = compute_occupancy(instance, result, unit_model());
+  EXPECT_DOUBLE_EQ(report.used_volume, 4.0);
+  EXPECT_DOUBLE_EQ(report.paid_volume, 4.0);
+  EXPECT_DOUBLE_EQ(report.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(report.busy_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.bin_lifetime.mean, 4.0);
+  EXPECT_DOUBLE_EQ(report.items_per_bin.mean, 1.0);
+}
+
+TEST(OccupancyTest, HalfEmptyBin) {
+  Instance instance;
+  instance.add(0.0, 4.0, 0.5);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  const OccupancyReport report = compute_occupancy(instance, result, unit_model());
+  EXPECT_DOUBLE_EQ(report.utilization, 0.5);
+  EXPECT_DOUBLE_EQ(report.mean_level, 0.5);
+}
+
+TEST(OccupancyTest, CapacityScalesPaidVolume) {
+  Instance instance;
+  instance.add(0.0, 2.0, 1.0);
+  const CostModel model{4.0, 1.0, 1e-9};
+  const SimulationResult result = simulate(instance, "first-fit", model);
+  const OccupancyReport report = compute_occupancy(instance, result, model);
+  EXPECT_DOUBLE_EQ(report.paid_volume, 8.0);  // 2 time x capacity 4
+  EXPECT_DOUBLE_EQ(report.utilization, 0.25);
+  EXPECT_DOUBLE_EQ(report.mean_level, 1.0);
+}
+
+TEST(OccupancyTest, IdleGapReducesBusyFraction) {
+  Instance instance;
+  instance.add(0.0, 1.0, 0.5);
+  instance.add(3.0, 4.0, 0.5);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  const OccupancyReport report = compute_occupancy(instance, result, unit_model());
+  EXPECT_DOUBLE_EQ(report.busy_fraction, 0.5);  // 2 busy of 4 total
+  EXPECT_EQ(report.bin_lifetime.count, 2u);
+  EXPECT_DOUBLE_EQ(report.items_per_bin.max, 1.0);
+}
+
+TEST(OccupancyTest, UtilizationBoundedByOne) {
+  RandomInstanceConfig config;
+  config.item_count = 400;
+  const Instance instance = generate_random_instance(config, 3);
+  for (const std::string name : {"first-fit", "next-fit", "best-fit"}) {
+    const SimulationResult result = simulate(instance, name, unit_model());
+    const OccupancyReport report =
+        compute_occupancy(instance, result, unit_model());
+    EXPECT_GT(report.utilization, 0.0) << name;
+    EXPECT_LE(report.utilization, 1.0 + 1e-9) << name;
+    EXPECT_LE(report.busy_fraction, 1.0 + 1e-9) << name;
+  }
+}
+
+TEST(OccupancyTest, TighterAlgorithmHasHigherUtilization) {
+  // Next Fit strands capacity; First Fit reuses it. On a churny workload
+  // FF's utilization must be at least NF's.
+  RandomInstanceConfig config;
+  config.item_count = 600;
+  config.arrival.rate = 15.0;
+  const Instance instance = generate_random_instance(config, 8);
+  const OccupancyReport ff = compute_occupancy(
+      instance, simulate(instance, "first-fit", unit_model()), unit_model());
+  const OccupancyReport nf = compute_occupancy(
+      instance, simulate(instance, "next-fit", unit_model()), unit_model());
+  EXPECT_GT(ff.utilization, nf.utilization);
+}
+
+TEST(OccupancyTest, RejectsEmptyAndMismatched) {
+  Instance instance;
+  instance.add(0.0, 1.0, 0.5);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  EXPECT_THROW((void)compute_occupancy(Instance{}, result, unit_model()),
+               PreconditionError);
+  Instance other;
+  other.add(0.0, 1.0, 0.5);
+  other.add(0.0, 1.0, 0.5);
+  EXPECT_THROW((void)compute_occupancy(other, result, unit_model()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

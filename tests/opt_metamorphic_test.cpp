@@ -1,0 +1,98 @@
+// Metamorphic tests of the OPT_total estimator: structural relations that
+// must hold between the optimum of an instance and the optima of its
+// transformations, independent of any reference value.
+#include <gtest/gtest.h>
+
+#include "opt/opt_total.hpp"
+#include "workload/random_instance.hpp"
+#include "workload/transform.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+class OptMetamorphicTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Instance make(std::uint64_t salt) const {
+    RandomInstanceConfig config;
+    config.item_count = 200;
+    config.arrival.rate = 5.0 + static_cast<double>(GetParam() % 4) * 3.0;
+    config.duration.max_length = 2.0 + static_cast<double>(GetParam() % 3);
+    return generate_random_instance(config, GetParam() * 1000 + salt);
+  }
+};
+
+TEST_P(OptMetamorphicTest, CroppingNeverIncreasesOpt) {
+  const Instance full = make(1);
+  const TimeInterval period = full.packing_period();
+  const TimeInterval window{period.begin + 0.25 * period.length(),
+                            period.begin + 0.75 * period.length()};
+  const Instance cropped = crop(full, window);
+  if (cropped.empty()) GTEST_SKIP();
+  const OptTotalResult whole = estimate_opt_total(full, unit_model());
+  const OptTotalResult part = estimate_opt_total(cropped, unit_model());
+  // Pointwise the cropped active set is a subset, so OPT can only shrink.
+  EXPECT_LE(part.lower_cost, whole.upper_cost + 1e-9);
+}
+
+TEST_P(OptMetamorphicTest, OverlayDominatesEachPart) {
+  const Instance a = make(1);
+  const Instance b = make(2);
+  const Instance merged = overlay(a, b);
+  const OptTotalResult opt_a = estimate_opt_total(a, unit_model());
+  const OptTotalResult opt_b = estimate_opt_total(b, unit_model());
+  const OptTotalResult opt_m = estimate_opt_total(merged, unit_model());
+  EXPECT_GE(opt_m.upper_cost, opt_a.lower_cost - 1e-9);
+  EXPECT_GE(opt_m.upper_cost, opt_b.lower_cost - 1e-9);
+  // Subadditivity: packing the parts separately is feasible for the union.
+  EXPECT_LE(opt_m.lower_cost, opt_a.upper_cost + opt_b.upper_cost + 1e-9);
+}
+
+TEST_P(OptMetamorphicTest, ConcatenationIsAdditive) {
+  const Instance a = make(1);
+  const Instance b = make(2);
+  const Instance joined = concatenate(a, b, 1.0);
+  const OptTotalResult opt_a = estimate_opt_total(a, unit_model());
+  const OptTotalResult opt_b = estimate_opt_total(b, unit_model());
+  const OptTotalResult opt_j = estimate_opt_total(joined, unit_model());
+  // Time-disjoint pieces: the optimum decomposes exactly (up to interval
+  // widths of the certified bounds).
+  EXPECT_LE(opt_j.lower_cost, opt_a.upper_cost + opt_b.upper_cost + 1e-6);
+  EXPECT_GE(opt_j.upper_cost, opt_a.lower_cost + opt_b.lower_cost - 1e-6);
+}
+
+TEST_P(OptMetamorphicTest, TimeScalingIsLinear) {
+  const Instance original = make(3);
+  const Instance scaled = scale_time(original, 4.0, 11.0);
+  const OptTotalResult base = estimate_opt_total(original, unit_model());
+  const OptTotalResult stretched = estimate_opt_total(scaled, unit_model());
+  EXPECT_NEAR(stretched.lower_cost, 4.0 * base.lower_cost,
+              1e-6 * stretched.lower_cost + 1e-9);
+  EXPECT_NEAR(stretched.upper_cost, 4.0 * base.upper_cost,
+              1e-6 * stretched.upper_cost + 1e-9);
+}
+
+TEST_P(OptMetamorphicTest, ReversalPreservesOpt) {
+  const Instance original = make(4);
+  const Instance reversed = reverse_time(original);
+  const OptTotalResult fwd = estimate_opt_total(original, unit_model());
+  const OptTotalResult bwd = estimate_opt_total(reversed, unit_model());
+  EXPECT_NEAR(fwd.lower_cost, bwd.lower_cost, 1e-6 * fwd.lower_cost + 1e-9);
+  EXPECT_NEAR(fwd.upper_cost, bwd.upper_cost, 1e-6 * fwd.upper_cost + 1e-9);
+}
+
+TEST_P(OptMetamorphicTest, DuplicationAtMostDoubles) {
+  const Instance original = make(5);
+  const Instance doubled = overlay(original, original);
+  const OptTotalResult base = estimate_opt_total(original, unit_model());
+  const OptTotalResult twice = estimate_opt_total(doubled, unit_model());
+  EXPECT_LE(twice.lower_cost, 2.0 * base.upper_cost + 1e-9);
+  EXPECT_GE(twice.upper_cost, base.lower_cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptMetamorphicTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace dbp

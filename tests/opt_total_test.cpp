@@ -1,0 +1,140 @@
+#include "opt/opt_total.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(OptTotalTest, EmptyInstance) {
+  const OptTotalResult result = estimate_opt_total(Instance{}, unit_model());
+  EXPECT_DOUBLE_EQ(result.lower_cost, 0.0);
+  EXPECT_DOUBLE_EQ(result.upper_cost, 0.0);
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(OptTotalTest, SingleItem) {
+  Instance instance;
+  instance.add(1.0, 5.0, 0.5);
+  const OptTotalResult result = estimate_opt_total(instance, unit_model());
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.lower_cost, 4.0);
+  EXPECT_DOUBLE_EQ(result.upper_cost, 4.0);
+}
+
+TEST(OptTotalTest, TwoDisjointItemsOneBinEach) {
+  Instance instance;
+  instance.add(0.0, 2.0, 0.9);
+  instance.add(5.0, 6.0, 0.9);
+  const OptTotalResult result = estimate_opt_total(instance, unit_model());
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.lower_cost, 3.0);  // gap costs nothing
+}
+
+TEST(OptTotalTest, OverlappingLargeItemsForceTwoBins) {
+  Instance instance;
+  instance.add(0.0, 4.0, 0.9);
+  instance.add(2.0, 6.0, 0.9);
+  // OPT(t): 1 on [0,2), 2 on [2,4), 1 on [4,6) -> 2+4+2 = 8.
+  const OptTotalResult result = estimate_opt_total(instance, unit_model());
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.lower_cost, 8.0);
+  EXPECT_DOUBLE_EQ(result.upper_cost, 8.0);
+}
+
+TEST(OptTotalTest, RepackingBeatsOnlineStickiness) {
+  // Paper Figure 2's essence: k=2 bins of small items, survivors could be
+  // repacked into one bin. Items: 4 of size 0.5 on [0,1); survivors (one
+  // "per bin") live to [0,4).
+  Instance instance;
+  instance.add(0.0, 4.0, 0.5);  // survivor of bin 0
+  instance.add(0.0, 1.0, 0.5);
+  instance.add(0.0, 4.0, 0.5);  // survivor of bin 1
+  instance.add(0.0, 1.0, 0.5);
+  // OPT: 2 bins on [0,1), 1 bin on [1,4) -> 2 + 3 = 5.
+  const OptTotalResult result = estimate_opt_total(instance, unit_model());
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.lower_cost, 5.0);
+}
+
+TEST(OptTotalTest, CostRateScales) {
+  Instance instance;
+  instance.add(0.0, 2.0, 0.5);
+  const CostModel model{1.0, 3.0, 1e-9};
+  const OptTotalResult result = estimate_opt_total(instance, model);
+  EXPECT_DOUBLE_EQ(result.lower_cost, 6.0);
+}
+
+TEST(OptTotalTest, ClosedFormBoundsAreDominated) {
+  Instance instance;
+  instance.add(0.0, 4.0, 0.9);
+  instance.add(2.0, 6.0, 0.9);
+  instance.add(3.0, 7.0, 0.2);
+  const OptTotalResult result = estimate_opt_total(instance, unit_model());
+  EXPECT_GE(result.lower_cost, result.closed_form.demand_lower - 1e-12);
+  EXPECT_GE(result.lower_cost, result.closed_form.span_lower - 1e-12);
+  EXPECT_LE(result.lower_cost, result.upper_cost + 1e-12);
+}
+
+TEST(OptTotalTest, SegmentsCounted) {
+  Instance instance;
+  instance.add(0.0, 2.0, 0.5);
+  instance.add(1.0, 3.0, 0.5);
+  const OptTotalResult result = estimate_opt_total(instance, unit_model());
+  // Segments: [0,1), [1,2), [2,3).
+  EXPECT_EQ(result.segments, 3u);
+  EXPECT_EQ(result.exact_segments, 3u);
+}
+
+TEST(OptTotalTest, EqualSizeFastPathKeepsLargeInstancesExact) {
+  Instance instance;
+  for (int i = 0; i < 2000; ++i) {
+    const double arrival = 0.001 * static_cast<double>(i);
+    instance.add(arrival, arrival + 1.0, 0.125);
+  }
+  const OptTotalResult result = estimate_opt_total(instance, unit_model());
+  EXPECT_TRUE(result.exact);
+  EXPECT_GT(result.lower_cost, 0.0);
+}
+
+TEST(OptTotalTest, ClassicMaxBinsBounds) {
+  Instance instance;
+  instance.add(0.0, 4.0, 0.9);
+  instance.add(2.0, 6.0, 0.9);
+  instance.add(3.0, 5.0, 0.9);  // three large items overlap in [3, 4)
+  const OptTotalResult result = estimate_opt_total(instance, unit_model());
+  EXPECT_EQ(result.max_bins_lower, 3u);
+  EXPECT_EQ(result.max_bins_upper, 3u);
+}
+
+TEST(OptTotalTest, ClassicMaxBinsCanBeatPeakNaiveCount) {
+  // Six half-size items overlapping: OPT packs 2 per bin -> 3 bins peak.
+  Instance instance;
+  for (int i = 0; i < 6; ++i) instance.add(0.0, 2.0 + i * 0.1, 0.5);
+  const OptTotalResult result = estimate_opt_total(instance, unit_model());
+  EXPECT_EQ(result.max_bins_upper, 3u);
+}
+
+TEST(RatioBoundsTest, Computation) {
+  OptTotalResult opt;
+  opt.lower_cost = 2.0;
+  opt.upper_cost = 4.0;
+  const RatioBounds ratio = competitive_ratio_bounds(8.0, opt);
+  EXPECT_DOUBLE_EQ(ratio.lower, 2.0);
+  EXPECT_DOUBLE_EQ(ratio.upper, 4.0);
+}
+
+TEST(RatioBoundsTest, RejectsDegenerateInput) {
+  OptTotalResult opt;
+  opt.lower_cost = 0.0;
+  opt.upper_cost = 1.0;
+  EXPECT_THROW((void)competitive_ratio_bounds(1.0, opt), PreconditionError);
+  opt.lower_cost = 1.0;
+  EXPECT_THROW((void)competitive_ratio_bounds(-1.0, opt), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

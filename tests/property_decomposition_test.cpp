@@ -1,0 +1,143 @@
+// Property tests of the Section 4.3 proof machinery: Features (f.1)-(f.5),
+// Lemmas 1-5 and inequalities (8)/(10)/(14) hold on every First Fit trace
+// we can generate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "analysis/ff_decomposition.hpp"
+#include "core/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversary_anyfit.hpp"
+#include "workload/cloud_gaming.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+enum class Shape { kSteady, kBursty, kChurny, kSmallItems };
+
+std::string shape_name(Shape shape) {
+  switch (shape) {
+    case Shape::kSteady: return "steady";
+    case Shape::kBursty: return "bursty";
+    case Shape::kChurny: return "churny";
+    case Shape::kSmallItems: return "small";
+  }
+  return "?";
+}
+
+RandomInstanceConfig make_config(Shape shape, double mu) {
+  RandomInstanceConfig config;
+  config.item_count = 500;
+  config.duration.max_length = mu;
+  switch (shape) {
+    case Shape::kSteady:
+      config.arrival.rate = 6.0;
+      config.size.min_fraction = 0.05;
+      config.size.max_fraction = 0.6;
+      break;
+    case Shape::kBursty:
+      config.arrival.kind = ArrivalModel::Kind::kBursts;
+      config.arrival.burst_size = 12;
+      config.arrival.burst_gap = 1.0;
+      config.size.min_fraction = 0.1;
+      config.size.max_fraction = 0.5;
+      break;
+    case Shape::kChurny:
+      config.arrival.rate = 25.0;  // heavy churn: many bins open and close
+      config.size.min_fraction = 0.15;
+      config.size.max_fraction = 0.9;
+      break;
+    case Shape::kSmallItems:
+      config.arrival.rate = 30.0;
+      config.size.min_fraction = 0.01;
+      config.size.max_fraction = 0.19;  // < W/5
+      break;
+  }
+  return config;
+}
+
+using Cell = std::tuple<Shape, double, std::uint64_t>;
+
+class DecompositionPropertyTest : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(DecompositionPropertyTest, ProofInvariantsHoldOnFirstFitTraces) {
+  const auto [shape, mu, seed] = GetParam();
+  const Instance instance = generate_random_instance(make_config(shape, mu), seed);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  const FFDecomposition decomposition = decompose_first_fit(instance, result);
+
+  const std::optional<double> small_item_k =
+      shape == Shape::kSmallItems ? std::optional<double>(5.0) : std::nullopt;
+  const DecompositionReport report = verify_ff_decomposition(
+      instance, result, decomposition, unit_model(), small_item_k);
+
+  EXPECT_TRUE(report.features_ok);
+  EXPECT_TRUE(report.lemma1_ok);
+  EXPECT_TRUE(report.lemma2_ok);
+  EXPECT_TRUE(report.lemma3_ok);
+  EXPECT_TRUE(report.lemma4_ok);
+  EXPECT_TRUE(report.lemma5_ok);
+  EXPECT_TRUE(report.demand_ok);
+  EXPECT_TRUE(report.cost_bound_ok);
+  if (!report.violations.empty()) {
+    ADD_FAILURE() << report.violations.size()
+                  << " violations; first: " << report.violations.front();
+  }
+
+  // Structural identities.
+  EXPECT_NEAR(decomposition.ff_total,
+              decomposition.sum_left_lengths + decomposition.span,
+              1e-9 * decomposition.ff_total);
+  EXPECT_NEAR(decomposition.span, span_of(instance), 1e-9);
+  EXPECT_EQ(decomposition.joint_period_count * 2 +
+                decomposition.single_period_count +
+                decomposition.non_intersecting_count,
+            decomposition.sub_periods.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecompositionPropertyTest,
+    ::testing::Combine(::testing::Values(Shape::kSteady, Shape::kBursty,
+                                         Shape::kChurny, Shape::kSmallItems),
+                       ::testing::Values(1.0, 3.0, 8.0),
+                       ::testing::Values(5u, 55u, 555u)),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      return shape_name(std::get<0>(info.param)) + "_mu" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) +
+             "_seed" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(DecompositionSpecialTracesTest, AnyFitAdversaryTrace) {
+  const auto built = build_anyfit_adversary({.k = 6, .mu = 4.0});
+  const SimulationResult result =
+      simulate(built.instance, "first-fit", unit_model());
+  const FFDecomposition d = decompose_first_fit(built.instance, result);
+  const DecompositionReport report =
+      verify_ff_decomposition(built.instance, result, d, unit_model());
+  EXPECT_TRUE(report.all_ok()) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+}
+
+TEST(DecompositionSpecialTracesTest, CloudGamingTrace) {
+  CloudGamingConfig config;
+  config.horizon_hours = 8.0;
+  config.peak_arrivals_per_minute = 1.0;
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 13);
+  const SimulationResult result =
+      simulate(trace.instance, "first-fit", unit_model());
+  const FFDecomposition d = decompose_first_fit(trace.instance, result);
+  const DecompositionReport report =
+      verify_ff_decomposition(trace.instance, result, d, unit_model());
+  EXPECT_TRUE(report.all_ok()) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,124 @@
+#include "gaming/provisioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "workload/cloud_gaming.hpp"
+
+namespace dbp {
+namespace {
+
+ServerSpec spec() { return ServerSpec{1.0, 6.0}; }  // $6/h = $0.1/min
+
+/// Three sessions needing three servers at t = 0, 10, 20; one more sharing.
+Instance staggered_instance() {
+  Instance instance;
+  instance.add(0.0, 60.0, 0.9);   // server 0 at t=0
+  instance.add(10.0, 50.0, 0.9);  // server 1 at t=10
+  instance.add(20.0, 40.0, 0.9);  // server 2 at t=20
+  instance.add(21.0, 30.0, 0.05); // shares server 0 (first fit)
+  return instance;
+}
+
+SimulationResult run_ff(const Instance& instance) {
+  return simulate(instance, "first-fit", spec().to_cost_model());
+}
+
+TEST(ProvisionerTest, OnDemandEveryOpenIsAColdStart) {
+  const Instance instance = staggered_instance();
+  const SimulationResult result = run_ff(instance);
+  const ProvisioningReport report = analyze_provisioning(
+      instance, result, spec(), ProvisioningPolicy{3.0, 0});
+  EXPECT_EQ(report.boots, 3u);        // one per opened server
+  EXPECT_EQ(report.cold_starts, 3u);
+  EXPECT_DOUBLE_EQ(report.wait_minutes.max, 3.0);
+  // Session 3 shares an already-open server: zero wait.
+  EXPECT_EQ(report.wait_minutes.count, instance.size());
+  EXPECT_DOUBLE_EQ(report.warm_pool_dollars, 0.0);
+  EXPECT_GT(report.rental_dollars, 0.0);
+}
+
+TEST(ProvisionerTest, BigEnoughWarmPoolEliminatesAllWaits) {
+  const Instance instance = staggered_instance();
+  const SimulationResult result = run_ff(instance);
+  const ProvisioningReport report = analyze_provisioning(
+      instance, result, spec(), ProvisioningPolicy{3.0, 2});
+  // Opens are 10 minutes apart, boot takes 3: the replacement always lands
+  // before the next open, so 2 spares suffice — in fact 1 would.
+  EXPECT_EQ(report.cold_starts, 0u);
+  EXPECT_DOUBLE_EQ(report.wait_minutes.max, 0.0);
+  // Pool billing: 2 spares x 60 minutes x $0.1 = $12.
+  EXPECT_DOUBLE_EQ(report.warm_pool_dollars, 12.0);
+  // Boots: 2 initial + 3 replacements.
+  EXPECT_EQ(report.boots, 5u);
+}
+
+TEST(ProvisionerTest, InFlightReplacementShortensWait) {
+  // Two servers open 1 minute apart with a single spare and 3-minute boot:
+  // the second open grabs the in-flight replacement and waits 2 minutes.
+  Instance instance;
+  instance.add(0.0, 30.0, 0.9);
+  instance.add(1.0, 30.0, 0.9);
+  const SimulationResult result = run_ff(instance);
+  const ProvisioningReport report = analyze_provisioning(
+      instance, result, spec(), ProvisioningPolicy{3.0, 1});
+  EXPECT_EQ(report.cold_starts, 1u);
+  EXPECT_DOUBLE_EQ(report.wait_minutes.max, 2.0);
+}
+
+TEST(ProvisionerTest, ZeroBootTimeMeansNoWaits) {
+  const Instance instance = staggered_instance();
+  const SimulationResult result = run_ff(instance);
+  const ProvisioningReport report = analyze_provisioning(
+      instance, result, spec(), ProvisioningPolicy{0.0, 0});
+  EXPECT_DOUBLE_EQ(report.wait_minutes.max, 0.0);
+  EXPECT_EQ(report.cold_starts, 0u);
+}
+
+TEST(ProvisionerTest, RentalMatchesDispatcherBill) {
+  CloudGamingConfig config;
+  config.horizon_hours = 4.0;
+  config.peak_arrivals_per_minute = 1.0;
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 5);
+  const SimulationResult result = run_ff(trace.instance);
+  const ProvisioningReport report = analyze_provisioning(
+      trace.instance, result, spec(), ProvisioningPolicy{3.0, 0});
+  EXPECT_NEAR(report.rental_dollars,
+              result.total_cost_from_bins / spec().to_cost_model().cost_rate *
+                  spec().price_per_hour / 60.0,
+              1e-9 * report.rental_dollars);
+}
+
+TEST(ProvisionerTest, BiggerPoolTradesDollarsForWaits) {
+  CloudGamingConfig config;
+  config.horizon_hours = 12.0;
+  config.peak_arrivals_per_minute = 2.0;
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 77);
+  const SimulationResult result = run_ff(trace.instance);
+  double previous_wait = 1e18;
+  double previous_cost = 0.0;
+  for (const std::size_t warm : {0u, 2u, 6u}) {
+    const ProvisioningReport report = analyze_provisioning(
+        trace.instance, result, spec(), ProvisioningPolicy{3.0, warm});
+    EXPECT_LE(report.wait_minutes.mean, previous_wait);
+    EXPECT_GE(report.total_dollars(), previous_cost);
+    previous_wait = report.wait_minutes.mean;
+    previous_cost = report.warm_pool_dollars;  // monotone in warm target
+  }
+}
+
+TEST(ProvisionerTest, Validation) {
+  const Instance instance = staggered_instance();
+  const SimulationResult result = run_ff(instance);
+  ProvisioningPolicy bad;
+  bad.boot_minutes = -1.0;
+  EXPECT_THROW((void)analyze_provisioning(instance, result, spec(), bad),
+               PreconditionError);
+  Instance other;
+  other.add(0.0, 1.0, 0.5);
+  EXPECT_THROW((void)analyze_provisioning(other, result, spec(), ProvisioningPolicy{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,185 @@
+#include "workload/random_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/metrics.hpp"
+
+namespace dbp {
+namespace {
+
+RandomInstanceConfig base_config() {
+  RandomInstanceConfig config;
+  config.item_count = 500;
+  config.arrival.rate = 5.0;
+  config.duration.min_length = 1.0;
+  config.duration.max_length = 4.0;
+  config.size.kind = SizeModel::Kind::kUniform;
+  config.size.min_fraction = 0.05;
+  config.size.max_fraction = 0.5;
+  return config;
+}
+
+TEST(RandomInstanceTest, DeterministicUnderSeed) {
+  const RandomInstanceConfig config = base_config();
+  const Instance a = generate_random_instance(config, 42);
+  const Instance b = generate_random_instance(config, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.items()[i], b.items()[i]);
+  }
+}
+
+TEST(RandomInstanceTest, DifferentSeedsDiffer) {
+  const RandomInstanceConfig config = base_config();
+  const Instance a = generate_random_instance(config, 1);
+  const Instance b = generate_random_instance(config, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.items()[i] == b.items()[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomInstanceTest, RespectsItemCount) {
+  RandomInstanceConfig config = base_config();
+  config.item_count = 123;
+  EXPECT_EQ(generate_random_instance(config, 0).size(), 123u);
+}
+
+TEST(RandomInstanceTest, DurationsWithinBounds) {
+  const Instance instance = generate_random_instance(base_config(), 7);
+  for (const Item& item : instance.items()) {
+    EXPECT_GE(item.interval_length(), 1.0 - 1e-12);
+    EXPECT_LE(item.interval_length(), 4.0 + 1e-12);
+  }
+}
+
+TEST(RandomInstanceTest, PinnedMuIsExact) {
+  RandomInstanceConfig config = base_config();
+  config.pin_mu_extremes = true;
+  const Instance instance = generate_random_instance(config, 3);
+  EXPECT_DOUBLE_EQ(compute_metrics(instance).mu, 4.0);
+}
+
+TEST(RandomInstanceTest, UnpinnedMuIsAtMostNominal) {
+  RandomInstanceConfig config = base_config();
+  config.pin_mu_extremes = false;
+  const Instance instance = generate_random_instance(config, 3);
+  EXPECT_LE(compute_metrics(instance).mu, 4.0 + 1e-12);
+}
+
+TEST(RandomInstanceTest, SizesWithinModel) {
+  const Instance instance = generate_random_instance(base_config(), 11);
+  for (const Item& item : instance.items()) {
+    EXPECT_GE(item.size, 0.05);
+    EXPECT_LE(item.size, 0.5);
+  }
+}
+
+TEST(RandomInstanceTest, DyadicSizesAreExactPowers) {
+  RandomInstanceConfig config = base_config();
+  config.size.kind = SizeModel::Kind::kDyadic;
+  config.size.min_exponent = 1;
+  config.size.max_exponent = 4;
+  const Instance instance = generate_random_instance(config, 5);
+  for (const Item& item : instance.items()) {
+    EXPECT_TRUE(item.size == 0.5 || item.size == 0.25 || item.size == 0.125 ||
+                item.size == 0.0625)
+        << item.size;
+  }
+}
+
+TEST(RandomInstanceTest, DiscreteSizesComeFromSet) {
+  RandomInstanceConfig config = base_config();
+  config.size.kind = SizeModel::Kind::kDiscrete;
+  config.size.fractions = {0.2, 0.3};
+  config.size.weights = {1.0, 3.0};
+  const Instance instance = generate_random_instance(config, 5);
+  std::size_t count_03 = 0;
+  for (const Item& item : instance.items()) {
+    ASSERT_TRUE(item.size == 0.2 || item.size == 0.3);
+    if (item.size == 0.3) ++count_03;
+  }
+  EXPECT_GT(count_03, instance.size() / 2);  // weighted 3:1
+}
+
+TEST(RandomInstanceTest, BurstArrivalsShareTimes) {
+  RandomInstanceConfig config = base_config();
+  config.arrival.kind = ArrivalModel::Kind::kBursts;
+  config.arrival.burst_size = 10;
+  config.arrival.burst_gap = 2.0;
+  config.item_count = 40;
+  const Instance instance = generate_random_instance(config, 1);
+  // Items 0..9 arrive together, 10..19 two time units later, etc.
+  EXPECT_DOUBLE_EQ(instance.item(0).arrival, instance.item(9).arrival);
+  EXPECT_DOUBLE_EQ(instance.item(10).arrival - instance.item(9).arrival, 2.0);
+}
+
+TEST(RandomInstanceTest, PoissonArrivalsAreMonotone) {
+  const Instance instance = generate_random_instance(base_config(), 9);
+  for (std::size_t i = 1; i < instance.size(); ++i) {
+    EXPECT_GE(instance.item(i).arrival, instance.item(i - 1).arrival);
+  }
+}
+
+TEST(RandomInstanceTest, ConfigValidation) {
+  RandomInstanceConfig config = base_config();
+  config.item_count = 0;
+  EXPECT_THROW((void)generate_random_instance(config, 0), PreconditionError);
+
+  config = base_config();
+  config.duration.max_length = 0.5;  // < min_length
+  EXPECT_THROW((void)generate_random_instance(config, 0), PreconditionError);
+
+  config = base_config();
+  config.size.min_fraction = 0.0;
+  EXPECT_THROW((void)generate_random_instance(config, 0), PreconditionError);
+
+  config = base_config();
+  config.arrival.rate = 0.0;
+  EXPECT_THROW((void)generate_random_instance(config, 0), PreconditionError);
+}
+
+TEST(DurationModelTest, AllKindsSampleWithinBounds) {
+  Rng rng(123);
+  for (auto kind :
+       {DurationModel::Kind::kFixed, DurationModel::Kind::kUniform,
+        DurationModel::Kind::kExponential, DurationModel::Kind::kLogNormal,
+        DurationModel::Kind::kPareto}) {
+    DurationModel model;
+    model.kind = kind;
+    model.min_length = 2.0;
+    model.max_length = 10.0;
+    model.validate();
+    for (int i = 0; i < 200; ++i) {
+      const Time length = model.sample(rng);
+      EXPECT_GE(length, 2.0) << static_cast<int>(kind);
+      EXPECT_LE(length, 10.0) << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(DurationModelTest, FixedAlwaysMin) {
+  DurationModel model;
+  model.kind = DurationModel::Kind::kFixed;
+  model.min_length = 3.0;
+  model.max_length = 9.0;
+  Rng rng(0);
+  EXPECT_DOUBLE_EQ(model.sample(rng), 3.0);
+  EXPECT_DOUBLE_EQ(model.nominal_mu(), 3.0);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(1);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.engine()() != b.engine()()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,81 @@
+#include "analysis/ratio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "workload/adversary_anyfit.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(RatioTest, EvaluatesMultipleAlgorithms) {
+  RandomInstanceConfig config;
+  config.item_count = 300;
+  const Instance instance = generate_random_instance(config, 5);
+  const InstanceEvaluation evaluation = evaluate_algorithms(
+      instance, {"first-fit", "best-fit", "modified-first-fit"}, unit_model());
+  ASSERT_EQ(evaluation.algorithms.size(), 3u);
+  for (const AlgorithmEvaluation& eval : evaluation.algorithms) {
+    EXPECT_GT(eval.total_cost, 0.0);
+    EXPECT_GE(eval.ratio.upper, eval.ratio.lower);
+    EXPECT_GE(eval.ratio.lower, 1.0 - 1e-9);  // no algorithm beats OPT's ub
+  }
+}
+
+TEST(RatioTest, RowLookup) {
+  RandomInstanceConfig config;
+  config.item_count = 100;
+  const Instance instance = generate_random_instance(config, 6);
+  const InstanceEvaluation evaluation =
+      evaluate_algorithms(instance, {"first-fit", "best-fit"}, unit_model());
+  EXPECT_EQ(evaluation.row("best-fit").algorithm, "best-fit");
+  EXPECT_THROW((void)evaluation.row("worst-fit"), PreconditionError);
+}
+
+TEST(RatioTest, KnownMuDerivedFromInstance) {
+  RandomInstanceConfig config;
+  config.item_count = 100;
+  config.duration.min_length = 1.0;
+  config.duration.max_length = 3.0;
+  const Instance instance = generate_random_instance(config, 7);
+  const InstanceEvaluation evaluation = evaluate_algorithms(
+      instance, {"modified-first-fit-known-mu"}, unit_model());
+  // Display name embeds the realized mu = 3.
+  EXPECT_NE(evaluation.algorithms[0].display_name.find("mu=3"),
+            std::string::npos)
+      << evaluation.algorithms[0].display_name;
+}
+
+TEST(RatioTest, CostsNeverBelowOptLower) {
+  const auto built = build_anyfit_adversary({.k = 4, .mu = 4.0});
+  const InstanceEvaluation evaluation = evaluate_algorithms(
+      built.instance, {"first-fit", "best-fit", "next-fit"}, unit_model());
+  for (const AlgorithmEvaluation& eval : evaluation.algorithms) {
+    EXPECT_GE(eval.total_cost, evaluation.opt.lower_cost - 1e-9);
+  }
+}
+
+TEST(RatioTest, MetricsArePopulated) {
+  RandomInstanceConfig config;
+  config.item_count = 50;
+  const Instance instance = generate_random_instance(config, 8);
+  const InstanceEvaluation evaluation =
+      evaluate_algorithms(instance, {"first-fit"}, unit_model());
+  EXPECT_EQ(evaluation.metrics.item_count, 50u);
+  EXPECT_GT(evaluation.opt.lower_cost, 0.0);
+}
+
+TEST(RatioTest, EmptyInputsRejected) {
+  Instance instance;
+  EXPECT_THROW((void)evaluate_algorithms(instance, {"first-fit"}, unit_model()),
+               PreconditionError);
+  instance.add(0.0, 1.0, 0.5);
+  EXPECT_THROW((void)evaluate_algorithms(instance, {}, unit_model()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,95 @@
+#include "opt/repack_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+#include "workload/adversary_anyfit.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(RepackBaselineTest, EmptyInstance) {
+  const RepackBaselineResult result = run_repack_baseline(Instance{}, unit_model());
+  EXPECT_DOUBLE_EQ(result.total_cost, 0.0);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_EQ(result.max_bins, 0u);
+}
+
+TEST(RepackBaselineTest, SingleItemNoMigration) {
+  Instance instance;
+  instance.add(0.0, 5.0, 0.5);
+  const RepackBaselineResult result = run_repack_baseline(instance, unit_model());
+  EXPECT_DOUBLE_EQ(result.total_cost, 5.0);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_EQ(result.max_bins, 1u);
+}
+
+TEST(RepackBaselineTest, ConsolidatesTheoremOneConstruction) {
+  // Repacking defeats the Theorem 1 adversary: after Delta the k survivors
+  // merge into one bin, so cost ~ OPT while Any Fit pays k*mu*Delta.
+  const auto built = build_anyfit_adversary({.k = 8, .mu = 8.0});
+  const RepackBaselineResult repack =
+      run_repack_baseline(built.instance, unit_model());
+  const OptTotalResult opt = estimate_opt_total(built.instance, unit_model());
+  EXPECT_NEAR(repack.total_cost, opt.upper_cost, 1e-9);
+  EXPECT_GT(repack.migrations, 0u);  // the consolidation IS migration
+  const SimulationResult ff = simulate(built.instance, "first-fit", unit_model());
+  EXPECT_LT(repack.total_cost, ff.total_cost);
+}
+
+TEST(RepackBaselineTest, SandwichedByOptBounds) {
+  RandomInstanceConfig config;
+  config.item_count = 400;
+  const Instance instance = generate_random_instance(config, 77);
+  const RepackBaselineResult repack = run_repack_baseline(instance, unit_model());
+  const OptTotalResult opt = estimate_opt_total(instance, unit_model());
+  // FFD(active) >= OPT(active) pointwise, so the integral dominates the
+  // OPT lower bound; FFD is also within 1.7x of OPT pointwise
+  // (asymptotically 11/9), checked loosely here.
+  EXPECT_GE(repack.total_cost, opt.lower_cost * (1.0 - 1e-9));
+  EXPECT_LE(repack.total_cost, opt.lower_cost * 1.7 + 1e-9);
+}
+
+TEST(RepackBaselineTest, CostRateScales) {
+  Instance instance;
+  instance.add(0.0, 2.0, 0.5);
+  const CostModel model{1.0, 4.0, 1e-9};
+  EXPECT_DOUBLE_EQ(run_repack_baseline(instance, model).total_cost, 8.0);
+}
+
+TEST(RepackBaselineTest, DeterministicMigrationCount) {
+  RandomInstanceConfig config;
+  config.item_count = 300;
+  const Instance instance = generate_random_instance(config, 5);
+  const RepackBaselineResult a = run_repack_baseline(instance, unit_model());
+  const RepackBaselineResult b = run_repack_baseline(instance, unit_model());
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_DOUBLE_EQ(a.migrated_volume, b.migrated_volume);
+  EXPECT_EQ(a.batches, b.batches);
+}
+
+TEST(RepackBaselineTest, StableWorkloadNeedsNoMigration) {
+  // Items that arrive together and depart together in FFD order never
+  // change bins between batches.
+  Instance instance;
+  instance.add(0.0, 10.0, 0.5);
+  instance.add(0.0, 10.0, 0.5);
+  instance.add(2.0, 8.0, 0.25);
+  const RepackBaselineResult result = run_repack_baseline(instance, unit_model());
+  EXPECT_EQ(result.migrations, 0u);
+}
+
+TEST(RepackBaselineTest, NeverCheaperThanOptButCheaperThanOnlineOnAdversary) {
+  const auto built = build_anyfit_adversary({.k = 4, .mu = 4.0});
+  const RepackBaselineResult repack =
+      run_repack_baseline(built.instance, unit_model());
+  const OptTotalResult opt = estimate_opt_total(built.instance, unit_model());
+  EXPECT_GE(repack.total_cost, opt.lower_cost * (1.0 - 1e-9));
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,123 @@
+#include "algo/size_classed_packer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/strategies.hpp"
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(SizeClassedPackerTest, ClassIndexing) {
+  auto mff = make_modified_first_fit(unit_model(), 8.0);
+  // Boundary at W/8 = 0.125; small = [0, 0.125), large = [0.125, 1].
+  EXPECT_EQ(mff->class_of(0.01), 0u);
+  EXPECT_EQ(mff->class_of(0.1249), 0u);
+  EXPECT_EQ(mff->class_of(0.125), 1u);  // "equal to or larger than W/k"
+  EXPECT_EQ(mff->class_of(0.9), 1u);
+  EXPECT_EQ(mff->class_count(), 2u);
+}
+
+TEST(SizeClassedPackerTest, SmallAndLargePoolsAreSeparate) {
+  auto mff = make_modified_first_fit(unit_model(), 8.0);
+  const BinId small_bin = mff->on_arrival({0, 0.0, 0.05});
+  const BinId large_bin = mff->on_arrival({1, 0.0, 0.2});
+  EXPECT_NE(small_bin, large_bin);
+  // Another small item: goes to the small pool's bin even though the large
+  // bin has more residual room.
+  EXPECT_EQ(mff->on_arrival({2, 0.0, 0.05}), small_bin);
+  // Another large item that would fit the small bin must not go there.
+  EXPECT_EQ(mff->on_arrival({3, 0.0, 0.5}), large_bin);
+  EXPECT_EQ(mff->class_of_bin(small_bin), 0u);
+  EXPECT_EQ(mff->class_of_bin(large_bin), 1u);
+}
+
+TEST(SizeClassedPackerTest, FirstFitWithinEachPool) {
+  auto mff = make_modified_first_fit(unit_model(), 2.0);  // boundary 0.5
+  mff->on_arrival({0, 0.0, 0.5});  // large bin A (level .5)
+  mff->on_arrival({1, 0.0, 0.5});  // large bin A (exact fill)
+  mff->on_arrival({2, 0.0, 0.6});  // large bin B
+  EXPECT_EQ(mff->bins().total_bins_opened(), 2u);
+  mff->on_arrival({3, 0.0, 0.4});  // small pool: new bin C
+  EXPECT_EQ(mff->bins().total_bins_opened(), 3u);
+  EXPECT_EQ(mff->on_arrival({4, 0.0, 0.4}), 2u);  // joins bin C (first fit)
+}
+
+TEST(SizeClassedPackerTest, DeparturesRouteToOwningPool) {
+  auto mff = make_modified_first_fit(unit_model(), 8.0);
+  const BinId small_bin = mff->on_arrival({0, 0.0, 0.05});
+  mff->on_arrival({1, 0.0, 0.2});
+  mff->on_departure(0, 1.0);
+  EXPECT_FALSE(mff->bins().is_open(small_bin));
+  // New small item opens a new small bin (closed bins never reused).
+  EXPECT_NE(mff->on_arrival({2, 1.0, 0.05}), small_bin);
+}
+
+TEST(SizeClassedPackerTest, NameIncludesParameters) {
+  EXPECT_EQ(make_modified_first_fit(unit_model(), 8.0)->name(),
+            "modified-first-fit(k=8)");
+  EXPECT_EQ(make_modified_first_fit_known_mu(unit_model(), 3.0)->name(),
+            "modified-first-fit(mu=3 known)");
+  EXPECT_EQ(make_harmonic_first_fit(unit_model(), 4)->name(),
+            "harmonic-first-fit(K=4)");
+}
+
+TEST(SizeClassedPackerTest, KnownMuUsesKEqualMuPlus7) {
+  // k = mu + 7 = 10 -> boundary W/10.
+  auto mff = make_modified_first_fit_known_mu(unit_model(), 3.0);
+  EXPECT_EQ(mff->class_of(0.0999), 0u);
+  EXPECT_EQ(mff->class_of(0.1001), 1u);
+}
+
+TEST(SizeClassedPackerTest, HarmonicClassBoundaries) {
+  auto packer = make_harmonic_first_fit(unit_model(), 4);
+  // Boundaries: 1/4, 1/3, 1/2 -> classes [0,1/4), [1/4,1/3), [1/3,1/2), [1/2,1].
+  EXPECT_EQ(packer->class_count(), 4u);
+  EXPECT_EQ(packer->class_of(0.2), 0u);
+  EXPECT_EQ(packer->class_of(0.26), 1u);
+  EXPECT_EQ(packer->class_of(0.4), 2u);
+  EXPECT_EQ(packer->class_of(0.7), 3u);
+}
+
+TEST(SizeClassedPackerTest, HarmonicSeparatesClasses) {
+  auto packer = make_harmonic_first_fit(unit_model(), 3);
+  const BinId a = packer->on_arrival({0, 0.0, 0.6});   // class [1/2, 1]
+  const BinId b = packer->on_arrival({1, 0.0, 0.34});  // class [1/3, 1/2)
+  const BinId c = packer->on_arrival({2, 0.0, 0.1});   // class [0, 1/3)
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(packer->bins().total_bins_opened(), 3u);
+}
+
+TEST(SizeClassedPackerTest, InvalidParametersThrow) {
+  EXPECT_THROW((void)make_modified_first_fit(unit_model(), 1.0), PreconditionError);
+  EXPECT_THROW((void)make_modified_first_fit(unit_model(), 0.5), PreconditionError);
+  EXPECT_THROW((void)make_modified_first_fit_known_mu(unit_model(), 0.5),
+               PreconditionError);
+  EXPECT_THROW((void)make_harmonic_first_fit(unit_model(), 1), PreconditionError);
+}
+
+TEST(SizeClassedPackerTest, BoundariesMustBeStrictlyIncreasing) {
+  const auto factory = [](const CostModel& m) -> std::unique_ptr<FitStrategy> {
+    return std::make_unique<FirstFitStrategy>(m);
+  };
+  EXPECT_THROW(SizeClassedPacker(unit_model(), "x", {0.5, 0.5}, factory),
+               PreconditionError);
+  EXPECT_THROW(SizeClassedPacker(unit_model(), "x", {0.5, 0.2}, factory),
+               PreconditionError);
+  EXPECT_THROW(SizeClassedPacker(unit_model(), "x", {0.0}, factory),
+               PreconditionError);
+  EXPECT_THROW(SizeClassedPacker(unit_model(), "x", {1.5}, factory),
+               PreconditionError);
+  EXPECT_NO_THROW(SizeClassedPacker(unit_model(), "x", {0.25, 0.5}, factory));
+}
+
+TEST(SizeClassedPackerTest, OversizeItemRejected) {
+  auto mff = make_modified_first_fit(unit_model(), 8.0);
+  EXPECT_THROW(mff->on_arrival({0, 0.0, 1.1}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

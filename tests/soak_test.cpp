@@ -1,0 +1,81 @@
+// Soak test: a large end-to-end run through every subsystem at once —
+// 100k-item trace, every algorithm, OPT bounds, occupancy, decomposition —
+// asserting cross-subsystem invariants at scale rather than micro
+// behaviours.
+#include <gtest/gtest.h>
+
+#include "analysis/ff_decomposition.hpp"
+#include "analysis/occupancy.hpp"
+#include "core/metrics.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+#include "workload/cloud_gaming.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+TEST(SoakTest, HundredThousandItemsAllAlgorithms) {
+  RandomInstanceConfig config;
+  config.item_count = 100'000;
+  config.arrival.rate = 50.0;
+  config.duration.max_length = 8.0;
+  config.size.min_fraction = 0.02;
+  config.size.max_fraction = 0.7;
+  const Instance instance = generate_random_instance(config, 2024);
+  const CostBounds closed = compute_cost_bounds(instance, unit_model());
+
+  PackerOptions options;
+  options.known_mu = 8.0;
+  double ff_cost = 0.0;
+  for (const std::string& name : all_algorithm_names()) {
+    const SimulationResult result = simulate(instance, name, unit_model(), options);
+    EXPECT_GE(result.total_cost, closed.demand_lower * (1.0 - 1e-9)) << name;
+    EXPECT_GE(result.total_cost, closed.span_lower * (1.0 - 1e-9)) << name;
+    EXPECT_LE(result.total_cost, closed.one_per_item_upper * (1.0 + 1e-9)) << name;
+    EXPECT_NEAR(result.total_cost, result.total_cost_from_bins,
+                1e-9 * result.total_cost)
+        << name;
+    if (name == "first-fit") ff_cost = result.total_cost;
+  }
+  ASSERT_GT(ff_cost, 0.0);
+}
+
+TEST(SoakTest, WeekLongCloudGamingTraceEndToEnd) {
+  CloudGamingConfig config;
+  config.horizon_hours = 7.0 * 24.0;
+  config.peak_arrivals_per_minute = 1.0;
+  const CloudGamingTrace trace = generate_cloud_gaming_trace(config, 7);
+  ASSERT_GT(trace.instance.size(), 3'000u);
+
+  const SimulationResult ff = simulate(trace.instance, "first-fit", unit_model());
+
+  // OPT bounds with the exact solver disabled for speed; still certified.
+  OptTotalOptions opt_options;
+  opt_options.bin_count.use_exact_solver = false;
+  const OptTotalResult opt =
+      estimate_opt_total(trace.instance, unit_model(), opt_options);
+  EXPECT_GE(ff.total_cost, opt.lower_cost * (1.0 - 1e-9));
+  const InstanceMetrics metrics = compute_metrics(trace.instance);
+  EXPECT_LE(ff.total_cost,
+            (2.0 * metrics.mu + 13.0) * opt.upper_cost * (1.0 + 1e-9));
+
+  // Decomposition invariants at scale.
+  const FFDecomposition d = decompose_first_fit(trace.instance, ff);
+  const DecompositionReport report =
+      verify_ff_decomposition(trace.instance, ff, d, unit_model());
+  EXPECT_TRUE(report.all_ok()) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+
+  // Occupancy sanity.
+  const OccupancyReport occupancy =
+      compute_occupancy(trace.instance, ff, unit_model());
+  EXPECT_GT(occupancy.utilization, 0.3);
+  EXPECT_LE(occupancy.utilization, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace dbp

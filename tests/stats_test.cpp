@@ -1,0 +1,72 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+TEST(StatsTest, SummaryOfConstantSample) {
+  const std::vector<double> values(5, 3.0);
+  const SummaryStats stats = summarize(values);
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min, 3.0);
+  EXPECT_DOUBLE_EQ(stats.max, 3.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 3.0);
+}
+
+TEST(StatsTest, SummaryOfKnownSample) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  const SummaryStats stats = summarize(values);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+  EXPECT_NEAR(stats.stddev, 1.2909944487358056, 1e-12);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.p50, 2.5);
+}
+
+TEST(StatsTest, SingleElement) {
+  const std::vector<double> values{7.0};
+  const SummaryStats stats = summarize(values);
+  EXPECT_DOUBLE_EQ(stats.mean, 7.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p95, 7.0);
+}
+
+TEST(StatsTest, EmptySampleThrows) {
+  EXPECT_THROW((void)summarize({}), PreconditionError);
+  EXPECT_THROW((void)percentile({}, 0.5), PreconditionError);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> values{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 3.0);
+}
+
+TEST(PercentileTest, LinearInterpolation) {
+  const std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.75), 7.5);
+}
+
+TEST(PercentileTest, RejectsBadQuantile) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW((void)percentile(values, -0.1), PreconditionError);
+  EXPECT_THROW((void)percentile(values, 1.1), PreconditionError);
+}
+
+TEST(PercentileTest, InputOrderIrrelevant) {
+  const std::vector<double> a{3.0, 1.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(a, 0.5), percentile(b, 0.5));
+}
+
+}  // namespace
+}  // namespace dbp

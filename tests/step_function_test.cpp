@@ -1,0 +1,127 @@
+#include "core/step_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+TEST(StepFunctionTest, EmptyFunction) {
+  StepFunction f;
+  f.finalize();
+  EXPECT_EQ(f.value_at(0.0), 0);
+  EXPECT_EQ(f.max_value(), 0);
+  EXPECT_DOUBLE_EQ(f.integral(), 0.0);
+  EXPECT_DOUBLE_EQ(f.measure_positive(), 0.0);
+}
+
+TEST(StepFunctionTest, QueriesBeforeFinalizeThrow) {
+  StepFunction f;
+  f.add_delta(0.0, 1);
+  EXPECT_THROW((void)f.value_at(0.0), PreconditionError);
+  EXPECT_THROW((void)f.integral(), PreconditionError);
+  EXPECT_THROW((void)f.breakpoints(), PreconditionError);
+}
+
+TEST(StepFunctionTest, SingleInterval) {
+  StepFunction f;
+  f.add_interval({1.0, 3.0});
+  f.finalize();
+  EXPECT_EQ(f.value_at(0.5), 0);
+  EXPECT_EQ(f.value_at(1.0), 1);
+  EXPECT_EQ(f.value_at(2.9), 1);
+  EXPECT_EQ(f.value_at(3.0), 0);
+  EXPECT_DOUBLE_EQ(f.integral(), 2.0);
+  EXPECT_EQ(f.max_value(), 1);
+}
+
+TEST(StepFunctionTest, OverlappingIntervalsStack) {
+  StepFunction f;
+  f.add_interval({0.0, 4.0});
+  f.add_interval({1.0, 3.0});
+  f.add_interval({2.0, 5.0});
+  f.finalize();
+  EXPECT_EQ(f.value_at(0.5), 1);
+  EXPECT_EQ(f.value_at(1.5), 2);
+  EXPECT_EQ(f.value_at(2.5), 3);
+  EXPECT_EQ(f.value_at(4.5), 1);
+  EXPECT_EQ(f.max_value(), 3);
+  EXPECT_DOUBLE_EQ(f.integral(), 4.0 + 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(f.measure_positive(), 5.0);
+}
+
+TEST(StepFunctionTest, CoalescesSimultaneousDeltas) {
+  StepFunction f;
+  f.add_delta(1.0, 1);
+  f.add_delta(1.0, 1);
+  f.add_delta(1.0, -1);
+  f.add_delta(2.0, -1);
+  f.finalize();
+  ASSERT_EQ(f.breakpoints().size(), 2u);
+  EXPECT_EQ(f.breakpoints()[0].value, 1);
+  EXPECT_EQ(f.breakpoints()[1].value, 0);
+}
+
+TEST(StepFunctionTest, CancellingDeltasLeaveNoBreakpoint) {
+  StepFunction f;
+  f.add_delta(1.0, 2);
+  f.add_delta(1.0, -2);
+  f.add_interval({3.0, 4.0});
+  f.finalize();
+  ASSERT_EQ(f.breakpoints().size(), 2u);
+  EXPECT_DOUBLE_EQ(f.breakpoints()[0].time, 3.0);
+}
+
+TEST(StepFunctionTest, NegativePrefixThrowsOnFinalize) {
+  StepFunction f;
+  f.add_delta(0.0, -1);
+  f.add_delta(1.0, 1);
+  EXPECT_THROW(f.finalize(), InvariantError);
+}
+
+TEST(StepFunctionTest, UnboundedTailRejectsIntegral) {
+  StepFunction f;
+  f.add_delta(0.0, 1);  // never returns to zero
+  f.finalize();
+  EXPECT_THROW((void)f.integral(), PreconditionError);
+}
+
+TEST(StepFunctionTest, EmptyIntervalIgnored) {
+  StepFunction f;
+  f.add_interval({2.0, 2.0});
+  f.finalize();
+  EXPECT_TRUE(f.breakpoints().empty());
+}
+
+TEST(StepFunctionTest, IntegralOfCustomFunction) {
+  StepFunction f;
+  f.add_interval({0.0, 2.0});
+  f.add_interval({1.0, 2.0});
+  f.finalize();
+  // g(v) = v^2: 1 over [0,1), 4 over [1,2).
+  const double result =
+      f.integral_of([](std::int64_t v) { return static_cast<double>(v * v); });
+  EXPECT_DOUBLE_EQ(result, 1.0 + 4.0);
+}
+
+TEST(StepFunctionTest, FinalizeIsIdempotentAndReopenable) {
+  StepFunction f;
+  f.add_interval({0.0, 1.0});
+  f.finalize();
+  f.finalize();
+  EXPECT_DOUBLE_EQ(f.integral(), 1.0);
+  f.add_interval({2.0, 4.0});  // reopens the build phase
+  EXPECT_THROW((void)f.integral(), PreconditionError);
+  f.finalize();
+  EXPECT_DOUBLE_EQ(f.integral(), 3.0);
+}
+
+TEST(StepFunctionTest, NonFiniteTimeRejected) {
+  StepFunction f;
+  EXPECT_THROW(f.add_delta(std::numeric_limits<double>::quiet_NaN(), 1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

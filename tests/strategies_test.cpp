@@ -1,0 +1,187 @@
+#include "algo/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+// Registers bins 0..n-1 with given residuals.
+template <typename Strategy>
+Strategy with_bins(std::initializer_list<double> residuals) {
+  Strategy strategy(unit_model());
+  BinId id = 0;
+  for (double r : residuals) strategy.on_bin_registered(id++, r);
+  return strategy;
+}
+
+TEST(FirstFitStrategyTest, PicksEarliestFittingBin) {
+  auto s = with_bins<FirstFitStrategy>({0.1, 0.5, 0.9});
+  EXPECT_EQ(s.select(0.4), std::optional<BinId>(1));
+  EXPECT_EQ(s.select(0.05), std::optional<BinId>(0));
+  EXPECT_EQ(s.select(0.8), std::optional<BinId>(2));
+  EXPECT_EQ(s.select(0.95), std::nullopt);
+}
+
+TEST(FirstFitStrategyTest, TracksResidualChanges) {
+  auto s = with_bins<FirstFitStrategy>({0.5, 0.5});
+  s.on_residual_changed(0, 0.1);
+  EXPECT_EQ(s.select(0.3), std::optional<BinId>(1));
+  s.on_residual_changed(0, 0.6);
+  EXPECT_EQ(s.select(0.3), std::optional<BinId>(0));
+}
+
+TEST(FirstFitStrategyTest, ClosedBinNeverSelected) {
+  auto s = with_bins<FirstFitStrategy>({0.9, 0.9});
+  s.on_bin_closed(0);
+  EXPECT_EQ(s.select(0.5), std::optional<BinId>(1));
+  EXPECT_THROW(s.on_bin_closed(0), PreconditionError);  // double close
+}
+
+TEST(LastFitStrategyTest, PicksLatestFittingBin) {
+  auto s = with_bins<LastFitStrategy>({0.9, 0.5, 0.1});
+  EXPECT_EQ(s.select(0.4), std::optional<BinId>(1));
+  EXPECT_EQ(s.select(0.05), std::optional<BinId>(2));
+  EXPECT_EQ(s.select(0.8), std::optional<BinId>(0));
+  EXPECT_EQ(s.select(0.95), std::nullopt);
+}
+
+TEST(BestFitStrategyTest, PicksSmallestSufficientResidual) {
+  auto s = with_bins<BestFitStrategy>({0.9, 0.3, 0.5});
+  EXPECT_EQ(s.select(0.3), std::optional<BinId>(1));
+  EXPECT_EQ(s.select(0.4), std::optional<BinId>(2));
+  EXPECT_EQ(s.select(0.6), std::optional<BinId>(0));
+  EXPECT_EQ(s.select(0.91), std::nullopt);
+}
+
+TEST(BestFitStrategyTest, TieBreaksTowardEarliestBin) {
+  auto s = with_bins<BestFitStrategy>({0.5, 0.5, 0.5});
+  EXPECT_EQ(s.select(0.5), std::optional<BinId>(0));
+}
+
+TEST(BestFitStrategyTest, ResidualUpdateMovesBinInOrder) {
+  auto s = with_bins<BestFitStrategy>({0.9, 0.4});
+  s.on_residual_changed(0, 0.2);
+  EXPECT_EQ(s.select(0.2), std::optional<BinId>(0));
+  EXPECT_EQ(s.select(0.3), std::optional<BinId>(1));
+}
+
+TEST(BestFitStrategyTest, CloseRemovesFromIndex) {
+  auto s = with_bins<BestFitStrategy>({0.4, 0.9});
+  s.on_bin_closed(0);
+  EXPECT_EQ(s.select(0.2), std::optional<BinId>(1));
+}
+
+TEST(WorstFitStrategyTest, PicksLargestResidual) {
+  auto s = with_bins<WorstFitStrategy>({0.3, 0.9, 0.5});
+  EXPECT_EQ(s.select(0.2), std::optional<BinId>(1));
+  s.on_residual_changed(1, 0.1);
+  EXPECT_EQ(s.select(0.2), std::optional<BinId>(2));
+}
+
+TEST(WorstFitStrategyTest, DeclinesWhenEvenLargestDoesNotFit) {
+  auto s = with_bins<WorstFitStrategy>({0.3, 0.4});
+  EXPECT_EQ(s.select(0.5), std::nullopt);
+}
+
+TEST(WorstFitStrategyTest, TieBreaksTowardEarliestBin) {
+  auto s = with_bins<WorstFitStrategy>({0.5, 0.5});
+  EXPECT_EQ(s.select(0.1), std::optional<BinId>(0));
+}
+
+TEST(NextFitStrategyTest, OnlyCurrentBinIsCandidate) {
+  NextFitStrategy s(unit_model());
+  s.on_bin_registered(0, 1.0);
+  EXPECT_EQ(s.select(0.6), std::optional<BinId>(0));
+  s.on_residual_changed(0, 0.4);
+  // 0.5 does not fit bin 0 -> strategy declines and retires bin 0 forever.
+  EXPECT_EQ(s.select(0.5), std::nullopt);
+  s.on_bin_registered(1, 1.0);
+  EXPECT_EQ(s.select(0.5), std::optional<BinId>(1));
+  // Bin 0 is never revisited even though 0.1 would fit it.
+  s.on_residual_changed(1, 0.05);
+  EXPECT_EQ(s.select(0.1), std::nullopt);
+}
+
+TEST(NextFitStrategyTest, IsNotAnyFit) {
+  NextFitStrategy s(unit_model());
+  EXPECT_FALSE(s.any_fit_contract());
+  FirstFitStrategy ff(unit_model());
+  EXPECT_TRUE(ff.any_fit_contract());
+}
+
+TEST(NextFitStrategyTest, CurrentCloseResetsCandidate) {
+  NextFitStrategy s(unit_model());
+  s.on_bin_registered(0, 1.0);
+  s.on_bin_closed(0);
+  EXPECT_EQ(s.select(0.1), std::nullopt);
+}
+
+TEST(RandomFitStrategyTest, OnlyFittingBinsAreChosen) {
+  RandomFitStrategy s(unit_model(), 123);
+  s.on_bin_registered(0, 0.1);
+  s.on_bin_registered(1, 0.9);
+  s.on_bin_registered(2, 0.05);
+  for (int trial = 0; trial < 50; ++trial) {
+    EXPECT_EQ(s.select(0.5), std::optional<BinId>(1));
+  }
+}
+
+TEST(RandomFitStrategyTest, UniformishOverCandidates) {
+  RandomFitStrategy s(unit_model(), 99);
+  s.on_bin_registered(0, 0.9);
+  s.on_bin_registered(1, 0.9);
+  int count0 = 0;
+  const int trials = 2000;
+  for (int trial = 0; trial < trials; ++trial) {
+    if (s.select(0.5) == std::optional<BinId>(0)) ++count0;
+  }
+  EXPECT_GT(count0, trials / 2 - 200);
+  EXPECT_LT(count0, trials / 2 + 200);
+}
+
+TEST(RandomFitStrategyTest, ClosedBinLeavesPool) {
+  RandomFitStrategy s(unit_model(), 5);
+  s.on_bin_registered(0, 0.9);
+  s.on_bin_registered(1, 0.9);
+  s.on_bin_closed(0);
+  for (int trial = 0; trial < 20; ++trial) {
+    EXPECT_EQ(s.select(0.5), std::optional<BinId>(1));
+  }
+  s.on_bin_closed(1);
+  EXPECT_EQ(s.select(0.5), std::nullopt);
+}
+
+TEST(MoveToFrontStrategyTest, RecencyOrderDrivesSelection) {
+  MoveToFrontStrategy s(unit_model());
+  s.on_bin_registered(0, 0.9);
+  s.on_bin_registered(1, 0.9);  // front: 1, 0
+  EXPECT_EQ(s.select(0.5), std::optional<BinId>(1));
+  s.on_residual_changed(1, 0.1);
+  EXPECT_EQ(s.select(0.5), std::optional<BinId>(0));  // 1 no longer fits
+  // 0 moved to front; restore 1's room and 0 stays preferred.
+  s.on_residual_changed(1, 0.9);
+  EXPECT_EQ(s.select(0.5), std::optional<BinId>(0));
+}
+
+TEST(MoveToFrontStrategyTest, CloseRemovesFromList) {
+  MoveToFrontStrategy s(unit_model());
+  s.on_bin_registered(0, 0.9);
+  s.on_bin_registered(1, 0.9);
+  s.on_bin_closed(1);
+  EXPECT_EQ(s.select(0.5), std::optional<BinId>(0));
+}
+
+TEST(StrategyNamesTest, AllDistinct) {
+  EXPECT_EQ(FirstFitStrategy(unit_model()).name(), "first-fit");
+  EXPECT_EQ(BestFitStrategy(unit_model()).name(), "best-fit");
+  EXPECT_EQ(WorstFitStrategy(unit_model()).name(), "worst-fit");
+  EXPECT_EQ(NextFitStrategy(unit_model()).name(), "next-fit");
+  EXPECT_EQ(LastFitStrategy(unit_model()).name(), "last-fit");
+  EXPECT_EQ(RandomFitStrategy(unit_model(), 0).name(), "random-fit");
+  EXPECT_EQ(MoveToFrontStrategy(unit_model()).name(), "move-to-front-fit");
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,34 @@
+#include "core/strfmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbp {
+namespace {
+
+TEST(StrfmtTest, BasicFormatting) {
+  EXPECT_EQ(strfmt("x=%d", 42), "x=42");
+  EXPECT_EQ(strfmt("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+}
+
+TEST(StrfmtTest, EmptyAndNoArgs) {
+  EXPECT_EQ(strfmt("%s", ""), "");
+  EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(StrfmtTest, LongOutputNotTruncated) {
+  const std::string big(10'000, 'x');
+  const std::string result = strfmt("[%s]", big.c_str());
+  EXPECT_EQ(result.size(), big.size() + 2);
+  EXPECT_EQ(result.front(), '[');
+  EXPECT_EQ(result.back(), ']');
+}
+
+TEST(StrfmtTest, RoundTripsDoublesAtFullPrecision) {
+  const double value = 0.1234567890123456789;
+  const std::string text = strfmt("%.17g", value);
+  EXPECT_EQ(std::stod(text), value);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,104 @@
+#include "analysis/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "workload/adversary_anyfit.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgGanttTest, WellFormedDocument) {
+  Instance instance;
+  instance.add(0.0, 4.0, 0.5);
+  instance.add(1.0, 3.0, 0.4);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  const std::string svg = render_bin_gantt_svg(instance, result);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count_occurrences(svg, "<svg"), 1u);
+  // One band rect + one background rect + one item rect per item.
+  EXPECT_EQ(count_occurrences(svg, "<title>item"), instance.size());
+}
+
+TEST(SvgGanttTest, OneBandPerBin) {
+  const auto built = build_anyfit_adversary({.k = 4, .mu = 2.0});
+  const SimulationResult result =
+      simulate(built.instance, "first-fit", unit_model());
+  const std::string svg = render_bin_gantt_svg(built.instance, result);
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_NE(svg.find(">bin " + std::to_string(b) + "<"), std::string::npos);
+  }
+  EXPECT_EQ(svg.find(">bin 4<"), std::string::npos);
+}
+
+TEST(SvgGanttTest, TitleIsEscaped) {
+  Instance instance;
+  instance.add(0.0, 1.0, 0.5);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  SvgOptions options;
+  options.title = "a<b & \"c\"";
+  const std::string svg = render_bin_gantt_svg(instance, result, options);
+  EXPECT_NE(svg.find("a&lt;b &amp; &quot;c&quot;"), std::string::npos);
+  EXPECT_EQ(svg.find("a<b"), std::string::npos);
+}
+
+TEST(SvgGanttTest, LargeInstanceSkipsLabels) {
+  RandomInstanceConfig config;
+  config.item_count = 300;
+  const Instance instance = generate_random_instance(config, 1);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  const std::string svg = render_bin_gantt_svg(instance, result);
+  // Tooltips always present; per-item text labels suppressed above 200.
+  EXPECT_EQ(count_occurrences(svg, "<title>item"), instance.size());
+}
+
+TEST(SvgGanttTest, Validation) {
+  Instance instance;
+  instance.add(0.0, 1.0, 0.5);
+  const SimulationResult result = simulate(instance, "first-fit", unit_model());
+  SvgOptions bad;
+  bad.width = 10;
+  EXPECT_THROW((void)render_bin_gantt_svg(instance, result, bad), PreconditionError);
+  EXPECT_THROW((void)render_bin_gantt_svg(Instance{}, result), PreconditionError);
+}
+
+TEST(SvgTimelineTest, RendersEachSeries) {
+  Instance instance;
+  instance.add(0.0, 4.0, 0.9);
+  instance.add(1.0, 3.0, 0.9);
+  const SimulationResult ff = simulate(instance, "first-fit", unit_model());
+  const SimulationResult nf = simulate(instance, "next-fit", unit_model());
+  const std::string svg = render_open_bins_svg(
+      {{"first-fit", &ff.open_bins_over_time},
+       {"next-fit", &nf.open_bins_over_time}});
+  EXPECT_EQ(count_occurrences(svg, "<polyline"), 2u);
+  EXPECT_NE(svg.find(">first-fit<"), std::string::npos);
+  EXPECT_NE(svg.find(">next-fit<"), std::string::npos);
+}
+
+TEST(SvgTimelineTest, RequiresFinalizedNonEmptySeries) {
+  EXPECT_THROW((void)render_open_bins_svg({}), PreconditionError);
+  StepFunction unfinalized;
+  unfinalized.add_delta(0.0, 1);
+  EXPECT_THROW((void)render_open_bins_svg({{"x", &unfinalized}}), PreconditionError);
+  StepFunction empty;
+  empty.finalize();
+  EXPECT_THROW((void)render_open_bins_svg({{"x", &empty}}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

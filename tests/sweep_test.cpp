@@ -1,0 +1,59 @@
+#include "analysis/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace dbp {
+namespace {
+
+TEST(SweepTest, MapsInOrder) {
+  std::vector<int> jobs;
+  for (int i = 0; i < 100; ++i) jobs.push_back(i);
+  const auto results = parallel_map(jobs, [](int x) { return x * x; });
+  ASSERT_EQ(results.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+}
+
+TEST(SweepTest, EmptyJobList) {
+  const std::vector<int> jobs;
+  const auto results = parallel_map(jobs, [](int x) { return x; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(SweepTest, AllJobsRunExactlyOnce) {
+  std::vector<int> jobs(500, 1);
+  std::atomic<int> counter{0};
+  (void)parallel_map(jobs, [&](int x) {
+    counter.fetch_add(x);
+    return 0;
+  });
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(SweepTest, ExceptionIsRethrown) {
+  std::vector<int> jobs{1, 2, 3, 4, 5};
+  EXPECT_THROW((void)parallel_map(jobs,
+                                  [](int x) -> int {
+                                    if (x == 3) throw std::runtime_error("boom");
+                                    return x;
+                                  }),
+               std::runtime_error);
+}
+
+TEST(SweepTest, NonTrivialResultType) {
+  std::vector<int> jobs{1, 2, 3};
+  const auto results = parallel_map(jobs, [](int x) {
+    return std::vector<int>(static_cast<std::size_t>(x), x);
+  });
+  EXPECT_EQ(results[2].size(), 3u);
+}
+
+TEST(SweepTest, WorkerCountPositive) {
+  EXPECT_GE(parallel_worker_count(), 1);
+}
+
+}  // namespace
+}  // namespace dbp

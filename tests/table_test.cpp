@@ -1,0 +1,69 @@
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+TEST(TableTest, RequiresColumns) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(TableTest, RowArityChecked) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), PreconditionError);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), PreconditionError);
+  EXPECT_NO_THROW(table.add_row({"1", "2"}));
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.column_count(), 2u);
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1.5"});
+  table.add_row({"longer", "22.25"});
+  std::stringstream out;
+  table.print(out);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_NE(line.find("name"), std::string::npos);
+  EXPECT_NE(line.find("value"), std::string::npos);
+  std::getline(out, line);
+  EXPECT_EQ(line.find_first_not_of('-'), std::string::npos);  // underline
+  std::getline(out, line);
+  EXPECT_NE(line.find("x"), std::string::npos);
+  std::getline(out, line);
+  EXPECT_NE(line.find("longer"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table table({"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"with\"quote", "two\nlines"});
+  std::stringstream out;
+  table.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"two\nlines\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::integer(-42), "-42");
+}
+
+TEST(TableTest, EmptyTableStillPrintsHeader) {
+  Table table({"only"});
+  std::stringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,93 @@
+#include "analysis/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+SimulationResult small_run(Instance* instance_out) {
+  Instance instance;
+  instance.add(0.0, 4.0, 0.9);
+  instance.add(1.0, 2.0, 0.9);
+  SimulationResult result = simulate(instance, "first-fit", unit_model());
+  *instance_out = std::move(instance);
+  return result;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TimelineTest, StepFunctionCsv) {
+  Instance instance;
+  const SimulationResult result = small_run(&instance);
+  std::stringstream out;
+  write_step_function_csv(result.open_bins_over_time, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 5u);  // header + 4 breakpoints
+  EXPECT_EQ(lines[0], "time,value");
+  EXPECT_EQ(lines[1], "0,1");
+  EXPECT_EQ(lines[2], "1,2");
+  EXPECT_EQ(lines[3], "2,1");
+  EXPECT_EQ(lines[4], "4,0");
+}
+
+TEST(TimelineTest, BinUsageCsv) {
+  Instance instance;
+  const SimulationResult result = small_run(&instance);
+  std::stringstream out;
+  write_bin_usage_csv(result, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "bin,opened,closed,usage_length");
+  EXPECT_EQ(lines[1], "0,0,4,4");
+  EXPECT_EQ(lines[2], "1,1,2,1");
+}
+
+TEST(TimelineTest, AssignmentCsv) {
+  Instance instance;
+  const SimulationResult result = small_run(&instance);
+  std::stringstream out;
+  write_assignment_csv(instance, result, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "item,bin,arrival,departure,size");
+  EXPECT_EQ(lines[1].substr(0, 4), "0,0,");
+  EXPECT_EQ(lines[2].substr(0, 4), "1,1,");
+}
+
+TEST(TimelineTest, AssignmentCsvRejectsMismatch) {
+  Instance instance;
+  const SimulationResult result = small_run(&instance);
+  Instance other;
+  other.add(0.0, 1.0, 0.5);
+  std::stringstream out;
+  EXPECT_THROW(write_assignment_csv(other, result, out), PreconditionError);
+}
+
+TEST(TimelineTest, SampledOpenBinsCsv) {
+  Instance instance;
+  const SimulationResult result = small_run(&instance);
+  std::stringstream out;
+  write_sampled_open_bins_csv(result, 5, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 6u);  // header + 5 samples over [0, 4]
+  EXPECT_EQ(lines[0], "time,open_bins");
+  EXPECT_EQ(lines[1], "0,1");
+  EXPECT_EQ(lines[2], "1,2");
+  EXPECT_EQ(lines[5], "4,0");
+  EXPECT_THROW(write_sampled_open_bins_csv(result, 1, out), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

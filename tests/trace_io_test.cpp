@@ -1,0 +1,101 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+TEST(TraceIoTest, RoundTripPreservesItemsExactly) {
+  RandomInstanceConfig config;
+  config.item_count = 200;
+  const Instance original = generate_random_instance(config, 99);
+
+  std::stringstream stream;
+  write_instance_csv(original, stream);
+  const Instance loaded = read_instance_csv(stream);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.items()[i], original.items()[i]) << "row " << i;
+  }
+}
+
+TEST(TraceIoTest, WritesHeader) {
+  Instance instance;
+  instance.add(0.0, 1.0, 0.5);
+  std::stringstream stream;
+  write_instance_csv(instance, stream);
+  std::string first_line;
+  std::getline(stream, first_line);
+  EXPECT_EQ(first_line, "id,arrival,departure,size");
+}
+
+TEST(TraceIoTest, EmptyInstanceRoundTrips) {
+  std::stringstream stream;
+  write_instance_csv(Instance{}, stream);
+  EXPECT_TRUE(read_instance_csv(stream).empty());
+}
+
+TEST(TraceIoTest, RejectsMissingHeader) {
+  std::stringstream stream("0,1,2,0.5\n");
+  EXPECT_THROW((void)read_instance_csv(stream), PreconditionError);
+}
+
+TEST(TraceIoTest, RejectsEmptyStream) {
+  std::stringstream stream("");
+  EXPECT_THROW((void)read_instance_csv(stream), PreconditionError);
+}
+
+TEST(TraceIoTest, RejectsWrongFieldCount) {
+  std::stringstream stream("id,arrival,departure,size\n0,1,2\n");
+  EXPECT_THROW((void)read_instance_csv(stream), PreconditionError);
+}
+
+TEST(TraceIoTest, RejectsMalformedNumbers) {
+  std::stringstream stream("id,arrival,departure,size\n0,zero,2,0.5\n");
+  EXPECT_THROW((void)read_instance_csv(stream), PreconditionError);
+}
+
+TEST(TraceIoTest, RejectsInvalidItems) {
+  // departure <= arrival fails Item::validate via Instance::from_items.
+  std::stringstream stream("id,arrival,departure,size\n0,5,2,0.5\n");
+  EXPECT_THROW((void)read_instance_csv(stream), PreconditionError);
+}
+
+TEST(TraceIoTest, SkipsBlankLines) {
+  std::stringstream stream("id,arrival,departure,size\n0,0,1,0.5\n\n1,1,2,0.25\n");
+  const Instance instance = read_instance_csv(stream);
+  EXPECT_EQ(instance.size(), 2u);
+}
+
+TEST(TraceIoTest, IdsReassignedDensely) {
+  std::stringstream stream("id,arrival,departure,size\n42,0,1,0.5\n99,1,2,0.25\n");
+  const Instance instance = read_instance_csv(stream);
+  EXPECT_EQ(instance.item(0).id, 0u);
+  EXPECT_EQ(instance.item(1).id, 1u);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  Instance instance;
+  instance.add(0.25, 1.75, 0.125);
+  const std::string path = testing::TempDir() + "/dbp_trace_io_test.csv";
+  write_instance_csv(instance, path);
+  const Instance loaded = read_instance_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.items()[0], instance.items()[0]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_instance_csv(std::string("/nonexistent/path.csv")),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,143 @@
+#include "workload/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+CostModel unit_model() { return CostModel{1.0, 1.0, 1e-9}; }
+
+Instance sample_instance(std::uint64_t seed = 9) {
+  RandomInstanceConfig config;
+  config.item_count = 250;
+  config.arrival.rate = 6.0;
+  config.duration.max_length = 4.0;
+  return generate_random_instance(config, seed);
+}
+
+TEST(TransformTest, ScaleTimeScalesEveryAlgorithmCostLinearly) {
+  const Instance original = sample_instance();
+  const Instance scaled = scale_time(original, 2.5, 7.0);
+  for (const std::string name : {"first-fit", "best-fit", "next-fit"}) {
+    const SimulationResult base = simulate(original, name, unit_model());
+    const SimulationResult stretched = simulate(scaled, name, unit_model());
+    EXPECT_NEAR(stretched.total_cost, 2.5 * base.total_cost,
+                1e-9 * stretched.total_cost)
+        << name;
+    // Assignments are identical: decisions depend on order and sizes only.
+    EXPECT_EQ(stretched.assignment, base.assignment) << name;
+  }
+}
+
+TEST(TransformTest, ScaleTimeScalesOptToo) {
+  const Instance original = sample_instance();
+  const Instance scaled = scale_time(original, 3.0);
+  const OptTotalResult base = estimate_opt_total(original, unit_model());
+  const OptTotalResult stretched = estimate_opt_total(scaled, unit_model());
+  EXPECT_NEAR(stretched.lower_cost, 3.0 * base.lower_cost, 1e-6);
+  EXPECT_NEAR(stretched.upper_cost, 3.0 * base.upper_cost, 1e-6);
+}
+
+TEST(TransformTest, ScaleSizesWithCapacityPreservesAssignment) {
+  const Instance original = sample_instance();
+  const Instance scaled = scale_sizes(original, 4.0);
+  const CostModel big{4.0, 1.0, 4e-9};  // capacity and tolerance scale along
+  const SimulationResult base = simulate(original, "first-fit", unit_model());
+  const SimulationResult rescaled = simulate(scaled, "first-fit", big);
+  EXPECT_EQ(rescaled.assignment, base.assignment);
+  EXPECT_NEAR(rescaled.total_cost, base.total_cost, 1e-9 * base.total_cost);
+}
+
+TEST(TransformTest, MuInvariantUnderTimeScaling) {
+  const Instance original = sample_instance();
+  const Instance scaled = scale_time(original, 10.0, -3.0);
+  EXPECT_NEAR(compute_metrics(scaled).mu, compute_metrics(original).mu, 1e-9);
+}
+
+TEST(TransformTest, CropKeepsOnlyWindowOverlap) {
+  Instance instance;
+  instance.add(0.0, 2.0, 0.5);   // fully before window end, clipped at start
+  instance.add(5.0, 9.0, 0.5);   // straddles window end
+  instance.add(11.0, 12.0, 0.5); // outside
+  const Instance cropped = crop(instance, {1.0, 8.0});
+  ASSERT_EQ(cropped.size(), 2u);
+  EXPECT_DOUBLE_EQ(cropped.item(0).arrival, 1.0);
+  EXPECT_DOUBLE_EQ(cropped.item(0).departure, 2.0);
+  EXPECT_DOUBLE_EQ(cropped.item(1).arrival, 5.0);
+  EXPECT_DOUBLE_EQ(cropped.item(1).departure, 8.0);
+}
+
+TEST(TransformTest, ConcatenateSeparatesInTime) {
+  Instance a;
+  a.add(0.0, 2.0, 0.5);
+  Instance b;
+  b.add(100.0, 101.0, 0.5);
+  const Instance joined = concatenate(a, b, 3.0);
+  ASSERT_EQ(joined.size(), 2u);
+  EXPECT_DOUBLE_EQ(joined.item(1).arrival, 5.0);  // 2 + gap 3
+  EXPECT_DOUBLE_EQ(joined.item(1).departure, 6.0);
+}
+
+TEST(TransformTest, ConcatenatedCostIsSumOfParts) {
+  const Instance a = sample_instance(1);
+  const Instance b = sample_instance(2);
+  const Instance joined = concatenate(a, b, 1.0);
+  const SimulationResult cost_a = simulate(a, "first-fit", unit_model());
+  const SimulationResult cost_b = simulate(b, "first-fit", unit_model());
+  const SimulationResult cost_joined = simulate(joined, "first-fit", unit_model());
+  // Disjoint in time: all bins from part a close before part b starts, so
+  // the packing decomposes and costs add exactly.
+  EXPECT_NEAR(cost_joined.total_cost, cost_a.total_cost + cost_b.total_cost,
+              1e-9 * cost_joined.total_cost);
+}
+
+TEST(TransformTest, OverlayUnionsItems) {
+  const Instance a = sample_instance(1);
+  const Instance b = sample_instance(2);
+  const Instance merged = overlay(a, b);
+  EXPECT_EQ(merged.size(), a.size() + b.size());
+  EXPECT_GE(total_demand_of(merged),
+            total_demand_of(a) + total_demand_of(b) - 1e-9);
+}
+
+TEST(TransformTest, ReverseTimePreservesOptAndMetrics) {
+  const Instance original = sample_instance();
+  const Instance reversed = reverse_time(original);
+  EXPECT_NEAR(compute_metrics(reversed).span, compute_metrics(original).span,
+              1e-9);
+  EXPECT_NEAR(compute_metrics(reversed).total_demand,
+              compute_metrics(original).total_demand, 1e-9);
+  const OptTotalResult fwd = estimate_opt_total(original, unit_model());
+  const OptTotalResult bwd = estimate_opt_total(reversed, unit_model());
+  EXPECT_NEAR(fwd.lower_cost, bwd.lower_cost, 1e-6 * fwd.lower_cost);
+  EXPECT_NEAR(fwd.upper_cost, bwd.upper_cost, 1e-6 * fwd.upper_cost);
+}
+
+TEST(TransformTest, ReverseTwiceIsIdentity) {
+  const Instance original = sample_instance();
+  const Instance twice = reverse_time(reverse_time(original));
+  ASSERT_EQ(twice.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(twice.items()[i].arrival, original.items()[i].arrival, 1e-9);
+    EXPECT_NEAR(twice.items()[i].departure, original.items()[i].departure, 1e-9);
+  }
+}
+
+TEST(TransformTest, Validation) {
+  const Instance instance = sample_instance();
+  EXPECT_THROW((void)scale_time(instance, 0.0), PreconditionError);
+  EXPECT_THROW((void)scale_time(instance, -1.0), PreconditionError);
+  EXPECT_THROW((void)scale_sizes(instance, 0.0), PreconditionError);
+  EXPECT_THROW((void)crop(instance, {3.0, 3.0}), PreconditionError);
+  EXPECT_THROW((void)concatenate(Instance{}, instance), PreconditionError);
+  EXPECT_THROW((void)concatenate(instance, instance, -1.0), PreconditionError);
+  EXPECT_THROW((void)reverse_time(Instance{}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,89 @@
+// Minimal --key=value argument parsing shared by the CLI tools.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dbp::cli {
+
+/// Parses `--key=value` / `--flag` arguments; positional arguments and
+/// unknown keys raise PreconditionError with a usage hint.
+class Args {
+ public:
+  Args(int argc, char** argv, std::vector<std::string> allowed_keys,
+       std::string usage)
+      : usage_(std::move(usage)) {
+    for (const std::string& key : allowed_keys) allowed_.insert(key);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      DBP_REQUIRE(arg.rfind("--", 0) == 0,
+                  "expected --key=value argument, got '" + arg + "'\n" + usage_);
+      const std::size_t eq = arg.find('=');
+      const std::string key = arg.substr(2, eq == std::string::npos
+                                                ? std::string::npos
+                                                : eq - 2);
+      DBP_REQUIRE(allowed_.contains(key),
+                  "unknown option --" + key + "\n" + usage_);
+      values_[key] = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    auto it = values_.find(key);
+    DBP_REQUIRE(it != values_.end() && !it->second.empty(),
+                "missing required option --" + key + "\n" + usage_);
+    return it->second;
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stod(it->second);
+  }
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stoull(it->second);
+  }
+
+  /// Splits a comma-separated value ("a,b,c").
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& key, const std::vector<std::string>& fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::vector<std::string> result;
+    std::stringstream stream(it->second);
+    std::string part;
+    while (std::getline(stream, part, ',')) {
+      if (!part.empty()) result.push_back(part);
+    }
+    return result;
+  }
+
+  [[nodiscard]] const std::string& usage() const noexcept { return usage_; }
+
+ private:
+  std::string usage_;
+  std::set<std::string> allowed_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dbp::cli

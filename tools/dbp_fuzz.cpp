@@ -1,0 +1,164 @@
+// dbp_fuzz — seeded randomized stress harness.
+//
+// Usage:
+//   dbp_fuzz [--rounds=N] [--seed=S] [--items=MAX]
+//
+// Each round draws a random workload configuration and seed, runs every
+// algorithm with paranoid Any Fit checking where applicable, recomputes the
+// accounting independently, validates the paper's closed-form bounds and
+// the OPT sandwich, and (for First Fit) the Section 4.3 invariants. On any
+// violation it prints the offending (round, seed) so the failure is
+// reproducible, and exits non-zero. Used as a long-running robustness
+// soak beyond what the unit-test sweeps cover.
+#include <iostream>
+
+#include "algo/any_fit_packer.hpp"
+#include "algo/strategies.hpp"
+#include "analysis/ff_decomposition.hpp"
+#include "cli.hpp"
+#include "core/metrics.hpp"
+#include "core/strfmt.hpp"
+#include "opt/opt_total.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_instance.hpp"
+#include "workload/rng.hpp"
+
+namespace {
+
+constexpr const char* kUsage = "usage: dbp_fuzz [--rounds=N] [--seed=S] [--items=MAX]\n";
+
+using namespace dbp;
+
+RandomInstanceConfig random_config(Rng& rng, std::size_t max_items) {
+  RandomInstanceConfig config;
+  config.item_count = 20 + rng.uniform_int(0, max_items - 20);
+  config.duration.kind = static_cast<DurationModel::Kind>(rng.uniform_int(0, 4));
+  config.duration.min_length = rng.uniform(0.1, 2.0);
+  config.duration.max_length =
+      config.duration.min_length * rng.uniform(1.0, 20.0);
+  config.duration.log_mean = rng.uniform(-1.0, 1.0);
+  if (rng.bernoulli(0.4)) {
+    config.arrival.kind = ArrivalModel::Kind::kBursts;
+    config.arrival.burst_size = 2 + rng.uniform_int(0, 30);
+    config.arrival.burst_gap = rng.uniform(0.05, 4.0);
+  } else {
+    config.arrival.rate = rng.uniform(0.5, 50.0);
+  }
+  switch (rng.uniform_int(0, 2)) {
+    case 0: {
+      const double lo = rng.uniform(0.005, 0.4);
+      config.size.kind = SizeModel::Kind::kUniform;
+      config.size.min_fraction = lo;
+      config.size.max_fraction = rng.uniform(lo, 1.0);
+      break;
+    }
+    case 1:
+      config.size.kind = SizeModel::Kind::kDyadic;
+      config.size.min_exponent = 1;
+      config.size.max_exponent = 1 + static_cast<int>(rng.uniform_int(0, 7));
+      break;
+    default:
+      config.size.kind = SizeModel::Kind::kDiscrete;
+      config.size.fractions = {0.1, 1.0 / 3.0, 0.5, 0.7};
+      break;
+  }
+  config.pin_mu_extremes = rng.bernoulli(0.5);
+  return config;
+}
+
+bool run_round(std::uint64_t round, std::uint64_t seed, std::size_t max_items) {
+  Rng rng(seed);
+  const RandomInstanceConfig config = random_config(rng, max_items);
+  const Instance instance = generate_random_instance(config, seed ^ 0xABCDEF);
+  const CostModel model{1.0, 1.0, 1e-9};
+  const CostBounds closed = compute_cost_bounds(instance, model);
+  const InstanceMetrics metrics = compute_metrics(instance);
+
+  OptTotalOptions opt_options;
+  opt_options.bin_count.exact.node_budget = 2'000;
+  const OptTotalResult opt = estimate_opt_total(instance, model, opt_options);
+
+  bool ok = true;
+  const auto fail = [&](const std::string& what) {
+    std::cerr << strfmt("FUZZ FAILURE round=%llu seed=%llu: %s\n",
+                        static_cast<unsigned long long>(round),
+                        static_cast<unsigned long long>(seed), what.c_str());
+    ok = false;
+  };
+
+  if (opt.lower_cost > opt.upper_cost * (1.0 + 1e-9)) fail("OPT bounds crossed");
+  if (opt.lower_cost < closed.lower() - 1e-9) fail("OPT below closed-form bound");
+
+  PackerOptions packer_options;
+  packer_options.known_mu = metrics.mu;
+  packer_options.seed = seed;
+  for (const std::string& name : all_algorithm_names()) {
+    SimulationResult result;
+    if (name == "first-fit" || name == "best-fit" || name == "worst-fit" ||
+        name == "last-fit" || name == "move-to-front-fit") {
+      // Paranoid variant proves the Any Fit contract per placement.
+      std::unique_ptr<FitStrategy> strategy;
+      if (name == "first-fit") strategy = std::make_unique<FirstFitStrategy>(model);
+      if (name == "best-fit") strategy = std::make_unique<BestFitStrategy>(model);
+      if (name == "worst-fit") strategy = std::make_unique<WorstFitStrategy>(model);
+      if (name == "last-fit") strategy = std::make_unique<LastFitStrategy>(model);
+      if (name == "move-to-front-fit") {
+        strategy = std::make_unique<MoveToFrontStrategy>(model);
+      }
+      AnyFitPacker packer(model, std::move(strategy));
+      packer.set_paranoid(true);
+      result = simulate(instance, packer);
+    } else {
+      result = simulate(instance, name, model, packer_options);
+    }
+    if (result.total_cost < closed.demand_lower * (1.0 - 1e-9)) {
+      fail(name + " beat the demand bound (b.1)");
+    }
+    if (result.total_cost < closed.span_lower * (1.0 - 1e-9)) {
+      fail(name + " beat the span bound (b.2)");
+    }
+    if (result.total_cost > closed.one_per_item_upper * (1.0 + 1e-9)) {
+      fail(name + " exceeded the one-bin-per-item bound (b.3)");
+    }
+    if (result.total_cost < opt.lower_cost * (1.0 - 1e-9)) {
+      fail(name + " beat OPT");
+    }
+    if (name == "first-fit") {
+      if (result.total_cost >
+          (2.0 * metrics.mu + 13.0) * opt.upper_cost * (1.0 + 1e-9)) {
+        fail("first-fit exceeded the Theorem 5 bound");
+      }
+      const FFDecomposition d = decompose_first_fit(instance, result);
+      const DecompositionReport report =
+          verify_ff_decomposition(instance, result, d, model);
+      if (!report.all_ok()) {
+        fail("FF decomposition invariant: " + report.violations.front());
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const dbp::cli::Args args(argc, argv, {"rounds", "seed", "items"}, kUsage);
+    const std::uint64_t rounds = args.get_u64("rounds", 25);
+    const std::uint64_t base_seed = args.get_u64("seed", 1);
+    const std::size_t max_items = args.get_u64("items", 600);
+
+    std::size_t failures = 0;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+      if (!run_round(round, base_seed + round * 0x9E3779B9ULL, max_items)) {
+        ++failures;
+      }
+    }
+    std::cout << dbp::strfmt("dbp_fuzz: %llu rounds, %zu failures\n",
+                             static_cast<unsigned long long>(rounds), failures);
+    return failures == 0 ? 0 : 2;
+  } catch (const std::exception& error) {
+    std::cerr << "dbp_fuzz: " << error.what() << "\n";
+    return 1;
+  }
+}

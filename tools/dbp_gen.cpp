@@ -1,0 +1,78 @@
+// dbp_gen — generate MinTotal DBP workload traces as CSV.
+//
+// Usage:
+//   dbp_gen --kind=random           --out=trace.csv [--items=N] [--mu=M]
+//           [--rate=R] [--min-size=S] [--max-size=S] [--seed=K]
+//   dbp_gen --kind=anyfit-adversary --out=trace.csv [--k=K] [--mu=M]
+//   dbp_gen --kind=bestfit-adversary --out=trace.csv [--k=K] [--mu=M]
+//   dbp_gen --kind=cloud-gaming     --out=trace.csv [--hours=H] [--peak=P]
+//           [--seed=K]
+#include <iostream>
+
+#include "cli.hpp"
+#include "workload/adversary_anyfit.hpp"
+#include "workload/adversary_bestfit.hpp"
+#include "workload/cloud_gaming.hpp"
+#include "workload/random_instance.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: dbp_gen --kind=random|anyfit-adversary|bestfit-adversary|"
+    "cloud-gaming --out=FILE\n"
+    "  common:            --seed=N (default 1)\n"
+    "  random:            --items=N --mu=M --rate=R --min-size=F --max-size=F\n"
+    "  anyfit-adversary:  --k=K --mu=M\n"
+    "  bestfit-adversary: --k=K --mu=M (mu > 1)\n"
+    "  cloud-gaming:      --hours=H --peak=ARRIVALS_PER_MIN\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dbp;
+  try {
+    const cli::Args args(argc, argv,
+                         {"kind", "out", "seed", "items", "mu", "rate",
+                          "min-size", "max-size", "k", "hours", "peak"},
+                         kUsage);
+    const std::string kind = args.require("kind");
+    const std::string out = args.require("out");
+    const std::uint64_t seed = args.get_u64("seed", 1);
+
+    Instance instance;
+    if (kind == "random") {
+      RandomInstanceConfig config;
+      config.item_count = args.get_u64("items", 1000);
+      config.arrival.rate = args.get_double("rate", 10.0);
+      config.duration.max_length = args.get_double("mu", 4.0);
+      config.size.min_fraction = args.get_double("min-size", 0.05);
+      config.size.max_fraction = args.get_double("max-size", 0.5);
+      instance = generate_random_instance(config, seed);
+    } else if (kind == "anyfit-adversary") {
+      AnyFitAdversaryConfig config;
+      config.k = args.get_u64("k", 10);
+      config.mu = args.get_double("mu", 4.0);
+      instance = build_anyfit_adversary(config).instance;
+    } else if (kind == "bestfit-adversary") {
+      BestFitAdversaryConfig config;
+      config.k = args.get_u64("k", 6);
+      config.mu = args.get_double("mu", 4.0);
+      instance = build_bestfit_adversary(config).instance;
+    } else if (kind == "cloud-gaming") {
+      CloudGamingConfig config;
+      config.horizon_hours = args.get_double("hours", 24.0);
+      config.peak_arrivals_per_minute = args.get_double("peak", 2.0);
+      instance = generate_cloud_gaming_trace(config, seed).instance;
+    } else {
+      DBP_REQUIRE(false, std::string("unknown kind '") + kind + "'\n" + kUsage);
+    }
+
+    write_instance_csv(instance, out);
+    std::cout << "wrote " << instance.size() << " items to " << out << "\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "dbp_gen: " << error.what() << "\n";
+    return 1;
+  }
+}

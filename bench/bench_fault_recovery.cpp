@@ -1,0 +1,80 @@
+// Experiment FR: cost inflation under server crashes.
+//
+// The paper (and the server-renting line of work after it) treats bins as
+// perfectly reliable. This experiment quantifies what a crash actually
+// costs each algorithm: a crashed bin stops accruing cost but its live
+// items must be re-dispatched as fresh arrivals, breaking the packing the
+// algorithm had built. We sweep Poisson crash rates and report the exact
+// faulted/fault-free cost ratio per algorithm, plus the adversarial
+// fullest-bin schedule as a worst-case anchor.
+#include <iostream>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "core/strfmt.hpp"
+#include "sim/fault_sim.hpp"
+#include "workload/fault_schedule.hpp"
+#include "workload/random_instance.hpp"
+
+int main() {
+  using namespace dbp;
+  bench::banner("FR", "Fault recovery: cost inflation vs crash rate",
+                "new experiment (no paper analogue; bins assumed reliable)");
+
+  RandomInstanceConfig config;
+  config.item_count = 1200;
+  config.arrival.rate = 10.0;
+  config.duration.min_length = 0.5;
+  config.duration.max_length = 6.0;
+  const Instance instance = generate_random_instance(config, 7);
+  const CostModel model{1.0, 1.0, 1e-9};
+  const TimeInterval period = instance.packing_period();
+
+  const std::vector<std::string> algorithms{"first-fit", "best-fit",
+                                            "worst-fit", "modified-first-fit"};
+  const std::vector<double> crash_rates{0.0, 0.005, 0.01, 0.02, 0.05, 0.1};
+
+  std::cout << strfmt("%zu items over [%.2f, %.2f]; Poisson crashes, "
+                      "fullest-bin target, one plan per rate\n\n",
+                      instance.size(), period.begin, period.end);
+
+  Table table({"crash rate", "algorithm", "crashes", "redispatched",
+               "baseline cost", "faulted cost", "inflation"});
+  for (std::size_t r = 0; r < crash_rates.size(); ++r) {
+    const FaultPlan plan = make_poisson_fault_plan(
+        period, crash_rates[r], 0.0, CrashTarget::kFullest, 17 + r);
+    for (const std::string& algorithm : algorithms) {
+      const FaultSimulationResult cell =
+          simulate_with_faults(instance, algorithm, model, plan);
+      table.add_row(
+          {Table::num(crash_rates[r], 3), cell.faulted.algorithm,
+           Table::integer(static_cast<long long>(cell.stats.crashes_landed)),
+           Table::integer(
+               static_cast<long long>(cell.stats.sessions_redispatched)),
+           Table::num(cell.baseline.total_cost, 3),
+           Table::num(cell.faulted.total_cost, 3),
+           Table::num(cell.cost_inflation_ratio, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  // Worst-case anchor: the adversary crashes the fullest bin 20 times.
+  std::cout << "\nadversarial fullest-bin schedule (20 crashes):\n\n";
+  const FaultPlan adversarial = make_fullest_bin_crash_plan(period, 20, 23);
+  Table worst({"algorithm", "redispatched", "baseline cost", "faulted cost",
+               "inflation"});
+  for (const std::string& algorithm : algorithms) {
+    const FaultSimulationResult cell =
+        simulate_with_faults(instance, algorithm, model, adversarial);
+    worst.add_row(
+        {cell.faulted.algorithm,
+         Table::integer(
+             static_cast<long long>(cell.stats.sessions_redispatched)),
+         Table::num(cell.baseline.total_cost, 3),
+         Table::num(cell.faulted.total_cost, 3),
+         Table::num(cell.cost_inflation_ratio, 4)});
+  }
+  worst.print(std::cout);
+  return 0;
+}

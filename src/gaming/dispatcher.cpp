@@ -1,6 +1,9 @@
 #include "gaming/dispatcher.hpp"
 
+#include <cmath>
+
 #include "core/error.hpp"
+#include "core/strfmt.hpp"
 
 namespace dbp {
 
@@ -11,26 +14,210 @@ CostModel ServerSpec::to_cost_model() const {
 
 GameServerDispatcher::GameServerDispatcher(ServerSpec spec,
                                            const std::string& algorithm,
-                                           const PackerOptions& options)
-    : spec_(spec), algorithm_(algorithm) {
+                                           const PackerOptions& options,
+                                           const FaultPolicy& policy)
+    : spec_(spec), algorithm_(algorithm), policy_(policy),
+      rental_rng_(policy.seed) {
   DBP_REQUIRE(spec.gpu_capacity > 0.0, "server GPU capacity must be positive");
   DBP_REQUIRE(spec.price_per_hour > 0.0, "server price must be positive");
+  policy_.validate();
   packer_ = make_packer(algorithm, spec.to_cost_model(), options);
+}
+
+bool GameServerDispatcher::reject(DispatchErrorKind kind, std::uint64_t& counter,
+                                  const std::string& message) {
+  ++counter;
+  if (policy_.on_anomaly == FaultPolicy::AnomalyAction::kThrow) {
+    throw DispatchError(kind, message);
+  }
+  return false;
+}
+
+bool GameServerDispatcher::fits_open_server(double gpu_fraction) const {
+  const BinManager& bins = packer_->bins();
+  for (const BinId bin : bins.open_bins()) {
+    if (bins.fits(gpu_fraction, bin)) return true;
+  }
+  return false;
+}
+
+void GameServerDispatcher::shed_for(double gpu_fraction, Time now_minutes) {
+  const BinManager& bins = packer_->bins();
+  while (!fits_open_server(gpu_fraction) &&
+         active_servers() >= policy_.max_fleet_servers) {
+    // Lowest GPU fraction strictly below the arrival's, ties to the lowest
+    // session id. Candidates come from the bins, never from orphans that
+    // are mid-re-dispatch.
+    bool found = false;
+    std::uint64_t victim = 0;
+    double victim_size = 0.0;
+    for (const BinId bin : bins.open_bins()) {
+      for (const ItemId session : bins.items_in(bin)) {
+        const double size = sessions_.at(session);
+        if (size >= gpu_fraction) continue;
+        if (!found || size < victim_size ||
+            (size == victim_size && session < victim)) {
+          found = true;
+          victim = session;
+          victim_size = size;
+        }
+      }
+    }
+    if (!found) return;  // nothing smaller left to sacrifice
+    packer_->on_departure(victim, now_minutes);
+    sessions_.erase(victim);
+    ++stats_.sessions_shed;
+  }
+}
+
+BinId GameServerDispatcher::place_session(std::uint64_t session_id,
+                                          double gpu_fraction, Time now_minutes) {
+  if (!fits_open_server(gpu_fraction)) {
+    // No open server can host the session: a new rental is needed.
+    if (policy_.max_fleet_servers > 0 &&
+        active_servers() >= policy_.max_fleet_servers) {
+      shed_for(gpu_fraction, now_minutes);
+      if (!fits_open_server(gpu_fraction) &&
+          active_servers() >= policy_.max_fleet_servers) {
+        reject(DispatchErrorKind::kFleetCapExceeded,
+               stats_.sessions_rejected_cap,
+               strfmt("session %llu rejected: fleet cap of %zu servers hit and "
+                      "shedding could not make room",
+                      static_cast<unsigned long long>(session_id),
+                      policy_.max_fleet_servers));
+        return kNoServer;
+      }
+    }
+    if (!fits_open_server(gpu_fraction) && policy_.rental_failure_rate > 0.0) {
+      // Bounded retry with exponential backoff against a flaky provider.
+      bool rented = false;
+      for (int attempt = 0; attempt <= policy_.max_rental_retries; ++attempt) {
+        if (!rental_rng_.bernoulli(policy_.rental_failure_rate)) {
+          rented = true;
+          break;
+        }
+        ++stats_.rental_attempts_failed;
+        if (attempt < policy_.max_rental_retries) {
+          stats_.backoff_minutes +=
+              policy_.backoff_base_minutes * std::pow(2.0, attempt);
+        }
+      }
+      if (!rented) {
+        reject(DispatchErrorKind::kRentalFailed,
+               stats_.sessions_rejected_rental,
+               strfmt("session %llu rejected: %d rental attempts failed",
+                      static_cast<unsigned long long>(session_id),
+                      policy_.max_rental_retries + 1));
+        return kNoServer;
+      }
+    }
+  }
+  const BinId server =
+      packer_->on_arrival(ArrivingItem{session_id, now_minutes, gpu_fraction});
+  sessions_[session_id] = gpu_fraction;
+  return server;
 }
 
 BinId GameServerDispatcher::start_session(std::uint64_t session_id,
                                           double gpu_fraction, Time now_minutes) {
-  DBP_REQUIRE(now_minutes >= last_event_time_,
-              "dispatch events must be fed in time order");
+  if (!std::isfinite(now_minutes) || now_minutes < last_event_time_) {
+    if (!reject(DispatchErrorKind::kTimeOrderViolation,
+                stats_.time_order_violations,
+                strfmt("session %llu: start at t=%g violates the "
+                       "non-decreasing-time contract (clock at t=%g)",
+                       static_cast<unsigned long long>(session_id), now_minutes,
+                       last_event_time_))) {
+      return kNoServer;
+    }
+  }
+  if (!std::isfinite(gpu_fraction) || gpu_fraction <= 0.0 ||
+      !packer_->model().fits(gpu_fraction, spec_.gpu_capacity)) {
+    if (!reject(DispatchErrorKind::kInvalidSize, stats_.invalid_sizes,
+                strfmt("session %llu: invalid GPU fraction %g (capacity %g)",
+                       static_cast<unsigned long long>(session_id), gpu_fraction,
+                       spec_.gpu_capacity))) {
+      return kNoServer;
+    }
+  }
+  if (sessions_.contains(session_id)) {
+    if (!reject(DispatchErrorKind::kDuplicateStart, stats_.duplicate_starts,
+                strfmt("session %llu is already active: duplicate start_session",
+                       static_cast<unsigned long long>(session_id)))) {
+      return kNoServer;
+    }
+  }
   last_event_time_ = now_minutes;
-  return packer_->on_arrival(ArrivingItem{session_id, now_minutes, gpu_fraction});
+  return place_session(session_id, gpu_fraction, now_minutes);
 }
 
 void GameServerDispatcher::end_session(std::uint64_t session_id, Time now_minutes) {
-  DBP_REQUIRE(now_minutes >= last_event_time_,
-              "dispatch events must be fed in time order");
+  if (!std::isfinite(now_minutes) || now_minutes < last_event_time_) {
+    if (!reject(DispatchErrorKind::kTimeOrderViolation,
+                stats_.time_order_violations,
+                strfmt("session %llu: end at t=%g violates the "
+                       "non-decreasing-time contract (clock at t=%g)",
+                       static_cast<unsigned long long>(session_id), now_minutes,
+                       last_event_time_))) {
+      return;
+    }
+  }
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    reject(DispatchErrorKind::kUnknownSession, stats_.unknown_ends,
+           strfmt("session %llu is not active: unknown end_session",
+                  static_cast<unsigned long long>(session_id)));
+    return;
+  }
   last_event_time_ = now_minutes;
   packer_->on_departure(session_id, now_minutes);
+  sessions_.erase(it);
+}
+
+std::size_t GameServerDispatcher::fail_server(BinId server, Time now_minutes) {
+  if (!std::isfinite(now_minutes) || now_minutes < last_event_time_) {
+    if (!reject(DispatchErrorKind::kTimeOrderViolation,
+                stats_.time_order_violations,
+                strfmt("fail_server(%llu) at t=%g violates the "
+                       "non-decreasing-time contract (clock at t=%g)",
+                       static_cast<unsigned long long>(server), now_minutes,
+                       last_event_time_))) {
+      return 0;
+    }
+  }
+  const BinManager& bins = packer_->bins();
+  if (server >= bins.total_bins_opened() || !bins.is_open(server)) {
+    reject(DispatchErrorKind::kUnknownServer, stats_.unknown_servers,
+           strfmt("server %llu is not an active server",
+                  static_cast<unsigned long long>(server)));
+    return 0;
+  }
+  last_event_time_ = now_minutes;
+  // The crash ends the rental now: every resident session departs, which
+  // closes the server's usage record at the crash time.
+  const std::vector<ItemId> orphans = bins.items_in(server);
+  for (const ItemId session : orphans) {
+    packer_->on_departure(session, now_minutes);
+  }
+  ++stats_.servers_crashed;
+  // Re-dispatch the orphans as fresh arrivals (ascending session id — the
+  // order is deterministic). Re-dispatch rejections never throw: the
+  // orphan is dropped and counted instead, since the caller reporting the
+  // crash is not at fault.
+  const FaultPolicy::AnomalyAction saved = policy_.on_anomaly;
+  policy_.on_anomaly = FaultPolicy::AnomalyAction::kDropAndCount;
+  std::size_t redispatched = 0;
+  for (const ItemId session : orphans) {
+    const double size = sessions_.at(session);
+    if (place_session(session, size, now_minutes) != kNoServer) {
+      ++redispatched;
+      ++stats_.sessions_redispatched;
+    } else {
+      sessions_.erase(session);
+      ++stats_.sessions_lost_on_crash;
+    }
+  }
+  policy_.on_anomaly = saved;
+  return redispatched;
 }
 
 std::size_t GameServerDispatcher::active_servers() const {

@@ -16,7 +16,9 @@
 #include "algo/packer.hpp"
 #include "analysis/ratio.hpp"
 #include "core/types.hpp"
+#include "gaming/fault_policy.hpp"
 #include "workload/cloud_gaming.hpp"
+#include "workload/rng.hpp"
 
 namespace dbp {
 
@@ -31,23 +33,38 @@ struct ServerSpec {
 
 /// Online dispatcher facade: feed it session starts/ends in time order and
 /// it maintains the rented server fleet via the chosen packing algorithm.
+///
+/// Anomalous events (duplicate starts, unknown ends, time travel, invalid
+/// sizes) are rejected up front with a typed DispatchError — before any
+/// packing state changes — or counted and dropped, per the FaultPolicy.
 class GameServerDispatcher {
  public:
   /// `algorithm` is any algo/factory.hpp name; "first-fit" and
   /// "modified-first-fit" are the theoretically safe choices (Theorems 4-5;
   /// Best Fit is provably unbounded, Theorem 2).
   GameServerDispatcher(ServerSpec spec, const std::string& algorithm,
-                       const PackerOptions& options = {});
+                       const PackerOptions& options = {},
+                       const FaultPolicy& policy = {});
 
   /// Dispatches a session needing `gpu_fraction` of a server at time
   /// `now_minutes`; returns the server id (a fresh id when a new server is
-  /// rented). Times must be non-decreasing across calls.
+  /// rented). Times must be non-decreasing across calls. Under
+  /// AnomalyAction::kDropAndCount a rejected event returns kNoServer
+  /// instead of throwing.
   BinId start_session(std::uint64_t session_id, double gpu_fraction,
                       Time now_minutes);
 
   /// Ends a session; its server is released (and returned to the provider)
   /// when its last session ends.
   void end_session(std::uint64_t session_id, Time now_minutes);
+
+  /// Simulates a crash of `server` at `now_minutes`: the server's rental
+  /// ends immediately and its orphaned sessions are re-dispatched as fresh
+  /// arrivals (no migration — they may land on newly rented servers).
+  /// Returns the number of sessions successfully re-dispatched; orphans
+  /// whose re-dispatch is rejected (cap/rental failure) are dropped and
+  /// counted in fault_stats().sessions_lost_on_crash.
+  std::size_t fail_server(BinId server, Time now_minutes);
 
   [[nodiscard]] std::size_t active_servers() const;
   [[nodiscard]] std::size_t servers_ever_rented() const;
@@ -59,11 +76,34 @@ class GameServerDispatcher {
 
   [[nodiscard]] const std::string& algorithm() const noexcept { return algorithm_; }
   [[nodiscard]] const ServerSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const FaultPolicy& fault_policy() const noexcept { return policy_; }
+  [[nodiscard]] const DispatcherFaultStats& fault_stats() const noexcept {
+    return stats_;
+  }
 
  private:
+  /// Validation failure: throws DispatchError (kThrow) or bumps `counter`
+  /// and returns false (kDropAndCount).
+  bool reject(DispatchErrorKind kind, std::uint64_t& counter,
+              const std::string& message);
+  /// Capacity gate + placement shared by start_session and fail_server
+  /// re-dispatch. Returns the server, or kNoServer when rejected.
+  BinId place_session(std::uint64_t session_id, double gpu_fraction,
+                      Time now_minutes);
+  /// True when any open server can host a session of `gpu_fraction`.
+  [[nodiscard]] bool fits_open_server(double gpu_fraction) const;
+  /// Degraded mode: sheds active sessions strictly smaller than
+  /// `gpu_fraction` (lowest first) until it fits or candidates run out.
+  void shed_for(double gpu_fraction, Time now_minutes);
+
   ServerSpec spec_;
   std::string algorithm_;
+  FaultPolicy policy_;
+  DispatcherFaultStats stats_;
   std::unique_ptr<Packer> packer_;
+  /// Active session sizes — needed for crash re-dispatch and shedding.
+  std::unordered_map<std::uint64_t, double> sessions_;
+  Rng rental_rng_;
   Time last_event_time_ = -kTimeInfinity;
 };
 

@@ -1,0 +1,29 @@
+#include "gaming/fault_policy.hpp"
+
+#include <cmath>
+
+namespace dbp {
+
+const char* to_string(DispatchErrorKind kind) noexcept {
+  switch (kind) {
+    case DispatchErrorKind::kDuplicateStart: return "duplicate-start";
+    case DispatchErrorKind::kUnknownSession: return "unknown-session";
+    case DispatchErrorKind::kTimeOrderViolation: return "time-order-violation";
+    case DispatchErrorKind::kInvalidSize: return "invalid-size";
+    case DispatchErrorKind::kUnknownServer: return "unknown-server";
+    case DispatchErrorKind::kRentalFailed: return "rental-failed";
+    case DispatchErrorKind::kFleetCapExceeded: return "fleet-cap-exceeded";
+  }
+  return "unknown";
+}
+
+void FaultPolicy::validate() const {
+  DBP_REQUIRE(std::isfinite(rental_failure_rate) && rental_failure_rate >= 0.0 &&
+                  rental_failure_rate <= 1.0,
+              "rental failure rate must be a probability");
+  DBP_REQUIRE(max_rental_retries >= 0, "rental retry budget must be >= 0");
+  DBP_REQUIRE(std::isfinite(backoff_base_minutes) && backoff_base_minutes >= 0.0,
+              "backoff base must be non-negative and finite");
+}
+
+}  // namespace dbp

@@ -1,0 +1,283 @@
+#include "sim/fault_sim.hpp"
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "algo/clairvoyant.hpp"
+#include "core/error.hpp"
+#include "core/strfmt.hpp"
+
+namespace dbp {
+
+namespace {
+
+/// SplitMix64 — self-contained so the sim layer does not depend on the
+/// workload layer's Rng. Drives every in-plan random choice.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// An event as fed to the guarded layer — either straight from the
+/// instance or synthesized from an AnomalyFault.
+struct RawEvent {
+  Time time = 0.0;
+  bool is_arrival = true;
+  ItemId id = 0;
+  double size = 0.0;
+};
+
+/// Why the guard refused an event, in FaultInjectionStats categories.
+enum class Reject : std::uint8_t {
+  kNone,
+  kOutOfOrder,
+  kNaNSize,
+  kNegativeSize,
+  kDuplicateStart,
+  kUnknownEnd,
+};
+
+AnomalyKind to_anomaly_kind(Reject reject) {
+  switch (reject) {
+    case Reject::kOutOfOrder: return AnomalyKind::kOutOfOrderTimestamp;
+    case Reject::kNaNSize: return AnomalyKind::kNaNSize;
+    case Reject::kNegativeSize: return AnomalyKind::kNegativeSize;
+    case Reject::kDuplicateStart: return AnomalyKind::kDuplicateStart;
+    case Reject::kUnknownEnd: return AnomalyKind::kUnknownSessionEnd;
+    case Reject::kNone: break;
+  }
+  DBP_CHECK(false, "unreachable reject category");
+  return AnomalyKind::kDuplicateStart;  // unreachable
+}
+
+/// Validation layer between the event stream and the packer: anomalous
+/// events are classified and never reach the packer, so a malformed feed
+/// cannot corrupt packing state.
+class GuardedFeeder {
+ public:
+  explicit GuardedFeeder(Packer& packer) : packer_(packer) {}
+
+  [[nodiscard]] Reject classify(const RawEvent& event) const {
+    if (event.time < clock_) return Reject::kOutOfOrder;
+    if (event.is_arrival) {
+      if (std::isnan(event.size)) return Reject::kNaNSize;
+      if (!std::isfinite(event.size)) {
+        return event.size < 0.0 ? Reject::kNegativeSize : Reject::kNaNSize;
+      }
+      if (event.size <= 0.0) return Reject::kNegativeSize;
+      if (active_.contains(event.id)) return Reject::kDuplicateStart;
+    } else if (!active_.contains(event.id)) {
+      return Reject::kUnknownEnd;
+    }
+    return Reject::kNone;
+  }
+
+  /// Applies the event when it is valid; returns the reject category
+  /// otherwise. Only accepted events advance the stream clock.
+  Reject feed(const RawEvent& event) {
+    const Reject reject = classify(event);
+    if (reject != Reject::kNone) return reject;
+    clock_ = event.time;
+    if (event.is_arrival) {
+      packer_.on_arrival(ArrivingItem{event.id, event.time, event.size});
+      active_.insert(event.id);
+    } else {
+      packer_.on_departure(event.id, event.time);
+      active_.erase(event.id);
+    }
+    return Reject::kNone;
+  }
+
+  /// Faults carry wall-clock times too; processing one advances the clock.
+  void advance_clock(Time t) noexcept { clock_ = std::max(clock_, t); }
+
+  [[nodiscard]] Time clock() const noexcept { return clock_; }
+  [[nodiscard]] const std::set<ItemId>& active() const noexcept { return active_; }
+
+ private:
+  Packer& packer_;
+  std::set<ItemId> active_;  // ordered: deterministic duplicate-target picks
+  Time clock_ = -kTimeInfinity;
+};
+
+BinId select_victim(const BinManager& bins, const std::vector<BinId>& open,
+                    CrashTarget target, std::uint64_t& rng_state) {
+  switch (target) {
+    case CrashTarget::kOldest:
+      return open.front();
+    case CrashTarget::kNewest:
+      return open.back();
+    case CrashTarget::kRandom:
+      return open[static_cast<std::size_t>(splitmix64(rng_state) % open.size())];
+    case CrashTarget::kFullest: {
+      BinId best = open.front();
+      double best_level = bins.level(best);
+      for (const BinId bin : open) {
+        const double level = bins.level(bin);
+        if (level > best_level) {
+          best = bin;
+          best_level = level;
+        }
+      }
+      return best;
+    }
+    case CrashTarget::kEmptiest: {
+      BinId best = open.front();
+      double best_level = bins.level(best);
+      for (const BinId bin : open) {
+        const double level = bins.level(bin);
+        if (level < best_level) {
+          best = bin;
+          best_level = level;
+        }
+      }
+      return best;
+    }
+  }
+  DBP_CHECK(false, "unreachable crash target");
+  return open.front();  // unreachable
+}
+
+}  // namespace
+
+SimulationResult simulate_faulted(const Instance& instance, Packer& packer,
+                                  const FaultPlan& plan,
+                                  FaultInjectionStats* stats_out) {
+  DBP_REQUIRE(packer.bins().total_bins_opened() == 0,
+              "packers are single-use; construct a fresh one per run");
+  DBP_REQUIRE(dynamic_cast<ClairvoyantPacker*>(&packer) == nullptr,
+              "fault injection requires an online packer (re-dispatch is an "
+              "online notion)");
+  plan.validate();
+
+  FaultInjectionStats stats;
+  SimulationResult result;
+  result.algorithm = packer.name();
+  if (instance.empty()) {
+    // Nothing can land on an empty run; record the plan size and finish.
+    stats.crashes_requested = plan.crashes.size();
+    if (stats_out != nullptr) *stats_out = stats;
+    result.open_bins_over_time.finalize();
+    return result;
+  }
+  result.packing_period = instance.packing_period();
+
+  const std::vector<Event> events = build_event_sequence(instance);
+  GuardedFeeder feeder(packer);
+  std::uint64_t rng_state = plan.seed;
+  ItemId next_synthetic_id = static_cast<ItemId>(instance.size());
+  stats.crashes_requested = plan.crashes.size();
+
+  std::size_t ei = 0, ai = 0, ci = 0;
+  while (ei < events.size() || ai < plan.anomalies.size() ||
+         ci < plan.crashes.size()) {
+    const Time event_time = ei < events.size() ? events[ei].time : kTimeInfinity;
+    const Time anomaly_time =
+        ai < plan.anomalies.size() ? plan.anomalies[ai].time : kTimeInfinity;
+    const Time crash_time =
+        ci < plan.crashes.size() ? plan.crashes[ci].time : kTimeInfinity;
+
+    if (event_time <= anomaly_time && event_time <= crash_time) {
+      // Instance events are trusted input: a guard rejection here means the
+      // caller fed corrupt data, which is a precondition violation.
+      const Event& event = events[ei++];
+      const Item& item = instance.item(event.item);
+      RawEvent raw;
+      raw.time = event.time;
+      raw.is_arrival = event.kind == EventKind::kArrival;
+      raw.id = item.id;
+      raw.size = item.size;
+      const Reject reject = feeder.feed(raw);
+      DBP_REQUIRE(reject == Reject::kNone,
+                  strfmt("instance event for item %llu rejected as %s",
+                         static_cast<unsigned long long>(item.id),
+                         to_string(to_anomaly_kind(reject))));
+    } else if (anomaly_time <= crash_time) {
+      const AnomalyFault& fault = plan.anomalies[ai++];
+      feeder.advance_clock(fault.time);
+      RawEvent raw;
+      raw.time = fault.time;
+      switch (fault.kind) {
+        case AnomalyKind::kDuplicateStart: {
+          if (feeder.active().empty()) continue;  // no session to duplicate
+          const auto& active = feeder.active();
+          auto it = active.begin();
+          std::advance(it, static_cast<std::ptrdiff_t>(
+                               splitmix64(rng_state) % active.size()));
+          raw.id = *it;
+          raw.size = instance.item(*it).size;
+          break;
+        }
+        case AnomalyKind::kUnknownSessionEnd:
+          raw.is_arrival = false;
+          raw.id = next_synthetic_id++;
+          break;
+        case AnomalyKind::kOutOfOrderTimestamp:
+          raw.id = next_synthetic_id++;
+          raw.size = 0.25;
+          raw.time = feeder.clock() - 1.0;
+          break;
+        case AnomalyKind::kNaNSize:
+          raw.id = next_synthetic_id++;
+          raw.size = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case AnomalyKind::kNegativeSize:
+          raw.id = next_synthetic_id++;
+          raw.size = -0.25;
+          break;
+      }
+      ++stats.anomalies_injected;
+      const Reject reject = feeder.feed(raw);
+      DBP_CHECK(reject != Reject::kNone,
+                "injected anomaly slipped past the event guard");
+      ++stats.anomalies_dropped[static_cast<std::size_t>(to_anomaly_kind(reject))];
+    } else {
+      const CrashFault& fault = plan.crashes[ci++];
+      feeder.advance_clock(fault.time);
+      const BinManager& bins = packer.bins();
+      const std::vector<BinId> open = bins.open_bins();
+      if (open.empty()) continue;  // crash on an idle fleet: nothing to kill
+      const BinId victim = select_victim(bins, open, fault.target, rng_state);
+      const std::vector<ItemId> live = bins.items_in(victim);
+      // The crash ends the victim's cost accrual: every live item departs
+      // at the crash time, which closes the bin...
+      for (const ItemId id : live) packer.on_departure(id, fault.time);
+      DBP_CHECK(!bins.is_open(victim), "crashed bin still open");
+      // ...then the orphans re-arrive as fresh online arrivals (ascending
+      // id order), i.e. re-dispatch without migration.
+      for (const ItemId id : live) {
+        packer.on_arrival(ArrivingItem{id, fault.time, instance.item(id).size});
+      }
+      ++stats.crashes_landed;
+      stats.sessions_redispatched += live.size();
+    }
+  }
+
+  const BinManager& bins = packer.bins();
+  DBP_CHECK(bins.open_count() == 0, "bins remain open after the last departure");
+  detail::finalize_accounting(result, instance, bins);
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+FaultSimulationResult simulate_with_faults(const Instance& instance,
+                                           const std::string& algorithm,
+                                           const CostModel& model,
+                                           const FaultPlan& plan,
+                                           const PackerOptions& options) {
+  FaultSimulationResult cell;
+  cell.baseline = simulate(instance, algorithm, model, options);
+  auto packer = make_packer(algorithm, model, options);
+  cell.faulted = simulate_faulted(instance, *packer, plan, &cell.stats);
+  cell.cost_inflation_ratio =
+      cell.baseline.total_cost > 0.0
+          ? cell.faulted.total_cost / cell.baseline.total_cost
+          : 1.0;
+  return cell;
+}
+
+}  // namespace dbp

@@ -47,11 +47,17 @@ SimulationResult simulate(const Instance& instance, Packer& packer) {
 
   const BinManager& bins = packer.bins();
   DBP_CHECK(bins.open_count() == 0, "bins remain open after the last departure");
+  detail::finalize_accounting(result, instance, bins);
+  return result;
+}
 
+void detail::finalize_accounting(SimulationResult& result,
+                                 const Instance& instance,
+                                 const BinManager& bins) {
   result.bins_opened = bins.total_bins_opened();
   result.bin_usage.assign(bins.usage_records().begin(), bins.usage_records().end());
 
-  const double rate = packer.model().cost_rate;
+  const double rate = bins.model().cost_rate;
   CompensatedSum per_bin_cost;
   for (const BinUsageRecord& record : result.bin_usage) {
     DBP_CHECK(record.is_closed(), "usage record of an unclosed bin");
@@ -75,7 +81,6 @@ SimulationResult simulate(const Instance& instance, Packer& packer) {
     DBP_CHECK(bin.has_value(), "item missing from assignment history");
     result.assignment[static_cast<std::size_t>(item.id)] = *bin;
   }
-  return result;
 }
 
 SimulationResult simulate(const Instance& instance, const std::string& algorithm,

@@ -55,4 +55,15 @@ struct SimulationResult {
                                         const CostModel& model,
                                         const PackerOptions& options = {});
 
+namespace detail {
+
+/// Shared result finalization for simulate() and simulate_faulted(): copies
+/// usage records, computes both cost accountings (and checks they agree to
+/// relative 1e-9), and fills the per-item assignment from the manager's
+/// history. Requires every bin to be closed.
+void finalize_accounting(SimulationResult& result, const Instance& instance,
+                         const BinManager& bins);
+
+}  // namespace detail
+
 }  // namespace dbp

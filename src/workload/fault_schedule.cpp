@@ -1,0 +1,76 @@
+#include "workload/fault_schedule.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "workload/rng.hpp"
+
+namespace dbp {
+
+FaultPlan make_poisson_fault_plan(const TimeInterval& period, double crash_rate,
+                                  double anomaly_rate, CrashTarget target,
+                                  std::uint64_t seed) {
+  DBP_REQUIRE(crash_rate >= 0.0, "crash rate must be non-negative");
+  DBP_REQUIRE(anomaly_rate >= 0.0, "anomaly rate must be non-negative");
+  DBP_REQUIRE(!period.empty(), "fault plan period must be non-empty");
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+  Rng crash_stream = rng.fork(1);
+  Rng anomaly_stream = rng.fork(2);
+  if (crash_rate > 0.0) {
+    for (Time t = period.begin + crash_stream.exponential(crash_rate);
+         t < period.end; t += crash_stream.exponential(crash_rate)) {
+      plan.crashes.push_back(CrashFault{t, target});
+    }
+  }
+  if (anomaly_rate > 0.0) {
+    for (Time t = period.begin + anomaly_stream.exponential(anomaly_rate);
+         t < period.end; t += anomaly_stream.exponential(anomaly_rate)) {
+      plan.anomalies.push_back(AnomalyFault{
+          t, static_cast<AnomalyKind>(
+                 anomaly_stream.uniform_int(0, kAnomalyKindCount - 1))});
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan make_fullest_bin_crash_plan(const TimeInterval& period,
+                                      std::size_t crashes, std::uint64_t seed) {
+  DBP_REQUIRE(!period.empty(), "fault plan period must be non-empty");
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.crashes.reserve(crashes);
+  const Time step = period.length() / static_cast<double>(crashes + 1);
+  for (std::size_t i = 0; i < crashes; ++i) {
+    plan.crashes.push_back(CrashFault{
+        period.begin + static_cast<double>(i + 1) * step, CrashTarget::kFullest});
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan make_dedication_crash_plan(const Instance& instance,
+                                     double dedication_threshold,
+                                     std::size_t max_crashes,
+                                     std::uint64_t seed) {
+  DBP_REQUIRE(dedication_threshold > 0.0,
+              "dedication threshold must be positive");
+  FaultPlan plan;
+  plan.seed = seed;
+  std::vector<Time> arrivals;
+  for (const Item& item : instance.items()) {
+    if (item.size > dedication_threshold) arrivals.push_back(item.arrival);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  if (arrivals.size() > max_crashes) arrivals.resize(max_crashes);
+  plan.crashes.reserve(arrivals.size());
+  for (const Time t : arrivals) {
+    plan.crashes.push_back(CrashFault{t, CrashTarget::kNewest});
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace dbp

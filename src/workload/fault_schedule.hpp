@@ -1,0 +1,43 @@
+// Fault-schedule generators: seeded FaultPlans for chaos experiments, from
+// neutral Poisson crash arrivals to adversarial schedules aimed at the
+// structural weak points of specific algorithms (docs/fault_model.md).
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "sim/fault.hpp"
+
+namespace dbp {
+
+/// Neutral background chaos: crashes and event anomalies both arrive by
+/// independent Poisson processes over `period` (rates are expected events
+/// per unit time; either may be 0). Anomaly kinds are drawn uniformly.
+/// Identical arguments produce identical plans.
+[[nodiscard]] FaultPlan make_poisson_fault_plan(const TimeInterval& period,
+                                                double crash_rate,
+                                                double anomaly_rate,
+                                                CrashTarget target,
+                                                std::uint64_t seed);
+
+/// Adversarial: `crashes` evenly spaced kFullest crashes across the
+/// interior of `period`. Killing the fullest bin maximizes the re-dispatch
+/// volume every time, which is the worst case for Any Fit packings whose
+/// early bins carry most of the load.
+[[nodiscard]] FaultPlan make_fullest_bin_crash_plan(const TimeInterval& period,
+                                                    std::size_t crashes,
+                                                    std::uint64_t seed);
+
+/// Adversarial, aimed at Modified First Fit: schedules a kNewest crash at
+/// the arrival time of every item larger than `dedication_threshold`
+/// (default W/2 — the sizes MFF dedicates a fresh bin to). The fault
+/// engine fires faults after same-time arrivals, so each crash lands right
+/// after the dedication happens, forcing an immediate re-rent. At most
+/// `max_crashes` are scheduled, earliest arrivals first.
+[[nodiscard]] FaultPlan make_dedication_crash_plan(const Instance& instance,
+                                                   double dedication_threshold,
+                                                   std::size_t max_crashes,
+                                                   std::uint64_t seed);
+
+}  // namespace dbp

@@ -1,6 +1,7 @@
 #include "workload/trace_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -21,7 +22,24 @@ double parse_double(std::string_view field, std::size_t line) {
   DBP_REQUIRE(ec == std::errc{} && ptr == field.data() + field.size(),
               strfmt("trace csv line %zu: bad number '%.*s'", line,
                      static_cast<int>(field.size()), field.data()));
+  // from_chars accepts "nan"/"inf" spellings; without this check they would
+  // only surface later, in Item::validate, without the offending line.
+  DBP_REQUIRE(std::isfinite(value),
+              strfmt("trace csv line %zu: non-finite field '%.*s'", line,
+                     static_cast<int>(field.size()), field.data()));
   return value;
+}
+
+constexpr std::string_view kHeader = "id,arrival,departure,size";
+
+/// Strips one trailing '\r' so CRLF files parse like LF files.
+std::string_view strip_cr(std::string_view line) {
+  if (line.ends_with('\r')) line.remove_suffix(1);
+  return line;
+}
+
+bool is_blank(std::string_view line) {
+  return line.find_first_not_of(" \t") == std::string_view::npos;
 }
 
 }  // namespace
@@ -45,14 +63,16 @@ void write_instance_csv(const Instance& instance, const std::string& path) {
 Instance read_instance_csv(std::istream& in) {
   std::string line;
   DBP_REQUIRE(static_cast<bool>(std::getline(in, line)), "trace csv is empty");
-  DBP_REQUIRE(line.starts_with("id,arrival,departure,size"),
+  DBP_REQUIRE(strip_cr(line).substr(0, kHeader.size()) == kHeader,
               "trace csv header mismatch");
   std::vector<Item> items;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
-    std::string_view view(line);
+    std::string_view view = strip_cr(line);
+    if (is_blank(view)) continue;
+    // Concatenated dumps repeat the header; skip the duplicates.
+    if (view.substr(0, kHeader.size()) == kHeader) continue;
     std::vector<std::string_view> fields;
     while (!view.empty()) {
       const std::size_t comma = view.find(',');

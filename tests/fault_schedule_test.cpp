@@ -1,0 +1,106 @@
+#include "workload/fault_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/error.hpp"
+
+namespace dbp {
+namespace {
+
+const TimeInterval kPeriod{0.0, 100.0};
+
+TEST(FaultScheduleTest, PoissonPlanIsDeterministic) {
+  const FaultPlan a =
+      make_poisson_fault_plan(kPeriod, 0.1, 0.05, CrashTarget::kRandom, 7);
+  const FaultPlan b =
+      make_poisson_fault_plan(kPeriod, 0.1, 0.05, CrashTarget::kRandom, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultScheduleTest, PoissonSeedsDecorrelate) {
+  const FaultPlan a =
+      make_poisson_fault_plan(kPeriod, 0.2, 0.1, CrashTarget::kFullest, 1);
+  const FaultPlan b =
+      make_poisson_fault_plan(kPeriod, 0.2, 0.1, CrashTarget::kFullest, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultScheduleTest, PoissonPlanIsSortedAndInPeriod) {
+  const FaultPlan plan =
+      make_poisson_fault_plan(kPeriod, 0.3, 0.2, CrashTarget::kEmptiest, 13);
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_FALSE(plan.empty());
+  for (const CrashFault& crash : plan.crashes) {
+    EXPECT_EQ(crash.target, CrashTarget::kEmptiest);
+    EXPECT_GE(crash.time, kPeriod.begin);
+    EXPECT_LT(crash.time, kPeriod.end);
+  }
+  for (const AnomalyFault& anomaly : plan.anomalies) {
+    EXPECT_GE(anomaly.time, kPeriod.begin);
+    EXPECT_LT(anomaly.time, kPeriod.end);
+  }
+}
+
+TEST(FaultScheduleTest, ZeroRatesYieldEmptyPlan) {
+  const FaultPlan plan =
+      make_poisson_fault_plan(kPeriod, 0.0, 0.0, CrashTarget::kFullest, 5);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultScheduleTest, AnomalyKindsCoverTheTaxonomyEventually) {
+  // At a high rate over a long period every kind should be drawn.
+  const FaultPlan plan =
+      make_poisson_fault_plan({0.0, 2000.0}, 0.0, 0.5, CrashTarget::kFullest, 3);
+  std::array<bool, kAnomalyKindCount> seen{};
+  for (const AnomalyFault& anomaly : plan.anomalies) {
+    seen[static_cast<std::size_t>(anomaly.kind)] = true;
+  }
+  for (std::size_t kind = 0; kind < kAnomalyKindCount; ++kind) {
+    EXPECT_TRUE(seen[kind]) << to_string(static_cast<AnomalyKind>(kind));
+  }
+}
+
+TEST(FaultScheduleTest, FullestBinPlanIsEvenlySpaced) {
+  const FaultPlan plan = make_fullest_bin_crash_plan(kPeriod, 4, 9);
+  ASSERT_EQ(plan.crashes.size(), 4u);
+  EXPECT_TRUE(plan.anomalies.empty());
+  EXPECT_NO_THROW(plan.validate());
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    EXPECT_EQ(plan.crashes[i].target, CrashTarget::kFullest);
+    // 4 crashes over [0, 100]: interior points 20, 40, 60, 80.
+    EXPECT_DOUBLE_EQ(plan.crashes[i].time, 20.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(FaultScheduleTest, DedicationPlanTargetsLargeArrivals) {
+  Instance instance;
+  instance.add(5.0, 20.0, 0.7);   // large: dedication candidate
+  instance.add(1.0, 10.0, 0.3);   // small: ignored
+  instance.add(3.0, 30.0, 0.6);   // large
+  instance.add(8.0, 12.0, 0.5);   // exactly at threshold: not strictly larger
+  const FaultPlan plan = make_dedication_crash_plan(instance, 0.5, 10, 4);
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  // Crashes land at the large arrivals' times, earliest first, kNewest so
+  // the just-dedicated (freshest) server is the victim.
+  EXPECT_DOUBLE_EQ(plan.crashes[0].time, 3.0);
+  EXPECT_DOUBLE_EQ(plan.crashes[1].time, 5.0);
+  for (const CrashFault& crash : plan.crashes) {
+    EXPECT_EQ(crash.target, CrashTarget::kNewest);
+  }
+}
+
+TEST(FaultScheduleTest, DedicationPlanHonorsMaxCrashes) {
+  Instance instance;
+  for (int i = 0; i < 6; ++i) {
+    instance.add(static_cast<Time>(i), static_cast<Time>(i) + 5.0, 0.9);
+  }
+  const FaultPlan plan = make_dedication_crash_plan(instance, 0.5, 3, 1);
+  EXPECT_EQ(plan.crashes.size(), 3u);
+  // Earliest arrivals kept after truncation.
+  EXPECT_DOUBLE_EQ(plan.crashes.back().time, 2.0);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -1,0 +1,254 @@
+#include "sim/fault_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/factory.hpp"
+#include "core/error.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_instance.hpp"
+
+namespace dbp {
+namespace {
+
+const CostModel kModel{1.0, 1.0, 1e-9};
+
+Instance small_instance() {
+  Instance instance;
+  instance.add(0.0, 10.0, 0.3);   // id 0
+  instance.add(0.0, 10.0, 0.3);   // id 1
+  return instance;
+}
+
+/// Compares every observable field of two SimulationResults exactly —
+/// bit-identical, not approximately equal.
+void expect_identical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.total_cost_from_bins, b.total_cost_from_bins);
+  EXPECT_EQ(a.max_open_bins, b.max_open_bins);
+  EXPECT_EQ(a.bins_opened, b.bins_opened);
+  EXPECT_EQ(a.assignment, b.assignment);
+  ASSERT_EQ(a.bin_usage.size(), b.bin_usage.size());
+  for (std::size_t i = 0; i < a.bin_usage.size(); ++i) {
+    EXPECT_EQ(a.bin_usage[i].opened, b.bin_usage[i].opened);
+    EXPECT_EQ(a.bin_usage[i].closed, b.bin_usage[i].closed);
+  }
+}
+
+TEST(FaultPlanTest, ValidateAcceptsSortedFiniteTimes) {
+  FaultPlan plan;
+  plan.crashes = {{1.0, CrashTarget::kFullest}, {1.0, CrashTarget::kRandom},
+                  {4.0, CrashTarget::kOldest}};
+  plan.anomalies = {{0.5, AnomalyKind::kNaNSize}};
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.size(), 4u);
+}
+
+TEST(FaultPlanTest, ValidateRejectsDecreasingOrNonFiniteTimes) {
+  FaultPlan decreasing;
+  decreasing.crashes = {{5.0, CrashTarget::kFullest},
+                        {1.0, CrashTarget::kFullest}};
+  EXPECT_THROW(decreasing.validate(), PreconditionError);
+
+  FaultPlan non_finite;
+  non_finite.anomalies = {{kTimeInfinity, AnomalyKind::kNaNSize}};
+  EXPECT_THROW(non_finite.validate(), PreconditionError);
+}
+
+// Satellite (c), metamorphic half: an empty FaultPlan must reproduce
+// simulate() bit-for-bit for every online algorithm.
+TEST(FaultSimTest, EmptyPlanBitIdenticalToSimulate) {
+  RandomInstanceConfig config;
+  config.item_count = 150;
+  const Instance instance = generate_random_instance(config, 11);
+  PackerOptions options;
+  options.seed = 7;
+  options.known_mu = 32.0;
+  for (const std::string& name : all_algorithm_names()) {
+    const SimulationResult plain = simulate(instance, name, kModel, options);
+    auto packer = make_packer(name, kModel, options);
+    FaultInjectionStats stats;
+    const SimulationResult faulted =
+        simulate_faulted(instance, *packer, FaultPlan{}, &stats);
+    SCOPED_TRACE(name);
+    expect_identical(plain, faulted);
+    EXPECT_EQ(stats.crashes_landed, 0u);
+    EXPECT_EQ(stats.anomalies_injected, 0u);
+    EXPECT_EQ(stats.sessions_redispatched, 0u);
+  }
+}
+
+// Satellite (c), determinism half: same (seed, plan, instance, algorithm)
+// must replay byte-identically, including the kRandom victim stream.
+TEST(FaultSimTest, SameSeedAndPlanReplaysIdentically) {
+  RandomInstanceConfig config;
+  config.item_count = 120;
+  const Instance instance = generate_random_instance(config, 5);
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.crashes = {{2.0, CrashTarget::kRandom},
+                  {5.0, CrashTarget::kFullest},
+                  {9.0, CrashTarget::kRandom}};
+  plan.anomalies = {{1.0, AnomalyKind::kDuplicateStart},
+                    {3.0, AnomalyKind::kUnknownSessionEnd},
+                    {6.0, AnomalyKind::kOutOfOrderTimestamp}};
+  const FaultSimulationResult first =
+      simulate_with_faults(instance, "first-fit", kModel, plan);
+  const FaultSimulationResult second =
+      simulate_with_faults(instance, "first-fit", kModel, plan);
+  expect_identical(first.faulted, second.faulted);
+  expect_identical(first.baseline, second.baseline);
+  EXPECT_EQ(first.cost_inflation_ratio, second.cost_inflation_ratio);
+  EXPECT_EQ(first.stats.crashes_landed, second.stats.crashes_landed);
+  EXPECT_EQ(first.stats.sessions_redispatched,
+            second.stats.sessions_redispatched);
+  EXPECT_EQ(first.stats.anomalies_dropped, second.stats.anomalies_dropped);
+}
+
+TEST(FaultSimTest, CrashClosesBinAndRedispatchesLiveSessions) {
+  // Both items share bin 0 under First Fit; the crash at t=5 must close it
+  // and re-open a fresh bin for the re-dispatched pair.
+  const Instance instance = small_instance();
+  FaultPlan plan;
+  plan.crashes = {{5.0, CrashTarget::kFullest}};
+  auto packer = make_packer("first-fit", kModel);
+  FaultInjectionStats stats;
+  const SimulationResult result =
+      simulate_faulted(instance, *packer, plan, &stats);
+
+  EXPECT_EQ(stats.crashes_requested, 1u);
+  EXPECT_EQ(stats.crashes_landed, 1u);
+  EXPECT_EQ(stats.sessions_redispatched, 2u);
+  ASSERT_EQ(result.bins_opened, 2u);
+  // Victim bin: [0, 5); replacement: [5, 10). Cost total is unchanged here
+  // because the re-dispatch repacked both items into one bin again.
+  EXPECT_DOUBLE_EQ(result.bin_usage[0].opened, 0.0);
+  EXPECT_DOUBLE_EQ(result.bin_usage[0].closed, 5.0);
+  EXPECT_DOUBLE_EQ(result.bin_usage[1].opened, 5.0);
+  EXPECT_DOUBLE_EQ(result.bin_usage[1].closed, 10.0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 10.0);
+  // Final assignment reflects the post-crash placement.
+  EXPECT_EQ(result.assignment[0], BinId{1});
+  EXPECT_EQ(result.assignment[1], BinId{1});
+}
+
+TEST(FaultSimTest, CrashTargetSelectsFullestAndEmptiest) {
+  // First Fit: bin 0 holds 0.9 + 0.05 (fullest), bin 1 holds 0.6.
+  Instance instance;
+  instance.add(0.0, 10.0, 0.9);   // id 0 -> bin 0
+  instance.add(1.0, 10.0, 0.6);   // id 1 -> bin 1
+  instance.add(2.0, 10.0, 0.05);  // id 2 -> bin 0
+
+  FaultPlan fullest;
+  fullest.crashes = {{5.0, CrashTarget::kFullest}};
+  auto packer_a = make_packer("first-fit", kModel);
+  FaultInjectionStats stats_a;
+  (void)simulate_faulted(instance, *packer_a, fullest, &stats_a);
+  EXPECT_EQ(stats_a.sessions_redispatched, 2u);  // ids 0 and 2
+
+  FaultPlan emptiest;
+  emptiest.crashes = {{5.0, CrashTarget::kEmptiest}};
+  auto packer_b = make_packer("first-fit", kModel);
+  FaultInjectionStats stats_b;
+  (void)simulate_faulted(instance, *packer_b, emptiest, &stats_b);
+  EXPECT_EQ(stats_b.sessions_redispatched, 1u);  // id 1 alone
+}
+
+TEST(FaultSimTest, CrashOnIdleFleetIsCountedAsRequestedOnly) {
+  const Instance instance = small_instance();
+  FaultPlan plan;
+  plan.crashes = {{-5.0, CrashTarget::kFullest},   // before any arrival
+                  {50.0, CrashTarget::kFullest}};  // after the last departure
+  auto packer = make_packer("first-fit", kModel);
+  FaultInjectionStats stats;
+  const SimulationResult result =
+      simulate_faulted(instance, *packer, plan, &stats);
+  EXPECT_EQ(stats.crashes_requested, 2u);
+  EXPECT_EQ(stats.crashes_landed, 0u);
+  EXPECT_DOUBLE_EQ(result.total_cost, 10.0);
+}
+
+TEST(FaultSimTest, AnomaliesAreDroppedCountedAndHarmless) {
+  // One anomaly of every kind, timed while sessions are live. The guard
+  // must absorb all of them and the packing must be untouched.
+  RandomInstanceConfig config;
+  config.item_count = 80;
+  const Instance instance = generate_random_instance(config, 21);
+  FaultPlan plan;
+  plan.seed = 4;
+  const TimeInterval period = instance.packing_period();
+  const Time mid = 0.5 * (period.begin + period.end);
+  plan.anomalies = {{mid, AnomalyKind::kDuplicateStart},
+                    {mid, AnomalyKind::kUnknownSessionEnd},
+                    {mid, AnomalyKind::kOutOfOrderTimestamp},
+                    {mid, AnomalyKind::kNaNSize},
+                    {mid, AnomalyKind::kNegativeSize}};
+
+  const SimulationResult plain = simulate(instance, "best-fit", kModel);
+  auto packer = make_packer("best-fit", kModel);
+  FaultInjectionStats stats;
+  const SimulationResult faulted =
+      simulate_faulted(instance, *packer, plan, &stats);
+
+  expect_identical(plain, faulted);
+  EXPECT_EQ(stats.anomalies_injected, 5u);
+  EXPECT_EQ(stats.total_dropped(), 5u);
+  for (std::size_t kind = 0; kind < kAnomalyKindCount; ++kind) {
+    EXPECT_EQ(stats.anomalies_dropped[kind], 1u)
+        << to_string(static_cast<AnomalyKind>(kind));
+  }
+}
+
+TEST(FaultSimTest, RejectsClairvoyantPackers) {
+  const Instance instance = small_instance();
+  auto packer = make_packer("align-departures-fit", kModel);
+  EXPECT_THROW((void)simulate_faulted(instance, *packer, FaultPlan{}),
+               PreconditionError);
+}
+
+TEST(FaultSimTest, RejectsReusedPacker) {
+  const Instance instance = small_instance();
+  auto packer = make_packer("first-fit", kModel);
+  (void)simulate(instance, *packer);
+  EXPECT_THROW((void)simulate_faulted(instance, *packer, FaultPlan{}),
+               PreconditionError);
+}
+
+TEST(FaultSimTest, EmptyInstanceYieldsEmptyResult) {
+  FaultPlan plan;
+  plan.crashes = {{1.0, CrashTarget::kFullest}};
+  auto packer = make_packer("first-fit", kModel);
+  FaultInjectionStats stats;
+  const SimulationResult result =
+      simulate_faulted(Instance{}, *packer, plan, &stats);
+  EXPECT_EQ(result.bins_opened, 0u);
+  EXPECT_DOUBLE_EQ(result.total_cost, 0.0);
+  EXPECT_EQ(stats.crashes_requested, 1u);
+  EXPECT_EQ(stats.crashes_landed, 0u);
+}
+
+TEST(FaultSimTest, InflationRatioIsExactQuotient) {
+  // A crash that genuinely inflates cost: the orphans lose their long-lived
+  // partnership and one of them gets repacked with a short-lived stranger.
+  Instance instance;
+  instance.add(0.0, 20.0, 0.5);  // id 0 \_ share bin 0 for the full [0, 20)
+  instance.add(0.0, 20.0, 0.5);  // id 1 /
+  instance.add(2.0, 6.0, 0.5);   // id 2 -> bin 1, alone, [2, 6)
+  FaultPlan plan;
+  plan.crashes = {{3.0, CrashTarget::kOldest}};
+  const FaultSimulationResult cell =
+      simulate_with_faults(instance, "first-fit", kModel, plan);
+  // Baseline: bin 0 [0, 20) + bin 1 [2, 6) = 24.
+  EXPECT_DOUBLE_EQ(cell.baseline.total_cost, 24.0);
+  // Crash of bin 0 at t=3: id 0 re-dispatches into bin 1 (First Fit), which
+  // must then stay open until t=20; id 1 no longer fits and opens bin 2.
+  // Faulted: bin 0 [0, 3) + bin 1 [2, 20) + bin 2 [3, 20) = 3 + 18 + 17 = 38.
+  EXPECT_DOUBLE_EQ(cell.faulted.total_cost, 38.0);
+  EXPECT_DOUBLE_EQ(cell.cost_inflation_ratio, 38.0 / 24.0);
+  EXPECT_EQ(cell.stats.sessions_redispatched, 2u);
+  EXPECT_EQ(cell.faulted.bins_opened, 3u);
+}
+
+}  // namespace
+}  // namespace dbp

@@ -81,6 +81,53 @@ TEST(TraceIoTest, IdsReassignedDensely) {
   EXPECT_EQ(instance.item(1).id, 1u);
 }
 
+TEST(TraceIoTest, AcceptsCrlfLineEndings) {
+  // Windows-exported traces terminate every line with \r\n.
+  std::stringstream stream(
+      "id,arrival,departure,size\r\n0,0,1,0.5\r\n1,1,2,0.25\r\n");
+  const Instance instance = read_instance_csv(stream);
+  ASSERT_EQ(instance.size(), 2u);
+  EXPECT_DOUBLE_EQ(instance.item(1).size, 0.25);
+}
+
+TEST(TraceIoTest, SkipsTrailingBlankAndWhitespaceLines) {
+  std::stringstream stream(
+      "id,arrival,departure,size\n0,0,1,0.5\n   \n\t\n\n  \t \n");
+  const Instance instance = read_instance_csv(stream);
+  EXPECT_EQ(instance.size(), 1u);
+}
+
+TEST(TraceIoTest, SkipsDuplicateHeaderRows) {
+  // Concatenated exports repeat the header mid-file.
+  std::stringstream stream(
+      "id,arrival,departure,size\n0,0,1,0.5\n"
+      "id,arrival,departure,size\n1,1,2,0.25\n");
+  const Instance instance = read_instance_csv(stream);
+  ASSERT_EQ(instance.size(), 2u);
+}
+
+TEST(TraceIoTest, RejectsNaNFieldWithLineNumber) {
+  std::stringstream stream("id,arrival,departure,size\n0,0,1,0.5\n1,1,nan,0.25\n");
+  try {
+    (void)read_instance_csv(stream);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(TraceIoTest, RejectsInfFieldWithLineNumber) {
+  std::stringstream stream("id,arrival,departure,size\n0,0,inf,0.5\n");
+  try {
+    (void)read_instance_csv(stream);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(TraceIoTest, FileRoundTrip) {
   Instance instance;
   instance.add(0.25, 1.75, 0.125);

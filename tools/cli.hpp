@@ -12,8 +12,8 @@
 
 namespace dbp::cli {
 
-/// Parses `--key=value` / `--flag` arguments; positional arguments and
-/// unknown keys raise PreconditionError with a usage hint.
+/// Parses `--key=value`, `--key value` and `--flag` arguments; positional
+/// arguments and unknown keys raise PreconditionError with a usage hint.
 class Args {
  public:
   Args(int argc, char** argv, std::vector<std::string> allowed_keys,
@@ -30,7 +30,13 @@ class Args {
                                                 : eq - 2);
       DBP_REQUIRE(allowed_.contains(key),
                   "unknown option --" + key + "\n" + usage_);
-      values_[key] = eq == std::string::npos ? "" : arg.substr(eq + 1);
+      if (eq != std::string::npos) {
+        values_[key] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];  // space-separated form: --key value
+      } else {
+        values_[key] = "";  // bare flag
+      }
     }
   }
 

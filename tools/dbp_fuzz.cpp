@@ -1,15 +1,20 @@
 // dbp_fuzz — seeded randomized stress harness.
 //
 // Usage:
-//   dbp_fuzz [--rounds=N] [--seed=S] [--items=MAX]
+//   dbp_fuzz [--rounds=N] [--seed=S] [--items=MAX] [--no-chaos]
 //
 // Each round draws a random workload configuration and seed, runs every
 // algorithm with paranoid Any Fit checking where applicable, recomputes the
 // accounting independently, validates the paper's closed-form bounds and
-// the OPT sandwich, and (for First Fit) the Section 4.3 invariants. On any
-// violation it prints the offending (round, seed) so the failure is
-// reproducible, and exits non-zero. Used as a long-running robustness
-// soak beyond what the unit-test sweeps cover.
+// the OPT sandwich, and (for First Fit) the Section 4.3 invariants. Unless
+// --no-chaos is given, each round then replays the instance under a random
+// FaultPlan (crashes + anomalous events) and checks that the cost
+// accounting invariants survive recovery. On any violation it prints the
+// offending (round, seed) so the failure is reproducible, and exits
+// non-zero. Used as a long-running robustness soak beyond what the
+// unit-test sweeps cover.
+#include <algorithm>
+#include <cmath>
 #include <iostream>
 
 #include "algo/any_fit_packer.hpp"
@@ -19,13 +24,16 @@
 #include "core/metrics.hpp"
 #include "core/strfmt.hpp"
 #include "opt/opt_total.hpp"
+#include "sim/fault_sim.hpp"
 #include "sim/simulator.hpp"
+#include "workload/fault_schedule.hpp"
 #include "workload/random_instance.hpp"
 #include "workload/rng.hpp"
 
 namespace {
 
-constexpr const char* kUsage = "usage: dbp_fuzz [--rounds=N] [--seed=S] [--items=MAX]\n";
+constexpr const char* kUsage =
+    "usage: dbp_fuzz [--rounds=N] [--seed=S] [--items=MAX] [--no-chaos]\n";
 
 using namespace dbp;
 
@@ -66,7 +74,63 @@ RandomInstanceConfig random_config(Rng& rng, std::size_t max_items) {
   return config;
 }
 
-bool run_round(std::uint64_t round, std::uint64_t seed, std::size_t max_items) {
+/// Replays the instance under a random FaultPlan for every online
+/// algorithm and checks that the accounting invariants — the per-bin vs
+/// integral agreement and the closed-form lower bounds, both of which
+/// survive crash re-dispatch — still hold after recovery.
+bool run_chaos_round(std::uint64_t round, std::uint64_t seed,
+                     const Instance& instance, const CostModel& model,
+                     const CostBounds& closed, const InstanceMetrics& metrics,
+                     Rng& rng) {
+  const double crash_rate = rng.uniform(0.01, 0.15);
+  const double anomaly_rate = rng.uniform(0.0, 0.05);
+  const auto target = static_cast<CrashTarget>(rng.uniform_int(0, 4));
+  const FaultPlan plan = make_poisson_fault_plan(
+      instance.packing_period(), crash_rate, anomaly_rate, target,
+      seed ^ 0xC4A05);
+
+  bool ok = true;
+  const auto fail = [&](const std::string& what) {
+    std::cerr << strfmt("FUZZ CHAOS FAILURE round=%llu seed=%llu: %s\n",
+                        static_cast<unsigned long long>(round),
+                        static_cast<unsigned long long>(seed), what.c_str());
+    ok = false;
+  };
+
+  PackerOptions options;
+  options.known_mu = metrics.mu;
+  options.seed = seed;
+  for (const std::string& name : all_algorithm_names()) {
+    const FaultSimulationResult cell =
+        simulate_with_faults(instance, name, model, plan, options);
+    const double scale =
+        std::max({std::abs(cell.faulted.total_cost),
+                  std::abs(cell.faulted.total_cost_from_bins), 1.0});
+    if (std::abs(cell.faulted.total_cost - cell.faulted.total_cost_from_bins) >
+        1e-9 * scale) {
+      fail(name + " accounting invariant broken after fault recovery");
+    }
+    // Every session is still served over its full interval (re-dispatch is
+    // instantaneous), so the demand and span lower bounds still apply.
+    if (cell.faulted.total_cost < closed.demand_lower * (1.0 - 1e-9)) {
+      fail(name + " beat the demand bound (b.1) under faults");
+    }
+    if (cell.faulted.total_cost < closed.span_lower * (1.0 - 1e-9)) {
+      fail(name + " beat the span bound (b.2) under faults");
+    }
+    if (!(cell.cost_inflation_ratio > 0.0) ||
+        !std::isfinite(cell.cost_inflation_ratio)) {
+      fail(name + " produced a non-finite cost inflation ratio");
+    }
+    if (cell.stats.total_dropped() != cell.stats.anomalies_injected) {
+      fail(name + " guard dropped a different count than was injected");
+    }
+  }
+  return ok;
+}
+
+bool run_round(std::uint64_t round, std::uint64_t seed, std::size_t max_items,
+               bool chaos) {
   Rng rng(seed);
   const RandomInstanceConfig config = random_config(rng, max_items);
   const Instance instance = generate_random_instance(config, seed ^ 0xABCDEF);
@@ -136,6 +200,10 @@ bool run_round(std::uint64_t round, std::uint64_t seed, std::size_t max_items) {
       }
     }
   }
+  if (chaos &&
+      !run_chaos_round(round, seed, instance, model, closed, metrics, rng)) {
+    ok = false;
+  }
   return ok;
 }
 
@@ -143,14 +211,17 @@ bool run_round(std::uint64_t round, std::uint64_t seed, std::size_t max_items) {
 
 int main(int argc, char** argv) {
   try {
-    const dbp::cli::Args args(argc, argv, {"rounds", "seed", "items"}, kUsage);
+    const dbp::cli::Args args(argc, argv, {"rounds", "seed", "items", "no-chaos"},
+                              kUsage);
     const std::uint64_t rounds = args.get_u64("rounds", 25);
     const std::uint64_t base_seed = args.get_u64("seed", 1);
     const std::size_t max_items = args.get_u64("items", 600);
+    const bool chaos = !args.has("no-chaos");
 
     std::size_t failures = 0;
     for (std::uint64_t round = 0; round < rounds; ++round) {
-      if (!run_round(round, base_seed + round * 0x9E3779B9ULL, max_items)) {
+      if (!run_round(round, base_seed + round * 0x9E3779B9ULL, max_items,
+                     chaos)) {
         ++failures;
       }
     }

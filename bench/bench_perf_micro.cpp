@@ -5,8 +5,12 @@
 // OPT_total estimator.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "opt/bin_count.hpp"
 #include "opt/opt_total.hpp"
+#include "opt/opt_total_reference.hpp"
+#include "opt/rle.hpp"
 #include "sim/simulator.hpp"
 #include "workload/random_instance.hpp"
 
@@ -23,6 +27,19 @@ Instance make_instance(std::size_t items, std::uint64_t seed = 99) {
   config.duration.max_length = 8.0;
   config.size.min_fraction = 0.02;
   config.size.max_fraction = 0.5;
+  return generate_random_instance(config, seed);
+}
+
+// Dyadic sizes duplicate heavily, so RLE snapshots stay tiny and snapshot
+// dedup fires; this is the workload the fast path is built for.
+Instance make_dyadic_instance(std::size_t items, std::uint64_t seed = 99) {
+  RandomInstanceConfig config;
+  config.item_count = items;
+  config.arrival.rate = 20.0;
+  config.duration.max_length = 8.0;
+  config.size.kind = SizeModel::Kind::kDyadic;
+  config.size.min_exponent = 1;
+  config.size.max_exponent = 6;
   return generate_random_instance(config, seed);
 }
 
@@ -67,18 +84,90 @@ void BM_BinCountOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_BinCountOracle)->Arg(32)->Arg(256)->Arg(2048)->MinTime(0.05);
 
+// Same bin-count query posed through the RLE interface on a duplicated-size
+// multiset: `active` items but only 6 distinct sizes. Compare against
+// BM_BinCountOracle to see what multiplicity compression buys.
+void BM_BinCountOracleRle(benchmark::State& state) {
+  const auto active = static_cast<std::size_t>(state.range(0));
+  std::vector<double> sizes;
+  Rng rng(5);
+  for (std::size_t i = 0; i < active; ++i) {
+    const int exponent = static_cast<int>(rng.uniform_int(1, 6));
+    sizes.push_back(std::ldexp(1.0, -exponent));
+  }
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  const std::vector<SizeRun> runs = rle_from_sorted(sizes);
+  const CostModel model = unit_model();
+  BinCountOptions options;
+  options.exact.node_budget = 20'000;
+  for (auto _ : state) {
+    const BinCountBounds bounds = optimal_bin_count_rle(runs, model, options);
+    benchmark::DoNotOptimize(bounds.lower);
+  }
+}
+BENCHMARK(BM_BinCountOracleRle)->Arg(32)->Arg(256)->Arg(2048)->MinTime(0.05);
+
+void RunOptTotal(benchmark::State& state, const Instance& instance,
+                 bool parallel) {
+  const CostModel model = unit_model();
+  OptTotalOptions options;
+  options.bin_count.exact.node_budget = 20'000;
+  options.parallel = parallel;
+  for (auto _ : state) {
+    const OptTotalResult result = estimate_opt_total(instance, model, options);
+    benchmark::DoNotOptimize(result.lower_cost);
+  }
+}
+
 void BM_OptTotal(benchmark::State& state) {
+  RunOptTotal(state, make_instance(static_cast<std::size_t>(state.range(0))),
+              /*parallel=*/true);
+}
+BENCHMARK(BM_OptTotal)->Arg(1'000)->Arg(5'000)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+void BM_OptTotalSequential(benchmark::State& state) {
+  RunOptTotal(state, make_instance(static_cast<std::size_t>(state.range(0))),
+              /*parallel=*/false);
+}
+BENCHMARK(BM_OptTotalSequential)->Arg(5'000)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+void BM_OptTotalDyadic(benchmark::State& state) {
+  RunOptTotal(state,
+              make_dyadic_instance(static_cast<std::size_t>(state.range(0))),
+              /*parallel=*/true);
+}
+BENCHMARK(BM_OptTotalDyadic)->Arg(1'000)->Arg(5'000)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+// Pre-fast-path estimator retained as the differential-test specification;
+// benchmarked so the speedup of the RLE + dedup + parallel pipeline is a
+// number in the report, not a claim.
+void BM_OptTotalReference(benchmark::State& state) {
   const Instance instance =
       make_instance(static_cast<std::size_t>(state.range(0)));
   const CostModel model = unit_model();
   OptTotalOptions options;
   options.bin_count.exact.node_budget = 20'000;
   for (auto _ : state) {
-    const OptTotalResult result = estimate_opt_total(instance, model, options);
+    const OptTotalResult result =
+        estimate_opt_total_reference(instance, model, options);
     benchmark::DoNotOptimize(result.lower_cost);
   }
 }
-BENCHMARK(BM_OptTotal)->Arg(1'000)->Arg(5'000)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+BENCHMARK(BM_OptTotalReference)->Arg(1'000)->Arg(5'000)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+void BM_OptTotalReferenceDyadic(benchmark::State& state) {
+  const Instance instance =
+      make_dyadic_instance(static_cast<std::size_t>(state.range(0)));
+  const CostModel model = unit_model();
+  OptTotalOptions options;
+  options.bin_count.exact.node_budget = 20'000;
+  for (auto _ : state) {
+    const OptTotalResult result =
+        estimate_opt_total_reference(instance, model, options);
+    benchmark::DoNotOptimize(result.lower_cost);
+  }
+}
+BENCHMARK(BM_OptTotalReferenceDyadic)->Arg(1'000)->Arg(5'000)->Unit(benchmark::kMillisecond)->MinTime(0.05);
 
 void BM_EventSequence(benchmark::State& state) {
   const Instance instance =

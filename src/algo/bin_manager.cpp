@@ -10,7 +10,7 @@ BinManager::BinManager(CostModel model) : model_(model) { model_.validate(); }
 
 BinId BinManager::open_bin(Time t) {
   const BinId id = static_cast<BinId>(bins_.size());
-  bins_.push_back(BinState{CompensatedSum{}, 0, true});
+  bins_.push_back(BinState{CompensatedSum{}, 0, kNoItem, true});
   usage_.push_back(BinUsageRecord{id, t, kTimeInfinity});
   ++open_count_;
   return id;
@@ -28,24 +28,51 @@ void BinManager::place(const ArrivingItem& item, BinId bin) {
   DBP_REQUIRE(item.size > 0.0, "item size must be positive");
   DBP_REQUIRE(model_.fits(item.size, model_.bin_capacity - state.level.value()),
               "item does not fit into the chosen bin");
-  DBP_REQUIRE(!items_.contains(item.id), "item id already active");
+  const auto index = static_cast<std::size_t>(item.id);
+  if (index >= items_.size()) {
+    items_.resize(index + 1);  // ids are dense; growth is amortized O(1)
+  }
+  ItemSlot& slot = items_[index];
+  DBP_REQUIRE(!slot.active, "item id already active");
   state.level.add(item.size);
   ++state.item_count;
-  items_.emplace(item.id, PlacedItem{bin, item.size});
-  assignment_[item.id] = bin;
+  slot.size = item.size;
+  slot.bin = bin;
+  slot.active = true;
+  // Push onto the bin's resident list.
+  slot.prev = kNoItem;
+  slot.next = state.head;
+  if (state.head != kNoItem) items_[static_cast<std::size_t>(state.head)].prev = item.id;
+  state.head = item.id;
+  ++active_count_;
 }
 
 DepartureOutcome BinManager::remove(ItemId item, Time t) {
-  auto it = items_.find(item);
-  DBP_REQUIRE(it != items_.end(), "departure of an item that is not active");
-  const BinId bin = it->second.bin;
+  const auto index = static_cast<std::size_t>(item);
+  DBP_REQUIRE(index < items_.size() && items_[index].active,
+              "departure of an item that is not active");
+  ItemSlot& slot = items_[index];
+  const BinId bin = slot.bin;
   BinState& state = bins_[static_cast<std::size_t>(bin)];
   DBP_CHECK(state.open && state.item_count > 0, "departure from an empty/closed bin");
-  state.level.subtract(it->second.size);
+  state.level.subtract(slot.size);
   --state.item_count;
-  items_.erase(it);
+  // Unlink from the bin's resident list.
+  if (slot.prev != kNoItem) {
+    items_[static_cast<std::size_t>(slot.prev)].next = slot.next;
+  } else {
+    state.head = slot.next;
+  }
+  if (slot.next != kNoItem) {
+    items_[static_cast<std::size_t>(slot.next)].prev = slot.prev;
+  }
+  slot.next = kNoItem;
+  slot.prev = kNoItem;
+  slot.active = false;  // slot.bin stays: assignment history
+  --active_count_;
   DepartureOutcome outcome{bin, false};
   if (state.item_count == 0) {
+    DBP_CHECK(state.head == kNoItem, "empty bin with a non-empty resident list");
     state.level.reset();  // exact zero: no drift survives a bin closure
     state.open = false;
     usage_[static_cast<std::size_t>(bin)].closed = t;
@@ -85,16 +112,24 @@ std::vector<BinId> BinManager::open_bins() const {
 }
 
 std::optional<BinId> BinManager::assignment_of(ItemId item) const {
-  auto it = assignment_.find(item);
-  if (it == assignment_.end()) return std::nullopt;
-  return it->second;
+  const auto index = static_cast<std::size_t>(item);
+  if (index >= items_.size() || items_[index].bin == kNoBin) return std::nullopt;
+  return items_[index].bin;
+}
+
+std::vector<BinId> BinManager::assignment_history() const {
+  std::vector<BinId> history(items_.size(), kNoBin);
+  for (std::size_t i = 0; i < items_.size(); ++i) history[i] = items_[i].bin;
+  return history;
 }
 
 std::vector<ItemId> BinManager::items_in(BinId bin) const {
-  DBP_REQUIRE(bin < bins_.size(), "unknown bin id");
+  const BinState& state = state_of(bin);
   std::vector<ItemId> result;
-  for (const auto& [id, placed] : items_) {
-    if (placed.bin == bin) result.push_back(id);
+  result.reserve(state.item_count);
+  for (ItemId id = state.head; id != kNoItem;
+       id = items_[static_cast<std::size_t>(id)].next) {
+    result.push_back(id);
   }
   std::sort(result.begin(), result.end());
   return result;
@@ -104,8 +139,8 @@ void BinManager::reset() {
   bins_.clear();
   usage_.clear();
   items_.clear();
-  assignment_.clear();
   open_count_ = 0;
+  active_count_ = 0;
 }
 
 }  // namespace dbp

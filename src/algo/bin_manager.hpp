@@ -4,11 +4,16 @@
 // order coincides with the temporal opening order the paper's First Fit
 // definition refers to. Closed bins are never reopened (paper Section 3.2:
 // "when all the items in a bin depart, the bin is closed").
+//
+// Item bookkeeping is hash-free: ItemIds are dense by construction (the
+// Instance assigns them sequentially), so per-item state lives in vectors
+// indexed by ItemId and each bin's residents form an intrusive doubly-linked
+// list through those slots. place/remove are O(1) plus the compensated level
+// update — no hashing in the packer event loop.
 #pragma once
 
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/compensated_sum.hpp"
@@ -68,7 +73,7 @@ class BinManager {
   [[nodiscard]] std::size_t open_count() const noexcept { return open_count_; }
   [[nodiscard]] std::size_t total_bins_opened() const noexcept { return bins_.size(); }
   [[nodiscard]] std::size_t item_count(BinId bin) const;
-  [[nodiscard]] std::size_t active_item_count() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t active_item_count() const noexcept { return active_count_; }
 
   /// Usage record of one bin (valid for all bins ever opened).
   [[nodiscard]] const BinUsageRecord& usage(BinId bin) const;
@@ -85,13 +90,12 @@ class BinManager {
   /// std::nullopt for items this manager never saw.
   [[nodiscard]] std::optional<BinId> assignment_of(ItemId item) const;
 
-  /// Full item -> bin assignment history.
-  [[nodiscard]] const std::unordered_map<ItemId, BinId>& assignment_history()
-      const noexcept {
-    return assignment_;
-  }
+  /// Full item -> bin assignment history, dense by ItemId; kNoBin marks
+  /// items this manager never saw. A re-dispatched item (same id placed
+  /// again after departing) records its latest bin.
+  [[nodiscard]] std::vector<BinId> assignment_history() const;
 
-  /// Item ids currently resident in `bin` (unordered).
+  /// Item ids currently resident in `bin`, ascending.
   [[nodiscard]] std::vector<ItemId> items_in(BinId bin) const;
 
   /// Drops all state, keeping the cost model.
@@ -101,22 +105,28 @@ class BinManager {
   struct BinState {
     CompensatedSum level;
     std::size_t item_count = 0;
+    ItemId head = kNoItem;  ///< first resident of the intrusive item list
     bool open = false;
   };
 
-  struct PlacedItem {
-    BinId bin;
-    double size;
+  /// Per-item slot, indexed by ItemId. `bin` persists after departure (the
+  /// assignment history); `active` distinguishes residents from alumni.
+  struct ItemSlot {
+    double size = 0.0;
+    BinId bin = kNoBin;
+    ItemId next = kNoItem;
+    ItemId prev = kNoItem;
+    bool active = false;
   };
 
   const BinState& state_of(BinId bin) const;
 
   CostModel model_;
-  std::vector<BinState> bins_;       // by BinId
+  std::vector<BinState> bins_;         // by BinId
   std::vector<BinUsageRecord> usage_;  // by BinId
-  std::unordered_map<ItemId, PlacedItem> items_;   // active items only
-  std::unordered_map<ItemId, BinId> assignment_;   // full history
+  std::vector<ItemSlot> items_;        // by ItemId (dense)
   std::size_t open_count_ = 0;
+  std::size_t active_count_ = 0;
 };
 
 }  // namespace dbp

@@ -23,14 +23,18 @@ auto parallel_map(const std::vector<Job>& jobs, Fn&& fn)
     -> std::vector<decltype(fn(jobs.front()))> {
   using Result = decltype(fn(jobs.front()));
   std::vector<Result> results(jobs.size());
+  if (jobs.empty()) return results;
   std::exception_ptr error;
 
+  // Signed induction variable: unsigned ones break OpenMP 2.0 / MSVC builds.
+  const auto job_count = static_cast<std::ptrdiff_t>(jobs.size());
 #if defined(DBP_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic)
 #endif
-  for (std::size_t i = 0; i < jobs.size(); ++i) {  // NOLINT(modernize-loop-convert)
+  for (std::ptrdiff_t i = 0; i < job_count; ++i) {  // NOLINT(modernize-loop-convert)
+    const auto index = static_cast<std::size_t>(i);
     try {
-      results[i] = fn(jobs[i]);
+      results[index] = fn(jobs[index]);
     } catch (...) {
 #if defined(DBP_HAVE_OPENMP)
 #pragma omp critical(dbp_parallel_map_error)
@@ -50,6 +54,17 @@ auto parallel_map(const std::vector<Job>& jobs, Fn&& fn)
   return omp_get_max_threads();
 #else
   return 1;
+#endif
+}
+
+/// Caps the worker count for subsequent parallel_map calls (CLI --threads
+/// plumbing). `threads` <= 0 keeps the runtime default; a no-op without
+/// OpenMP.
+inline void set_parallel_worker_count(int threads) {
+#if defined(DBP_HAVE_OPENMP)
+  if (threads > 0) omp_set_num_threads(threads);
+#else
+  (void)threads;
 #endif
 }
 

@@ -22,6 +22,10 @@ using BinId = std::uint64_t;
 
 inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
 
+/// Sentinel ids for dense, vector-indexed bookkeeping ("no bin" / "no item").
+inline constexpr BinId kNoBin = std::numeric_limits<BinId>::max();
+inline constexpr ItemId kNoItem = std::numeric_limits<ItemId>::max();
+
 /// Parameters of the bin economy: every bin has the same capacity `W` and
 /// accrues cost at rate `C` per unit time while open (paper Section 3.1).
 struct CostModel {

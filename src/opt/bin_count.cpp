@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
-#include <unordered_map>
 
 #include "core/compensated_sum.hpp"
 #include "core/error.hpp"
@@ -22,33 +20,42 @@ std::size_t per_bin_count(double size, const CostModel& model) {
   return std::max<std::size_t>(m, 1);
 }
 
-BinCountBounds compute(std::span<const double> sorted_desc, const CostModel& model,
-                       const BinCountOptions& options) {
-  const std::size_t n = sorted_desc.size();
+/// The computation behind both entry points, on the compressed form. Every
+/// step replays the flat algorithm's floating-point sequence (the `_rle`
+/// heuristics are bit-identical by construction; the exact solver runs on a
+/// transient expansion), so compute_rle(compress(S)) == compute_flat(S).
+BinCountBounds compute_rle(std::span<const SizeRun> runs, const CostModel& model,
+                           const BinCountOptions& options) {
+  const std::uint64_t n = rle_item_count(runs);
   if (n == 0) return {0, 0};
 
+  // Same per-item compensated total the flat path accumulates.
   CompensatedSum sum;
-  for (double s : sorted_desc) sum.add(s);
+  for (const SizeRun& run : runs) {
+    for (std::uint64_t i = 0; i < run.count; ++i) sum.add(run.size);
+  }
 
   // Fast path: everything fits one bin.
   if (model.fits(sum.value(), model.bin_capacity)) return {1, 1};
 
   // Fast path: all sizes equal (within relative tolerance) => exact count.
-  const double largest = sorted_desc.front();
-  const double smallest = sorted_desc.back();
+  const double largest = runs.front().size;
+  const double smallest = runs.back().size;
   if (largest - smallest <= options.equal_size_rel_tolerance * largest) {
     const std::size_t m = per_bin_count(largest, model);
     const auto bins = static_cast<std::size_t>((n + m - 1) / m);
     return {bins, bins};
   }
 
-  const std::size_t lower = l2_lower_bound_sorted(sorted_desc, model);
-  const std::size_t upper = std::min(first_fit_decreasing_sorted(sorted_desc, model),
-                                     best_fit_decreasing_sorted(sorted_desc, model));
+  const std::size_t lower = l2_lower_bound_rle(runs, model);
+  const std::size_t upper = std::min(first_fit_decreasing_rle(runs, model),
+                                     best_fit_decreasing_rle(runs, model));
   DBP_CHECK(lower <= upper, "L2 exceeds the FFD/BFD bin count");
   if (lower == upper || !options.use_exact_solver) return {lower, upper};
 
-  const ExactPackingResult exact = exact_bin_count(sorted_desc, model, options.exact);
+  std::vector<double> expanded;
+  rle_expand(runs, expanded);
+  const ExactPackingResult exact = exact_bin_count(expanded, model, options.exact);
   return {std::max(lower, exact.lower), std::min(upper, exact.upper)};
 }
 
@@ -63,40 +70,62 @@ BinCountBounds optimal_bin_count(std::span<const double> sizes, const CostModel&
     DBP_REQUIRE(s > 0.0 && model.fits(s, model.bin_capacity),
                 "size must be in (0, bin capacity]");
   }
-  return compute(sorted, model, options);
+  return compute_rle(rle_from_sorted(sorted), model, options);
 }
 
-std::size_t BinCountOracle::VectorHash::operator()(
-    const std::vector<double>& v) const noexcept {
-  // FNV-1a over the raw byte representation; the key is the exact multiset.
-  std::uint64_t h = 1469598103934665603ULL;
-  for (double d : v) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &d, sizeof(bits));
-    for (int shift = 0; shift < 64; shift += 8) {
-      h ^= (bits >> shift) & 0xFF;
-      h *= 1099511628211ULL;
-    }
-  }
-  return static_cast<std::size_t>(h);
+BinCountBounds optimal_bin_count_rle(std::span<const SizeRun> runs,
+                                     const CostModel& model,
+                                     const BinCountOptions& options) {
+  model.validate();
+  rle_validate(runs, model);
+  return compute_rle(runs, model, options);
 }
 
-BinCountOracle::BinCountOracle(CostModel model, BinCountOptions options)
-    : model_(model), options_(options) {
+BinCountOracle::BinCountOracle(CostModel model, BinCountOptions options,
+                               std::size_t memo_limit)
+    : model_(model), options_(options), memo_limit_(std::max<std::size_t>(memo_limit, 2)) {
   model_.validate();
 }
 
 BinCountBounds BinCountOracle::count_sorted(std::span<const double> sorted_desc) {
-  std::vector<double> key(sorted_desc.begin(), sorted_desc.end());
-  if (auto it = memo_.find(key); it != memo_.end()) {
+  return count_rle(rle_from_sorted(sorted_desc));
+}
+
+BinCountBounds BinCountOracle::count_rle(std::span<const SizeRun> runs) {
+  std::vector<SizeRun> key(runs.begin(), runs.end());
+  if (const auto cached = lookup_rle(key)) return *cached;
+  const BinCountBounds bounds = compute_rle(key, model_, options_);
+  store_rle(key, bounds);
+  return bounds;
+}
+
+std::optional<BinCountBounds> BinCountOracle::lookup_rle(
+    const std::vector<SizeRun>& runs) {
+  if (const auto it = memo_.find(runs); it != memo_.end()) {
     ++hits_;
-    return it->second;
+    return it->second.bounds;
   }
   ++misses_;
-  const BinCountBounds bounds = compute(key, model_, options_);
-  if (memo_.size() >= kMemoLimit) memo_.clear();
-  memo_.emplace(std::move(key), bounds);
-  return bounds;
+  return std::nullopt;
+}
+
+void BinCountOracle::store_rle(const std::vector<SizeRun>& runs,
+                               BinCountBounds bounds) {
+  if (memo_.size() >= memo_limit_ && !memo_.contains(runs)) {
+    // Bounded FIFO eviction: drop the older half (by insertion sequence) so
+    // the amortized cost per insert stays O(1) and recent snapshots — the
+    // ones cyclic workloads are about to revisit — survive.
+    const std::uint64_t cutoff = next_seq_ - static_cast<std::uint64_t>(memo_limit_) / 2;
+    for (auto it = memo_.begin(); it != memo_.end();) {
+      if (it->second.seq < cutoff) {
+        it = memo_.erase(it);
+        ++evictions_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  memo_[runs] = MemoEntry{bounds, next_seq_++};
 }
 
 }  // namespace dbp

@@ -2,12 +2,15 @@
 // affordable) on the optimal number of bins for a static size multiset.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/types.hpp"
 #include "opt/exact.hpp"
+#include "opt/rle.hpp"
 
 namespace dbp {
 
@@ -36,34 +39,66 @@ struct BinCountOptions {
                                                const CostModel& model,
                                                const BinCountOptions& options = {});
 
-/// Memoizing wrapper around optimal_bin_count keyed on the exact multiset
-/// (sorted contents). The OPT_total estimator evaluates the active multiset
-/// at every event boundary; adversarial and cyclic workloads revisit the
-/// same multiset many times.
+/// Run-length-encoded entry point (strictly decreasing run sizes).
+/// Bit-identical to optimal_bin_count on the expanded multiset — the
+/// heuristic chain runs on the compressed form via the `_rle` variants
+/// (which replay the flat floating-point sequence exactly) and the exact
+/// solver, when needed, runs on a transient expansion. Thread-safe: pure.
+[[nodiscard]] BinCountBounds optimal_bin_count_rle(std::span<const SizeRun> runs,
+                                                   const CostModel& model,
+                                                   const BinCountOptions& options = {});
+
+/// Memoizing wrapper around the bin-count computation, keyed on the exact
+/// run-length-encoded multiset. The OPT_total estimator evaluates the active
+/// multiset at every event boundary; adversarial and cyclic workloads
+/// revisit the same multiset many times. Not thread-safe — the estimator's
+/// parallel phase computes misses via the pure optimal_bin_count_rle and
+/// stores them sequentially.
 class BinCountOracle {
  public:
-  BinCountOracle(CostModel model, BinCountOptions options = {});
+  /// Evictions trim the memo back under `memo_limit` entries (FIFO halves,
+  /// see store_rle) instead of wiping it wholesale.
+  static constexpr std::size_t kMemoLimit = 1 << 18;
 
-  /// `sorted_desc` must be non-increasing. O(n) on a memo hit.
+  explicit BinCountOracle(CostModel model, BinCountOptions options = {},
+                          std::size_t memo_limit = kMemoLimit);
+
+  /// `sorted_desc` must be non-increasing. Compresses to runs, then counts.
   [[nodiscard]] BinCountBounds count_sorted(std::span<const double> sorted_desc);
+
+  /// Memoized bounds for a compressed multiset (lookup + compute + store).
+  [[nodiscard]] BinCountBounds count_rle(std::span<const SizeRun> runs);
+
+  /// Memo probe only; counts a hit or a miss. Lets callers batch the
+  /// computation of misses (e.g. in parallel) before store_rle-ing them.
+  [[nodiscard]] std::optional<BinCountBounds> lookup_rle(
+      const std::vector<SizeRun>& runs);
+
+  /// Inserts a computed entry, evicting the oldest half of the memo first
+  /// when `memo_limit` is reached (FIFO by insertion; bounded, never a
+  /// wholesale wipe). Overwrites silently on duplicate keys.
+  void store_rle(const std::vector<SizeRun>& runs, BinCountBounds bounds);
 
   [[nodiscard]] std::size_t memo_size() const noexcept { return memo_.size(); }
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
-
-  /// Evictions happen wholesale when the memo exceeds this many entries.
-  static constexpr std::size_t kMemoLimit = 1 << 18;
+  /// Total entries evicted over the oracle's lifetime.
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
 
  private:
-  struct VectorHash {
-    std::size_t operator()(const std::vector<double>& v) const noexcept;
+  struct MemoEntry {
+    BinCountBounds bounds{};
+    std::uint64_t seq = 0;  ///< insertion sequence number, for FIFO eviction
   };
 
   CostModel model_;
   BinCountOptions options_;
-  std::unordered_map<std::vector<double>, BinCountBounds, VectorHash> memo_;
+  std::size_t memo_limit_;
+  std::unordered_map<std::vector<SizeRun>, MemoEntry, SizeRunVectorHash> memo_;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace dbp

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "opt/rle.hpp"
 
 namespace dbp {
 
@@ -28,5 +29,17 @@ namespace dbp {
                                                       const CostModel& model);
 [[nodiscard]] std::size_t best_fit_decreasing_sorted(std::span<const double> sorted_desc,
                                                      const CostModel& model);
+
+/// Run-length-encoded variants (strictly decreasing run sizes). Bit-identical
+/// to the `_sorted` variants on the expanded multiset: equal consecutive
+/// items land in the same bin under FFD, so a whole run is placed with one
+/// tree search per target bin while the per-item residual subtractions are
+/// replayed unchanged; BFD replays its per-item multiset walk verbatim.
+/// first_fit_decreasing_rle is O(d log b + placements) for d runs instead of
+/// O(n log b) for n items.
+[[nodiscard]] std::size_t first_fit_decreasing_rle(std::span<const SizeRun> runs,
+                                                   const CostModel& model);
+[[nodiscard]] std::size_t best_fit_decreasing_rle(std::span<const SizeRun> runs,
+                                                  const CostModel& model);
 
 }  // namespace dbp

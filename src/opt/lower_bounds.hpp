@@ -10,6 +10,7 @@
 #include <span>
 
 #include "core/types.hpp"
+#include "opt/rle.hpp"
 
 namespace dbp {
 
@@ -26,5 +27,13 @@ namespace dbp {
 /// Pre-sorted variant (non-increasing sizes).
 [[nodiscard]] std::size_t l2_lower_bound_sorted(std::span<const double> sorted_desc,
                                                 const CostModel& model);
+
+/// Run-length-encoded variant (strictly decreasing run sizes). Bit-identical
+/// to l2_lower_bound_sorted on the expanded multiset: every index the flat
+/// algorithm touches (threshold partitions, candidate alphas) is a run
+/// boundary, so only boundary prefix sums are materialized — O(d log d)
+/// bookkeeping for d runs on top of the O(n) compensated summation.
+[[nodiscard]] std::size_t l2_lower_bound_rle(std::span<const SizeRun> runs,
+                                             const CostModel& model);
 
 }  // namespace dbp

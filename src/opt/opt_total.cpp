@@ -1,13 +1,28 @@
 #include "opt/opt_total.hpp"
 
-#include <set>
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "analysis/sweep.hpp"
 #include "core/compensated_sum.hpp"
 #include "core/error.hpp"
 #include "sim/event.hpp"
 
 namespace dbp {
+
+namespace {
+
+/// Accumulated weight of one distinct snapshot: total segment width (in
+/// chronological add order — deterministic) and how many segments share it.
+struct SnapshotWeight {
+  CompensatedSum width;
+  std::size_t segment_count = 0;
+};
+
+}  // namespace
 
 OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& model,
                                   const OptTotalOptions& options) {
@@ -18,15 +33,15 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
   result.closed_form = compute_cost_bounds(instance, model);
 
   const std::vector<Event> events = build_event_sequence(instance);
-  BinCountOracle oracle(model, options.bin_count);
 
-  // Active sizes in descending order (greater<> comparator), so the oracle
-  // key is a straight copy.
-  std::multiset<double, std::greater<>> active;
-  std::vector<double> snapshot;
-
-  CompensatedSum lower_integral;
-  CompensatedSum upper_integral;
+  // ---- Phase 1: sequential sweep, RLE active set, snapshot dedup. ----
+  // Active sizes run-length encoded in descending order (greater<>), so a
+  // snapshot key is a straight copy of O(distinct sizes) runs.
+  std::map<double, std::uint64_t, std::greater<>> active;
+  std::vector<std::vector<SizeRun>> snapshots;  // first-occurrence order
+  std::vector<SnapshotWeight> weights;          // parallel to snapshots
+  std::unordered_map<std::vector<SizeRun>, std::size_t, SizeRunVectorHash> index;
+  std::vector<SizeRun> key;
 
   std::size_t i = 0;
   while (i < events.size()) {
@@ -35,11 +50,11 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
     for (; i < events.size() && events[i].time == t; ++i) {
       const Item& item = instance.item(events[i].item);
       if (events[i].kind == EventKind::kArrival) {
-        active.insert(item.size);
+        ++active[item.size];
       } else {
-        auto it = active.find(item.size);
+        const auto it = active.find(item.size);
         DBP_CHECK(it != active.end(), "departure of an inactive size");
-        active.erase(it);
+        if (--it->second == 0) active.erase(it);
       }
     }
     if (i == events.size()) {
@@ -50,18 +65,77 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
     const double width = segment_end - t;
     if (width <= 0.0 || active.empty()) continue;
 
-    snapshot.assign(active.begin(), active.end());
-    const BinCountBounds bounds = oracle.count_sorted(snapshot);
+    key.clear();
+    key.reserve(active.size());
+    for (const auto& [size, count] : active) key.push_back(SizeRun{size, count});
+
+    const auto [slot, inserted] = index.try_emplace(key, snapshots.size());
+    if (inserted) {
+      snapshots.push_back(key);
+      weights.emplace_back();
+    }
+    SnapshotWeight& weight = weights[slot->second];
+    weight.width.add(width);
+    ++weight.segment_count;
     ++result.segments;
-    if (bounds.exact()) {
-      ++result.exact_segments;
+  }
+
+  // ---- Phase 2: evaluate the distinct snapshots. ----
+  // Snapshots are already deduplicated, so a memo can only pay off when the
+  // caller shares an oracle across calls; without one, every snapshot is a
+  // structural miss and the memo machinery is skipped entirely.
+  BinCountOracle* const oracle = options.oracle;
+  const std::uint64_t hits_before = oracle != nullptr ? oracle->hits() : 0;
+  const std::uint64_t evictions_before = oracle != nullptr ? oracle->evictions() : 0;
+
+  std::vector<BinCountBounds> bounds(snapshots.size());
+  std::vector<std::size_t> pending;
+  pending.reserve(snapshots.size());
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    if (oracle != nullptr) {
+      if (const auto cached = oracle->lookup_rle(snapshots[s])) {
+        bounds[s] = *cached;
+        continue;
+      }
+    }
+    pending.push_back(s);
+  }
+  const auto evaluate = [&](std::size_t s) {
+    return optimal_bin_count_rle(snapshots[s], model, options.bin_count);
+  };
+  if (options.parallel && pending.size() > 1) {
+    // Pure evaluations; the oracle memo is written back sequentially below.
+    const std::vector<BinCountBounds> computed = parallel_map(pending, evaluate);
+    for (std::size_t p = 0; p < pending.size(); ++p) bounds[pending[p]] = computed[p];
+  } else {
+    for (const std::size_t s : pending) bounds[s] = evaluate(s);
+  }
+  if (oracle != nullptr) {
+    for (const std::size_t s : pending) oracle->store_rle(snapshots[s], bounds[s]);
+  }
+
+  result.distinct_snapshots = snapshots.size();
+  result.dedup_hits = result.segments - snapshots.size();
+  result.oracle_hits = oracle != nullptr ? oracle->hits() - hits_before : 0;
+  result.oracle_misses = pending.size();
+  result.oracle_evictions =
+      oracle != nullptr ? oracle->evictions() - evictions_before : 0;
+
+  // ---- Phase 3: sequential combine in first-occurrence order. ----
+  CompensatedSum lower_integral;
+  CompensatedSum upper_integral;
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    const BinCountBounds& b = bounds[s];
+    const double width = weights[s].width.value();
+    if (b.exact()) {
+      result.exact_segments += weights[s].segment_count;
     } else {
       result.exact = false;
     }
-    lower_integral.add(static_cast<double>(bounds.lower) * width);
-    upper_integral.add(static_cast<double>(bounds.upper) * width);
-    result.max_bins_lower = std::max(result.max_bins_lower, bounds.lower);
-    result.max_bins_upper = std::max(result.max_bins_upper, bounds.upper);
+    lower_integral.add(static_cast<double>(b.lower) * width);
+    upper_integral.add(static_cast<double>(b.upper) * width);
+    result.max_bins_lower = std::max(result.max_bins_lower, b.lower);
+    result.max_bins_upper = std::max(result.max_bins_upper, b.upper);
   }
 
   result.lower_cost = lower_integral.value() * model.cost_rate;

@@ -6,6 +6,19 @@
 // is computed *exactly* whenever the per-segment bin-count oracle proves
 // optimality; otherwise certified [lower, upper] interval bounds are
 // integrated instead.
+//
+// Pipeline (three phases, deterministic end to end):
+//   1. A sequential event sweep maintains the active multiset run-length
+//      encoded (distinct size -> count) and collects one (snapshot, total
+//      width) entry per *distinct* snapshot — exact, because the integral
+//      is linear in segment width and adversarial/cyclic workloads revisit
+//      the same active set constantly.
+//   2. The distinct snapshots are evaluated through the memoizing oracle;
+//      misses go through the pure bin-count computation, in parallel when
+//      OpenMP is available.
+//   3. A sequential combine integrates the bounds in snapshot
+//      first-occurrence order with compensated summation, so results are
+//      bit-identical run to run regardless of worker count.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +51,19 @@ struct OptTotalResult {
   std::size_t max_bins_lower = 0;
   std::size_t max_bins_upper = 0;
 
+  /// Distinct active-set snapshots after merging duplicate segments;
+  /// dedup_hits = segments - distinct_snapshots (segments whose bounds were
+  /// reused for free).
+  std::size_t distinct_snapshots = 0;
+  std::size_t dedup_hits = 0;
+
+  /// Bin-count oracle traffic attributable to this call. Hits are nonzero
+  /// only when OptTotalOptions::oracle carries a memo across calls —
+  /// within one call every snapshot is already distinct by construction.
+  std::uint64_t oracle_hits = 0;
+  std::uint64_t oracle_misses = 0;
+  std::uint64_t oracle_evictions = 0;
+
   /// Midpoint estimate, handy for plotting.
   [[nodiscard]] double midpoint() const noexcept {
     return 0.5 * (lower_cost + upper_cost);
@@ -46,12 +72,19 @@ struct OptTotalResult {
 
 struct OptTotalOptions {
   BinCountOptions bin_count{};
+  /// Evaluate distinct snapshots via parallel_map (OpenMP). The combine is
+  /// sequential either way, so results are bit-identical to parallel=false.
+  bool parallel = true;
+  /// Optional caller-owned oracle whose memo persists across calls (cyclic
+  /// workloads, repeated evaluation of transformed instances). The caller
+  /// must not share one oracle between concurrent estimate_opt_total calls.
+  BinCountOracle* oracle = nullptr;
 };
 
-/// Walks the instance's event sequence, maintaining the active size multiset,
-/// and integrates the oracle's per-segment bounds. O(E * (A log A + oracle))
-/// where E = event batch count and A = active items; memoization collapses
-/// repeated multisets.
+/// Walks the instance's event sequence, maintaining the active size multiset
+/// run-length encoded, and integrates the oracle's per-snapshot bounds.
+/// O(E log d) sweep + one oracle evaluation per distinct snapshot, for E
+/// event batches and d distinct sizes.
 [[nodiscard]] OptTotalResult estimate_opt_total(const Instance& instance,
                                                 const CostModel& model,
                                                 const OptTotalOptions& options = {});

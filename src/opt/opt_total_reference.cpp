@@ -1,0 +1,121 @@
+#include "opt/opt_total_reference.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compensated_sum.hpp"
+#include "core/error.hpp"
+#include "sim/event.hpp"
+
+namespace dbp {
+
+namespace {
+
+struct FlatSnapshotHash {
+  std::size_t operator()(const std::vector<double>& v) const noexcept {
+    // FNV-1a over the raw byte representation; the key is the exact multiset.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (double d : v) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (bits >> shift) & 0xFF;
+        h *= 1099511628211ULL;
+      }
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct SnapshotWeight {
+  CompensatedSum width;
+  std::size_t segment_count = 0;
+};
+
+}  // namespace
+
+OptTotalResult estimate_opt_total_reference(const Instance& instance,
+                                            const CostModel& model,
+                                            const OptTotalOptions& options) {
+  model.validate();
+  OptTotalResult result;
+  result.exact = true;
+  if (instance.empty()) return result;
+  result.closed_form = compute_cost_bounds(instance, model);
+
+  const std::vector<Event> events = build_event_sequence(instance);
+
+  // Active sizes in descending order (greater<> comparator), so a snapshot
+  // is a straight copy.
+  std::multiset<double, std::greater<>> active;
+  std::vector<std::vector<double>> snapshots;  // first-occurrence order
+  std::vector<SnapshotWeight> weights;
+  std::unordered_map<std::vector<double>, std::size_t, FlatSnapshotHash> index;
+  std::vector<double> snapshot;
+
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const Time t = events[i].time;
+    for (; i < events.size() && events[i].time == t; ++i) {
+      const Item& item = instance.item(events[i].item);
+      if (events[i].kind == EventKind::kArrival) {
+        active.insert(item.size);
+      } else {
+        const auto it = active.find(item.size);
+        DBP_CHECK(it != active.end(), "departure of an inactive size");
+        active.erase(it);
+      }
+    }
+    if (i == events.size()) {
+      DBP_CHECK(active.empty(), "items remain active after the last event");
+      break;
+    }
+    const Time segment_end = events[i].time;
+    const double width = segment_end - t;
+    if (width <= 0.0 || active.empty()) continue;
+
+    snapshot.assign(active.begin(), active.end());
+    const auto [slot, inserted] = index.try_emplace(snapshot, snapshots.size());
+    if (inserted) {
+      snapshots.push_back(snapshot);
+      weights.emplace_back();
+    }
+    SnapshotWeight& weight = weights[slot->second];
+    weight.width.add(width);
+    ++weight.segment_count;
+    ++result.segments;
+  }
+
+  CompensatedSum lower_integral;
+  CompensatedSum upper_integral;
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    const BinCountBounds bounds =
+        optimal_bin_count(snapshots[s], model, options.bin_count);
+    const double width = weights[s].width.value();
+    if (bounds.exact()) {
+      result.exact_segments += weights[s].segment_count;
+    } else {
+      result.exact = false;
+    }
+    lower_integral.add(static_cast<double>(bounds.lower) * width);
+    upper_integral.add(static_cast<double>(bounds.upper) * width);
+    result.max_bins_lower = std::max(result.max_bins_lower, bounds.lower);
+    result.max_bins_upper = std::max(result.max_bins_upper, bounds.upper);
+  }
+
+  result.distinct_snapshots = snapshots.size();
+  result.dedup_hits = result.segments - snapshots.size();
+  result.oracle_misses = snapshots.size();  // one evaluation per distinct set
+
+  result.lower_cost = lower_integral.value() * model.cost_rate;
+  result.upper_cost = upper_integral.value() * model.cost_rate;
+  result.lower_cost = std::max(result.lower_cost, result.closed_form.lower());
+  DBP_CHECK(result.lower_cost <= result.upper_cost * (1.0 + 1e-9),
+            "OPT_total bounds crossed");
+  return result;
+}
+
+}  // namespace dbp

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "core/error.hpp"
+#include "workload/rng.hpp"
 
 namespace dbp {
 namespace {
@@ -97,6 +100,99 @@ TEST(BinCountOracleTest, AgreesWithDirectComputation) {
   const BinCountBounds direct = optimal_bin_count(sorted, unit_model());
   EXPECT_EQ(via_oracle.lower, direct.lower);
   EXPECT_EQ(via_oracle.upper, direct.upper);
+}
+
+TEST(BinCountRleTest, MatchesFlatComputationOnRandomMultisets) {
+  Rng rng(17);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<double> sizes;
+    const std::size_t n = 5 + rng.uniform_int(0, 120);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix continuous and duplicated sizes so runs of every length occur.
+      sizes.push_back(rng.bernoulli(0.5)
+                          ? rng.uniform(0.05, 0.9)
+                          : 0.1 * static_cast<double>(rng.uniform_int(1, 9)));
+    }
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    const std::vector<SizeRun> runs = rle_from_sorted(sizes);
+    const BinCountBounds flat = optimal_bin_count(sizes, unit_model());
+    const BinCountBounds rle = optimal_bin_count_rle(runs, unit_model());
+    EXPECT_EQ(flat.lower, rle.lower) << "round " << round;
+    EXPECT_EQ(flat.upper, rle.upper) << "round " << round;
+  }
+}
+
+TEST(BinCountRleTest, MatchesFlatWithoutExactSolver) {
+  // With the solver off, the bounds come straight from the RLE heuristic
+  // chain (L2 / FFD / BFD) — this pins their bit-identity to the flat code.
+  BinCountOptions options;
+  options.use_exact_solver = false;
+  Rng rng(23);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<double> sizes;
+    const std::size_t n = 5 + rng.uniform_int(0, 200);
+    for (std::size_t i = 0; i < n; ++i) {
+      sizes.push_back(rng.bernoulli(0.5)
+                          ? rng.uniform(0.02, 0.6)
+                          : 0.05 * static_cast<double>(rng.uniform_int(1, 12)));
+    }
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    const std::vector<SizeRun> runs = rle_from_sorted(sizes);
+    const BinCountBounds flat = optimal_bin_count(sizes, unit_model(), options);
+    const BinCountBounds rle = optimal_bin_count_rle(runs, unit_model(), options);
+    EXPECT_EQ(flat.lower, rle.lower) << "round " << round;
+    EXPECT_EQ(flat.upper, rle.upper) << "round " << round;
+  }
+}
+
+TEST(BinCountRleTest, RejectsMalformedRuns) {
+  // Non-decreasing sizes and zero counts violate the RLE invariant.
+  EXPECT_THROW((void)optimal_bin_count_rle(
+                   std::vector<SizeRun>{{0.3, 1}, {0.5, 1}}, unit_model()),
+               PreconditionError);
+  EXPECT_THROW((void)optimal_bin_count_rle(std::vector<SizeRun>{{0.3, 0}},
+                                           unit_model()),
+               PreconditionError);
+}
+
+TEST(BinCountOracleTest, BoundedEvictionKeepsMemoUnderLimit) {
+  constexpr std::size_t kLimit = 16;
+  BinCountOracle oracle(unit_model(), {}, kLimit);
+  for (int i = 1; i <= 200; ++i) {
+    const std::vector<double> sorted(static_cast<std::size_t>(i), 0.25);
+    (void)oracle.count_sorted(sorted);
+    EXPECT_LE(oracle.memo_size(), kLimit);
+  }
+  EXPECT_GT(oracle.evictions(), 0u);
+  // Eviction trims, it does not wipe: the memo keeps a working set.
+  EXPECT_GT(oracle.memo_size(), kLimit / 4);
+}
+
+TEST(BinCountOracleTest, EvictionKeepsRecentEntriesHot) {
+  constexpr std::size_t kLimit = 8;
+  BinCountOracle oracle(unit_model(), {}, kLimit);
+  for (int i = 1; i <= 100; ++i) {
+    const std::vector<double> sorted(static_cast<std::size_t>(i), 0.25);
+    (void)oracle.count_sorted(sorted);
+  }
+  // The most recent key must have survived the FIFO trims.
+  const std::uint64_t hits_before = oracle.hits();
+  (void)oracle.count_sorted(std::vector<double>(100, 0.25));
+  EXPECT_EQ(oracle.hits(), hits_before + 1);
+}
+
+TEST(BinCountOracleTest, EvictedEntriesAreRecomputedCorrectly) {
+  constexpr std::size_t kLimit = 4;
+  BinCountOracle oracle(unit_model(), {}, kLimit);
+  const std::vector<double> probe{0.9, 0.6, 0.6, 0.2};
+  const BinCountBounds first = oracle.count_sorted(probe);
+  for (int i = 1; i <= 50; ++i) {
+    (void)oracle.count_sorted(std::vector<double>(static_cast<std::size_t>(i), 0.3));
+  }
+  const BinCountBounds again = oracle.count_sorted(probe);
+  EXPECT_EQ(again.lower, first.lower);
+  EXPECT_EQ(again.upper, first.upper);
+  EXPECT_GT(oracle.evictions(), 0u);
 }
 
 }  // namespace

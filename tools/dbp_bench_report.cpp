@@ -1,0 +1,241 @@
+// dbp_bench_report — machine-readable performance trajectory report.
+//
+// Times the OPT_total fast path (RLE snapshots + dedup + parallel segment
+// evaluation) against the retained reference estimator, plus packer event
+// throughput and the bin-count oracle, and writes the numbers as JSON so CI
+// can archive one BENCH_perf.json per commit and plot the trajectory.
+//
+// Usage:
+//   dbp_bench_report [--out=BENCH_perf.json] [--items=5000] [--repeats=3]
+//                    [--threads=N]
+//
+// Wall-clock numbers are best-of-`repeats` (the minimum is the least noisy
+// location statistic for a loaded machine). Estimator bounds are asserted
+// bit-identical between the reference and fast paths before any timing is
+// reported — a report from a wrong estimator would be worse than no report.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <locale>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+#include "cli.hpp"
+#include "core/error.hpp"
+#include "opt/bin_count.hpp"
+#include "opt/opt_total.hpp"
+#include "opt/opt_total_reference.hpp"
+#include "opt/rle.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using namespace dbp;
+
+constexpr const char* kUsage =
+    "usage: dbp_bench_report [--out=BENCH_perf.json] [--items=5000]\n"
+    "                        [--repeats=3] [--threads=N]\n";
+
+using Clock = std::chrono::steady_clock;
+
+/// Runs `fn` `repeats` times and returns the best wall-clock milliseconds.
+template <typename Fn>
+double best_of_ms(std::size_t repeats, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> elapsed = Clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+/// One reported measurement. `extras` are preformatted `"key": value` JSON
+/// fragments appended to the case object.
+struct BenchCase {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  std::vector<std::string> extras;
+};
+
+Instance make_uniform_instance(std::size_t items, std::uint64_t seed) {
+  RandomInstanceConfig config;
+  config.item_count = items;
+  config.arrival.rate = 20.0;
+  config.duration.max_length = 8.0;
+  config.size.min_fraction = 0.02;
+  config.size.max_fraction = 0.5;
+  return generate_random_instance(config, seed);
+}
+
+Instance make_dyadic_instance(std::size_t items, std::uint64_t seed) {
+  RandomInstanceConfig config;
+  config.item_count = items;
+  config.arrival.rate = 20.0;
+  config.duration.max_length = 8.0;
+  config.size.kind = SizeModel::Kind::kDyadic;
+  config.size.min_exponent = 1;
+  config.size.max_exponent = 6;
+  return generate_random_instance(config, seed);
+}
+
+std::string json_number(double value) {
+  // Round-trippable, locale-independent formatting.
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+void append_opt_total_cases(std::vector<BenchCase>& cases,
+                            const std::string& workload,
+                            const Instance& instance, const CostModel& model,
+                            std::size_t repeats) {
+  OptTotalOptions options;
+  options.bin_count.exact.node_budget = 20'000;
+
+  OptTotalResult reference;
+  const double ref_ms = best_of_ms(repeats, [&] {
+    reference = estimate_opt_total_reference(instance, model, options);
+  });
+
+  OptTotalResult fast;
+  const double fast_ms = best_of_ms(
+      repeats, [&] { fast = estimate_opt_total(instance, model, options); });
+
+  options.parallel = false;
+  OptTotalResult sequential;
+  const double seq_ms = best_of_ms(repeats, [&] {
+    sequential = estimate_opt_total(instance, model, options);
+  });
+
+  // The report is only meaningful for an estimator that matches the
+  // specification bit for bit.
+  DBP_CHECK(fast.lower_cost == reference.lower_cost &&
+                fast.upper_cost == reference.upper_cost &&
+                sequential.lower_cost == reference.lower_cost &&
+                sequential.upper_cost == reference.upper_cost,
+            "fast OPT_total bounds diverged from the reference estimator");
+
+  const std::string prefix = "opt_total_" + workload;
+  cases.push_back({prefix + "_reference", ref_ms, "ms", {}});
+  cases.push_back({prefix + "_fast", fast_ms, "ms",
+                   {"\"segments\": " + std::to_string(fast.segments),
+                    "\"distinct_snapshots\": " +
+                        std::to_string(fast.distinct_snapshots),
+                    "\"dedup_hits\": " + std::to_string(fast.dedup_hits),
+                    "\"speedup_vs_reference\": " +
+                        json_number(ref_ms / fast_ms)}});
+  cases.push_back({prefix + "_fast_sequential", seq_ms, "ms",
+                   {"\"speedup_vs_reference\": " +
+                    json_number(ref_ms / seq_ms)}});
+}
+
+void append_packer_cases(std::vector<BenchCase>& cases, const CostModel& model,
+                         std::size_t repeats) {
+  const std::size_t items = 20'000;
+  const Instance instance = make_uniform_instance(items, 17);
+  PackerOptions options;
+  options.known_mu = 8.0;
+  for (const std::string& name : {std::string("first-fit"),
+                                  std::string("best-fit")}) {
+    const double ms = best_of_ms(repeats, [&] {
+      const SimulationResult result = simulate(instance, name, model, options);
+      DBP_CHECK(result.total_cost > 0.0, "degenerate packing cost");
+    });
+    cases.push_back({"packer_" + name, ms, "ms",
+                     {"\"items\": " + std::to_string(items),
+                      "\"items_per_sec\": " +
+                          json_number(1000.0 * static_cast<double>(items) / ms)}});
+  }
+}
+
+void append_oracle_cases(std::vector<BenchCase>& cases, const CostModel& model,
+                         std::size_t repeats) {
+  // 2048 items, 6 distinct sizes: the multiplicity-compression showcase.
+  std::vector<double> sizes;
+  Rng rng(5);
+  for (std::size_t i = 0; i < 2048; ++i) {
+    sizes.push_back(std::ldexp(1.0, -static_cast<int>(rng.uniform_int(1, 6))));
+  }
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  const std::vector<SizeRun> runs = rle_from_sorted(sizes);
+
+  BinCountOptions options;
+  options.exact.node_budget = 20'000;
+  constexpr int kCalls = 50;
+  const double flat_ms = best_of_ms(repeats, [&] {
+    for (int c = 0; c < kCalls; ++c) {
+      const BinCountBounds bounds = optimal_bin_count(sizes, model, options);
+      DBP_CHECK(bounds.lower >= 1, "degenerate bin count");
+    }
+  });
+  const double rle_ms = best_of_ms(repeats, [&] {
+    for (int c = 0; c < kCalls; ++c) {
+      const BinCountBounds bounds = optimal_bin_count_rle(runs, model, options);
+      DBP_CHECK(bounds.lower >= 1, "degenerate bin count");
+    }
+  });
+  cases.push_back({"bin_count_flat_2048x6", flat_ms / kCalls, "ms", {}});
+  cases.push_back({"bin_count_rle_2048x6", rle_ms / kCalls, "ms",
+                   {"\"speedup_vs_flat\": " + json_number(flat_ms / rle_ms),
+                    "\"distinct_sizes\": " + std::to_string(runs.size())}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dbp;
+  try {
+    const cli::Args args(argc, argv, {"out", "items", "repeats", "threads"},
+                         kUsage);
+    set_parallel_worker_count(static_cast<int>(args.get_u64("threads", 0)));
+    const std::size_t items = args.get_u64("items", 5'000);
+    const std::size_t repeats = std::max<std::size_t>(1, args.get_u64("repeats", 3));
+    const std::string out_path = args.get("out", "BENCH_perf.json");
+    const CostModel model{1.0, 1.0, 1e-9};
+
+    std::vector<BenchCase> cases;
+    append_opt_total_cases(cases, "uniform_" + std::to_string(items),
+                           make_uniform_instance(items, 99), model, repeats);
+    append_opt_total_cases(cases, "dyadic_" + std::to_string(items),
+                           make_dyadic_instance(items, 99), model, repeats);
+    append_packer_cases(cases, model, repeats);
+    append_oracle_cases(cases, model, repeats);
+
+    std::ostringstream json;
+    json << "{\n";
+    json << "  \"schema\": \"dbp-bench-perf/1\",\n";
+    json << "  \"workers\": " << parallel_worker_count() << ",\n";
+    json << "  \"repeats\": " << repeats << ",\n";
+    json << "  \"cases\": [\n";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const BenchCase& c = cases[i];
+      json << "    {\"name\": \"" << c.name << "\", \"value\": "
+           << json_number(c.value) << ", \"unit\": \"" << c.unit << "\"";
+      for (const std::string& extra : c.extras) json << ", " << extra;
+      json << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+
+    std::ofstream out(out_path);
+    DBP_REQUIRE(out.is_open(), "cannot write " + out_path);
+    out << json.str();
+    std::cout << json.str();
+    std::cerr << "report written to " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "dbp_bench_report: " << error.what() << "\n";
+    return 1;
+  }
+}

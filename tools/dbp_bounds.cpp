@@ -3,8 +3,10 @@
 //
 // Usage:
 //   dbp_bounds --trace=trace.csv [--capacity=W] [--rate=C] [--no-exact]
+//              [--threads=N] [--sequential]
 #include <iostream>
 
+#include "analysis/sweep.hpp"
 #include "cli.hpp"
 #include "core/metrics.hpp"
 #include "core/strfmt.hpp"
@@ -15,15 +17,20 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: dbp_bounds --trace=FILE [--capacity=W] [--rate=C] [--no-exact]\n";
+    "usage: dbp_bounds --trace=FILE [--capacity=W] [--rate=C] [--no-exact]\n"
+    "                  [--threads=N] [--sequential]\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dbp;
   try {
-    const cli::Args args(argc, argv, {"trace", "capacity", "rate", "no-exact"},
-                         kUsage);
+    const cli::Args args(
+        argc, argv,
+        {"trace", "capacity", "rate", "no-exact", "threads", "sequential"},
+        kUsage);
+    set_parallel_worker_count(
+        static_cast<int>(args.get_u64("threads", 0)));
     const Instance instance = read_instance_csv(args.require("trace"));
     DBP_REQUIRE(!instance.empty(), "trace is empty");
     const CostModel model{args.get_double("capacity", 1.0),
@@ -31,9 +38,10 @@ int main(int argc, char** argv) {
 
     const InstanceMetrics metrics = compute_metrics(instance);
     std::cout << strfmt(
-        "%zu items | mu = %.3f | Delta = %.3f | sizes [%.4f, %.4f]\n",
+        "%zu items | mu = %.3f | Delta = %.3f | sizes [%.4f, %.4f] | %d "
+        "worker(s)\n",
         metrics.item_count, metrics.mu, metrics.min_interval_length,
-        metrics.min_size, metrics.max_size);
+        metrics.min_size, metrics.max_size, parallel_worker_count());
 
     const CostBounds closed = compute_cost_bounds(instance, model);
     std::cout << strfmt("closed-form bounds:  (b.1) demand %.4f | (b.2) span "
@@ -43,11 +51,16 @@ int main(int argc, char** argv) {
 
     OptTotalOptions options;
     options.bin_count.use_exact_solver = !args.has("no-exact");
+    options.parallel = !args.has("sequential");
     const OptTotalResult opt = estimate_opt_total(instance, model, options);
     std::cout << strfmt(
         "OPT_total in [%.6f, %.6f]%s  (%zu/%zu segments proven exact)\n",
         opt.lower_cost, opt.upper_cost, opt.exact ? " (exact)" : "",
         opt.exact_segments, opt.segments);
+    std::cout << strfmt(
+        "snapshots: %zu distinct / %zu segments (%llu dedup hits)\n",
+        opt.distinct_snapshots, opt.segments,
+        static_cast<unsigned long long>(opt.dedup_hits));
 
     const RepackBaselineResult repack = run_repack_baseline(instance, model);
     std::cout << strfmt(

@@ -3,7 +3,8 @@
 //
 // Usage:
 //   dbp_run --trace=trace.csv [--algorithms=first-fit,best-fit,...]
-//           [--capacity=W] [--rate=C] [--no-opt] [--timeline=PREFIX]
+//           [--capacity=W] [--rate=C] [--no-opt] [--threads=N]
+//           [--timeline=PREFIX]
 //
 // --timeline=PREFIX additionally writes PREFIX.<algo>.bins.csv (n(t)
 // staircase) and PREFIX.<algo>.assign.csv for plotting.
@@ -12,6 +13,7 @@
 
 #include "analysis/ratio.hpp"
 #include "analysis/svg.hpp"
+#include "analysis/sweep.hpp"
 #include "analysis/table.hpp"
 #include "analysis/timeline.hpp"
 #include "cli.hpp"
@@ -22,7 +24,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: dbp_run --trace=FILE [--algorithms=a,b,c] [--capacity=W]\n"
-    "               [--rate=C] [--no-opt] [--timeline=PREFIX] [--svg=PREFIX]\n";
+    "               [--rate=C] [--no-opt] [--threads=N] [--timeline=PREFIX]\n"
+    "               [--svg=PREFIX]\n";
 
 }  // namespace
 
@@ -31,9 +34,11 @@ int main(int argc, char** argv) {
   try {
     const cli::Args args(
         argc, argv,
-        {"trace", "algorithms", "capacity", "rate", "no-opt", "timeline",
-         "svg"},
+        {"trace", "algorithms", "capacity", "rate", "no-opt", "threads",
+         "timeline", "svg"},
         kUsage);
+    set_parallel_worker_count(
+        static_cast<int>(args.get_u64("threads", 0)));
     const Instance instance = read_instance_csv(args.require("trace"));
     DBP_REQUIRE(!instance.empty(), "trace is empty");
     const CostModel model{args.get_double("capacity", 1.0),
@@ -42,9 +47,10 @@ int main(int argc, char** argv) {
         args.get_list("algorithms", all_algorithm_names());
 
     const InstanceMetrics metrics = compute_metrics(instance);
-    std::cout << strfmt("%zu items, mu = %.3f, span = %.3f, demand = %.3f\n",
-                        metrics.item_count, metrics.mu, metrics.span,
-                        metrics.total_demand);
+    std::cout << strfmt(
+        "%zu items, mu = %.3f, span = %.3f, demand = %.3f | %d worker(s)\n",
+        metrics.item_count, metrics.mu, metrics.span, metrics.total_demand,
+        parallel_worker_count());
 
     if (args.has("no-opt")) {
       Table table({"algorithm", "total cost", "bins opened", "peak open"});

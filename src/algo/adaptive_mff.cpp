@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dbp {
 
@@ -15,6 +16,7 @@ BinId AdaptiveMffPacker::on_arrival(const ArrivingItem& item) {
   const bool large = item.size >= threshold();
   FitStrategy& pool = large ? static_cast<FitStrategy&>(large_pool_)
                             : static_cast<FitStrategy&>(small_pool_);
+  const std::size_t candidates = manager_.open_count();
   std::optional<BinId> chosen = pool.select(item.size);
   BinId bin;
   if (chosen) {
@@ -27,6 +29,7 @@ BinId AdaptiveMffPacker::on_arrival(const ArrivingItem& item) {
   manager_.place(item, bin);
   pool.on_residual_changed(bin, manager_.residual(bin));
   arrival_of_[item.id] = item.arrival;
+  obs::trace_arrival(item.arrival, item.id, item.size, bin, candidates);
   return bin;
 }
 
@@ -45,6 +48,7 @@ void AdaptiveMffPacker::on_departure(ItemId item, Time now) {
   }
 
   const DepartureOutcome outcome = manager_.remove(item, now);
+  obs::trace_departure(now, item, outcome.bin);
   FitStrategy& pool = bin_is_large_.at(outcome.bin)
                           ? static_cast<FitStrategy&>(large_pool_)
                           : static_cast<FitStrategy&>(small_pool_);

@@ -1,6 +1,7 @@
 #include "algo/any_fit_packer.hpp"
 
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dbp {
 
@@ -12,6 +13,7 @@ AnyFitPacker::AnyFitPacker(CostModel model, std::unique_ptr<FitStrategy> strateg
 BinId AnyFitPacker::on_arrival(const ArrivingItem& item) {
   DBP_REQUIRE(model().fits(item.size, model().bin_capacity),
               "item larger than the bin capacity");
+  const std::size_t candidates = manager_.open_count();
   std::optional<BinId> chosen = strategy_->select(item.size);
   BinId bin;
   if (chosen) {
@@ -28,11 +30,13 @@ BinId AnyFitPacker::on_arrival(const ArrivingItem& item) {
   }
   manager_.place(item, bin);
   strategy_->on_residual_changed(bin, manager_.residual(bin));
+  obs::trace_arrival(item.arrival, item.id, item.size, bin, candidates);
   return bin;
 }
 
 void AnyFitPacker::on_departure(ItemId item, Time now) {
   const DepartureOutcome outcome = manager_.remove(item, now);
+  obs::trace_departure(now, item, outcome.bin);
   if (outcome.bin_closed) {
     strategy_->on_bin_closed(outcome.bin);
   } else {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dbp {
 
@@ -13,6 +14,18 @@ BinId BinManager::open_bin(Time t) {
   bins_.push_back(BinState{CompensatedSum{}, 0, kNoItem, true});
   usage_.push_back(BinUsageRecord{id, t, kTimeInfinity});
   ++open_count_;
+  if (obs::RunTracer* tracer = obs::tracer()) {
+    obs::TraceRecord record;
+    record.time = t;
+    record.kind = obs::TraceKind::kBinOpen;
+    record.bin = id;
+    record.count = open_count_;
+    tracer->record(std::move(record));
+  }
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter("bin_manager.bins_opened").add();
+    metrics->gauge("bin_manager.open_bins").set(static_cast<double>(open_count_));
+  }
   return id;
 }
 
@@ -78,6 +91,18 @@ DepartureOutcome BinManager::remove(ItemId item, Time t) {
     usage_[static_cast<std::size_t>(bin)].closed = t;
     --open_count_;
     outcome.bin_closed = true;
+    if (obs::RunTracer* tracer = obs::tracer()) {
+      obs::TraceRecord record;
+      record.time = t;
+      record.kind = obs::TraceKind::kBinClose;
+      record.bin = bin;
+      record.count = open_count_;
+      tracer->record(std::move(record));
+    }
+    if (obs::MetricsRegistry* metrics = obs::metrics()) {
+      metrics->counter("bin_manager.bins_closed").add();
+      metrics->gauge("bin_manager.open_bins").set(static_cast<double>(open_count_));
+    }
   }
   return outcome;
 }

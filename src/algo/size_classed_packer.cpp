@@ -6,6 +6,7 @@
 #include "algo/strategies.hpp"
 #include "core/strfmt.hpp"
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dbp {
 
@@ -45,6 +46,7 @@ BinId SizeClassedPacker::on_arrival(const ArrivingItem& item) {
               "item larger than the bin capacity");
   const std::size_t cls = class_of(item.size);
   FitStrategy& strategy = *strategies_[cls];
+  const std::size_t candidates = manager_.open_count();
   std::optional<BinId> chosen = strategy.select(item.size);
   BinId bin;
   if (chosen) {
@@ -57,11 +59,13 @@ BinId SizeClassedPacker::on_arrival(const ArrivingItem& item) {
   }
   manager_.place(item, bin);
   strategy.on_residual_changed(bin, manager_.residual(bin));
+  obs::trace_arrival(item.arrival, item.id, item.size, bin, candidates);
   return bin;
 }
 
 void SizeClassedPacker::on_departure(ItemId item, Time now) {
   const DepartureOutcome outcome = manager_.remove(item, now);
+  obs::trace_departure(now, item, outcome.bin);
   FitStrategy& strategy = *strategies_[class_of_bin(outcome.bin)];
   if (outcome.bin_closed) {
     strategy.on_bin_closed(outcome.bin);

@@ -5,8 +5,12 @@
 // output order is deterministic regardless of the schedule.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #if defined(DBP_HAVE_OPENMP)
@@ -17,14 +21,28 @@ namespace dbp {
 
 /// Applies `fn(job)` to every element of `jobs` in parallel and returns the
 /// results in order. `fn` must be safe to call concurrently on distinct
-/// jobs. The first exception thrown by any job is rethrown after the loop.
+/// jobs. The first exception to be *captured* by any job is rethrown after
+/// the loop; once one job has thrown, jobs that have not yet started are
+/// skipped (a cancellation flag is checked at iteration start), so an
+/// early failure does not pay for the rest of the sweep.
+///
+/// Contract on the result type: results are constructed in place inside
+/// std::optional slots, so `Result` must be move-constructible but does
+/// NOT need to be default-constructible (and no default-constructed
+/// "ghost" values can leak out of a throwing sweep).
 template <typename Job, typename Fn>
 auto parallel_map(const std::vector<Job>& jobs, Fn&& fn)
     -> std::vector<decltype(fn(jobs.front()))> {
   using Result = decltype(fn(jobs.front()));
-  std::vector<Result> results(jobs.size());
+  static_assert(std::is_move_constructible_v<Result>,
+                "parallel_map results are moved out of their slots; the "
+                "result type must be move-constructible (it need not be "
+                "default-constructible)");
+  std::vector<Result> results;
   if (jobs.empty()) return results;
+  std::vector<std::optional<Result>> slots(jobs.size());
   std::exception_ptr error;
+  std::atomic<bool> cancelled{false};
 
   // Signed induction variable: unsigned ones break OpenMP 2.0 / MSVC builds.
   const auto job_count = static_cast<std::ptrdiff_t>(jobs.size());
@@ -32,10 +50,12 @@ auto parallel_map(const std::vector<Job>& jobs, Fn&& fn)
 #pragma omp parallel for schedule(dynamic)
 #endif
   for (std::ptrdiff_t i = 0; i < job_count; ++i) {  // NOLINT(modernize-loop-convert)
+    if (cancelled.load(std::memory_order_relaxed)) continue;
     const auto index = static_cast<std::size_t>(i);
     try {
-      results[index] = fn(jobs[index]);
+      slots[index].emplace(fn(jobs[index]));
     } catch (...) {
+      cancelled.store(true, std::memory_order_relaxed);
 #if defined(DBP_HAVE_OPENMP)
 #pragma omp critical(dbp_parallel_map_error)
 #endif
@@ -45,6 +65,8 @@ auto parallel_map(const std::vector<Job>& jobs, Fn&& fn)
     }
   }
   if (error) std::rethrow_exception(error);
+  results.reserve(jobs.size());
+  for (std::optional<Result>& slot : slots) results.push_back(std::move(*slot));
   return results;
 }
 

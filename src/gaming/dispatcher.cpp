@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/strfmt.hpp"
+#include "obs/obs.hpp"
 
 namespace dbp {
 
@@ -27,6 +28,16 @@ GameServerDispatcher::GameServerDispatcher(ServerSpec spec,
 bool GameServerDispatcher::reject(DispatchErrorKind kind, std::uint64_t& counter,
                                   const std::string& message) {
   ++counter;
+  if (obs::RunTracer* tracer = obs::tracer()) {
+    obs::TraceRecord record;
+    record.time = last_event_time_;
+    record.kind = obs::TraceKind::kDispatchReject;
+    record.label = to_string(kind);
+    tracer->record(std::move(record));
+  }
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter(std::string("dispatcher.rejected.") + to_string(kind)).add();
+  }
   if (policy_.on_anomaly == FaultPolicy::AnomalyAction::kThrow) {
     throw DispatchError(kind, message);
   }
@@ -67,6 +78,17 @@ void GameServerDispatcher::shed_for(double gpu_fraction, Time now_minutes) {
     packer_->on_departure(victim, now_minutes);
     sessions_.erase(victim);
     ++stats_.sessions_shed;
+    if (obs::RunTracer* tracer = obs::tracer()) {
+      obs::TraceRecord record;
+      record.time = now_minutes;
+      record.kind = obs::TraceKind::kSessionShed;
+      record.item = victim;
+      record.size = victim_size;
+      tracer->record(std::move(record));
+    }
+    if (obs::MetricsRegistry* metrics = obs::metrics()) {
+      metrics->counter("dispatcher.sessions_shed").add();
+    }
   }
 }
 
@@ -115,6 +137,9 @@ BinId GameServerDispatcher::place_session(std::uint64_t session_id,
   const BinId server =
       packer_->on_arrival(ArrivingItem{session_id, now_minutes, gpu_fraction});
   sessions_[session_id] = gpu_fraction;
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter("dispatcher.sessions_placed").add();
+  }
   return server;
 }
 
@@ -171,6 +196,9 @@ void GameServerDispatcher::end_session(std::uint64_t session_id, Time now_minute
   last_event_time_ = now_minutes;
   packer_->on_departure(session_id, now_minutes);
   sessions_.erase(it);
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter("dispatcher.sessions_ended").add();
+  }
 }
 
 std::size_t GameServerDispatcher::fail_server(BinId server, Time now_minutes) {
@@ -195,10 +223,21 @@ std::size_t GameServerDispatcher::fail_server(BinId server, Time now_minutes) {
   // The crash ends the rental now: every resident session departs, which
   // closes the server's usage record at the crash time.
   const std::vector<ItemId> orphans = bins.items_in(server);
+  if (obs::RunTracer* tracer = obs::tracer()) {
+    obs::TraceRecord record;
+    record.time = now_minutes;
+    record.kind = obs::TraceKind::kServerFail;
+    record.bin = server;
+    record.count = orphans.size();
+    tracer->record(std::move(record));
+  }
   for (const ItemId session : orphans) {
     packer_->on_departure(session, now_minutes);
   }
   ++stats_.servers_crashed;
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter("dispatcher.servers_crashed").add();
+  }
   // Re-dispatch the orphans as fresh arrivals (ascending session id — the
   // order is deterministic). Re-dispatch rejections never throw: the
   // orphan is dropped and counted instead, since the caller reporting the

@@ -1,0 +1,98 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/strfmt.hpp"
+
+namespace dbp::obs {
+
+void Timer::record_ms(double ms) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.count == 0) {
+    stats_.min_ms = ms;
+    stats_.max_ms = ms;
+  } else {
+    stats_.min_ms = std::min(stats_.min_ms, ms);
+    stats_.max_ms = std::max(stats_.max_ms, ms);
+  }
+  stats_.total_ms += ms;
+  ++stats_.count;
+}
+
+TimerStats Timer::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  Counter& slot = counter_storage_.emplace_back();
+  counters_.emplace(std::string(name), &slot);
+  return slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  Gauge& slot = gauge_storage_.emplace_back();
+  gauges_.emplace(std::string(name), &slot);
+  return slot;
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return *it->second;
+  Timer& slot = timer_storage_.emplace_back();
+  timers_.emplace(std::string(name), &slot);
+  return slot;
+}
+
+std::optional<std::uint64_t> MetricsRegistry::counter_value(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return std::nullopt;
+  return it->second->value();
+}
+
+std::optional<double> MetricsRegistry::gauge_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second->value();
+}
+
+std::optional<TimerStats> MetricsRegistry::timer_stats(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = timers_.find(name);
+  if (it == timers_.end()) return std::nullopt;
+  return it->second->stats();
+}
+
+void MetricsRegistry::write_text(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    out << strfmt("counter %-42s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << strfmt("gauge   %-42s %g\n", name.c_str(), gauge->value());
+  }
+  for (const auto& [name, timer] : timers_) {
+    const TimerStats stats = timer->stats();
+    out << strfmt(
+        "timer   %-42s total %.3f ms | count %llu | min %.3f | mean %.3f | "
+        "max %.3f\n",
+        name.c_str(), stats.total_ms,
+        static_cast<unsigned long long>(stats.count), stats.min_ms,
+        stats.mean_ms(), stats.max_ms);
+  }
+}
+
+}  // namespace dbp::obs

@@ -1,0 +1,7 @@
+#include "obs/obs.hpp"
+
+namespace dbp::obs::detail {
+
+thread_local ObsContext g_context{};
+
+}  // namespace dbp::obs::detail

@@ -6,9 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+#include <string>
+
 #include "analysis/sweep.hpp"
 #include "core/compensated_sum.hpp"
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 #include "sim/event.hpp"
 
 namespace dbp {
@@ -22,6 +26,43 @@ struct SnapshotWeight {
   std::size_t segment_count = 0;
 };
 
+/// Times the estimator's three phases when an observability context is
+/// installed; zero clock reads otherwise. Phase durations land both in the
+/// metrics registry (timer "opt_total.<phase>") and, as kOptPhase records
+/// with an "ms" timing field, in the trace. The records themselves are
+/// emitted from the sequential control path only, so traces are identical
+/// across worker counts up to those timing fields.
+class PhaseObserver {
+ public:
+  PhaseObserver() noexcept
+      : active_(obs::tracer() != nullptr || obs::metrics() != nullptr) {}
+
+  void begin() noexcept {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+
+  void end(const char* phase, std::uint64_t count) {
+    if (!active_) return;
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    if (obs::MetricsRegistry* metrics = obs::metrics()) {
+      metrics->timer(std::string("opt_total.") + phase).record_ms(elapsed.count());
+    }
+    if (obs::RunTracer* tracer = obs::tracer()) {
+      obs::TraceRecord record;
+      record.kind = obs::TraceKind::kOptPhase;
+      record.count = count;
+      record.ms = elapsed.count();
+      record.label = phase;
+      tracer->record(std::move(record));
+    }
+  }
+
+ private:
+  bool active_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
 }  // namespace
 
 OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& model,
@@ -33,6 +74,8 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
   result.closed_form = compute_cost_bounds(instance, model);
 
   const std::vector<Event> events = build_event_sequence(instance);
+  PhaseObserver observer;
+  observer.begin();
 
   // ---- Phase 1: sequential sweep, RLE active set, snapshot dedup. ----
   // Active sizes run-length encoded in descending order (greater<>), so a
@@ -80,6 +123,9 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
     ++result.segments;
   }
 
+  observer.end("sweep", result.segments);
+  observer.begin();
+
   // ---- Phase 2: evaluate the distinct snapshots. ----
   // Snapshots are already deduplicated, so a memo can only pay off when the
   // caller shares an oracle across calls; without one, every snapshot is a
@@ -93,7 +139,15 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
   pending.reserve(snapshots.size());
   for (std::size_t s = 0; s < snapshots.size(); ++s) {
     if (oracle != nullptr) {
-      if (const auto cached = oracle->lookup_rle(snapshots[s])) {
+      const auto cached = oracle->lookup_rle(snapshots[s]);
+      if (obs::RunTracer* tracer = obs::tracer()) {
+        obs::TraceRecord record;
+        record.kind = cached.has_value() ? obs::TraceKind::kOracleHit
+                                         : obs::TraceKind::kOracleMiss;
+        record.count = s;
+        tracer->record(std::move(record));
+      }
+      if (cached) {
         bounds[s] = *cached;
         continue;
       }
@@ -120,6 +174,8 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
   result.oracle_misses = pending.size();
   result.oracle_evictions =
       oracle != nullptr ? oracle->evictions() - evictions_before : 0;
+  observer.end("evaluate", result.distinct_snapshots);
+  observer.begin();
 
   // ---- Phase 3: sequential combine in first-occurrence order. ----
   CompensatedSum lower_integral;
@@ -146,6 +202,15 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
   result.lower_cost = std::max(result.lower_cost, result.closed_form.lower());
   DBP_CHECK(result.lower_cost <= result.upper_cost * (1.0 + 1e-9),
             "OPT_total bounds crossed");
+  observer.end("combine", result.distinct_snapshots);
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter("opt_total.calls").add();
+    metrics->counter("opt_total.segments").add(result.segments);
+    metrics->counter("opt_total.distinct_snapshots").add(result.distinct_snapshots);
+    metrics->counter("opt_total.dedup_hits").add(result.dedup_hits);
+    metrics->counter("opt_total.oracle_hits").add(result.oracle_hits);
+    metrics->counter("opt_total.oracle_misses").add(result.oracle_misses);
+  }
   return result;
 }
 

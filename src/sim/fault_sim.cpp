@@ -7,6 +7,7 @@
 #include "algo/clairvoyant.hpp"
 #include "core/error.hpp"
 #include "core/strfmt.hpp"
+#include "obs/obs.hpp"
 
 namespace dbp {
 
@@ -165,6 +166,14 @@ SimulationResult simulate_faulted(const Instance& instance, Packer& packer,
     return result;
   }
   result.packing_period = instance.packing_period();
+  if (obs::RunTracer* tracer = obs::tracer()) {
+    obs::TraceRecord record;
+    record.time = result.packing_period.begin;
+    record.kind = obs::TraceKind::kRunBegin;
+    record.count = instance.size();
+    record.label = result.algorithm;
+    tracer->record(std::move(record));
+  }
 
   const std::vector<Event> events = build_event_sequence(instance);
   GuardedFeeder feeder(packer);
@@ -235,6 +244,17 @@ SimulationResult simulate_faulted(const Instance& instance, Packer& packer,
       DBP_CHECK(reject != Reject::kNone,
                 "injected anomaly slipped past the event guard");
       ++stats.anomalies_dropped[static_cast<std::size_t>(to_anomaly_kind(reject))];
+      if (obs::RunTracer* tracer = obs::tracer()) {
+        obs::TraceRecord record;
+        record.time = raw.time;
+        record.kind = obs::TraceKind::kFaultAnomaly;
+        record.item = raw.id;
+        record.label = to_string(to_anomaly_kind(reject));
+        tracer->record(std::move(record));
+      }
+      if (obs::MetricsRegistry* metrics = obs::metrics()) {
+        metrics->counter("fault.anomalies_dropped").add();
+      }
     } else {
       const CrashFault& fault = plan.crashes[ci++];
       feeder.advance_clock(fault.time);
@@ -243,6 +263,15 @@ SimulationResult simulate_faulted(const Instance& instance, Packer& packer,
       if (open.empty()) continue;  // crash on an idle fleet: nothing to kill
       const BinId victim = select_victim(bins, open, fault.target, rng_state);
       const std::vector<ItemId> live = bins.items_in(victim);
+      if (obs::RunTracer* tracer = obs::tracer()) {
+        obs::TraceRecord record;
+        record.time = fault.time;
+        record.kind = obs::TraceKind::kFaultCrash;
+        record.bin = victim;
+        record.count = live.size();
+        record.label = to_string(fault.target);
+        tracer->record(std::move(record));
+      }
       // The crash ends the victim's cost accrual: every live item departs
       // at the crash time, which closes the bin...
       for (const ItemId id : live) packer.on_departure(id, fault.time);
@@ -254,12 +283,32 @@ SimulationResult simulate_faulted(const Instance& instance, Packer& packer,
       }
       ++stats.crashes_landed;
       stats.sessions_redispatched += live.size();
+      if (obs::RunTracer* tracer = obs::tracer()) {
+        obs::TraceRecord record;
+        record.time = fault.time;
+        record.kind = obs::TraceKind::kRedispatch;
+        record.bin = victim;
+        record.count = live.size();
+        tracer->record(std::move(record));
+      }
+      if (obs::MetricsRegistry* metrics = obs::metrics()) {
+        metrics->counter("fault.crashes_landed").add();
+        metrics->counter("fault.sessions_redispatched").add(live.size());
+      }
     }
   }
 
   const BinManager& bins = packer.bins();
   DBP_CHECK(bins.open_count() == 0, "bins remain open after the last departure");
   detail::finalize_accounting(result, instance, bins);
+  if (obs::RunTracer* tracer = obs::tracer()) {
+    obs::TraceRecord record;
+    record.time = result.packing_period.end;
+    record.kind = obs::TraceKind::kRunEnd;
+    record.count = result.bins_opened;
+    record.label = result.algorithm;
+    tracer->record(std::move(record));
+  }
   if (stats_out != nullptr) *stats_out = stats;
   return result;
 }

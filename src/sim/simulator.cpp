@@ -6,6 +6,7 @@
 
 #include "core/compensated_sum.hpp"
 #include "core/error.hpp"
+#include "obs/obs.hpp"
 
 namespace dbp {
 
@@ -28,6 +29,14 @@ SimulationResult simulate(const Instance& instance, Packer& packer) {
     return result;
   }
   result.packing_period = instance.packing_period();
+  if (obs::RunTracer* tracer = obs::tracer()) {
+    obs::TraceRecord record;
+    record.time = result.packing_period.begin;
+    record.kind = obs::TraceKind::kRunBegin;
+    record.count = instance.size();
+    record.label = result.algorithm;
+    tracer->record(std::move(record));
+  }
 
   // Clairvoyant (departure-aware) baselines get the full item; online
   // packers get only the ArrivingItem slice.
@@ -48,6 +57,14 @@ SimulationResult simulate(const Instance& instance, Packer& packer) {
   const BinManager& bins = packer.bins();
   DBP_CHECK(bins.open_count() == 0, "bins remain open after the last departure");
   detail::finalize_accounting(result, instance, bins);
+  if (obs::RunTracer* tracer = obs::tracer()) {
+    obs::TraceRecord record;
+    record.time = result.packing_period.end;
+    record.kind = obs::TraceKind::kRunEnd;
+    record.count = result.bins_opened;
+    record.label = result.algorithm;
+    tracer->record(std::move(record));
+  }
   return result;
 }
 

@@ -70,6 +70,30 @@ class Args {
     return std::stoull(it->second);
   }
 
+  /// Strict parse for --threads: digits only, no sign/whitespace/suffix, and
+  /// capped at kMaxThreads. std::stoull would silently accept "8abc" or wrap
+  /// "-1" into a huge count; here both are CLI errors with a usage hint.
+  /// Returns 0 (runtime default) when the option is absent or empty.
+  static constexpr std::uint64_t kMaxThreads = 512;
+
+  [[nodiscard]] int get_thread_count(const std::string& key = "threads") const {
+    auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return 0;
+    const std::string& text = it->second;
+    const bool all_digits =
+        text.find_first_not_of("0123456789") == std::string::npos;
+    DBP_REQUIRE(all_digits, "invalid --" + key + " value '" + text +
+                                "': expected a non-negative integer\n" + usage_);
+    // 20 digits can overflow uint64; anything that long is over the cap anyway.
+    std::uint64_t parsed = 0;
+    const bool overflows = text.size() > 19;
+    if (!overflows) parsed = std::stoull(text);
+    DBP_REQUIRE(!overflows && parsed <= kMaxThreads,
+                "--" + key + " value '" + text + "' is out of range (max " +
+                    std::to_string(kMaxThreads) + ")\n" + usage_);
+    return static_cast<int>(parsed);
+  }
+
   /// Splits a comma-separated value ("a,b,c").
   [[nodiscard]] std::vector<std::string> get_list(
       const std::string& key, const std::vector<std::string>& fallback) const {

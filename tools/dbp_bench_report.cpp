@@ -28,6 +28,9 @@
 #include "analysis/sweep.hpp"
 #include "cli.hpp"
 #include "core/error.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/obs.hpp"
+#include "obs_cli.hpp"
 #include "opt/bin_count.hpp"
 #include "opt/opt_total.hpp"
 #include "opt/opt_total_reference.hpp"
@@ -41,7 +44,8 @@ using namespace dbp;
 
 constexpr const char* kUsage =
     "usage: dbp_bench_report [--out=BENCH_perf.json] [--items=5000]\n"
-    "                        [--repeats=3] [--threads=N]\n";
+    "                        [--repeats=3] [--threads=N] [--trace-out=FILE]\n"
+    "                        [--metrics]\n";
 
 using Clock = std::chrono::steady_clock;
 
@@ -127,15 +131,32 @@ void append_opt_total_cases(std::vector<BenchCase>& cases,
                 sequential.upper_cost == reference.upper_cost,
             "fast OPT_total bounds diverged from the reference estimator");
 
+  // One instrumented run outside the timed loops harvests per-phase wall
+  // clock (sweep / evaluate / combine) for the report, so the timed numbers
+  // above never pay for their own instrumentation.
+  options.parallel = true;
+  obs::MetricsRegistry phase_registry;
+  {
+    const obs::ObsScope scope(nullptr, &phase_registry);
+    (void)estimate_opt_total(instance, model, options);
+  }
+  std::vector<std::string> fast_extras = {
+      "\"segments\": " + std::to_string(fast.segments),
+      "\"distinct_snapshots\": " + std::to_string(fast.distinct_snapshots),
+      "\"dedup_hits\": " + std::to_string(fast.dedup_hits),
+      "\"speedup_vs_reference\": " + json_number(ref_ms / fast_ms)};
+  for (const char* phase : {"sweep", "evaluate", "combine"}) {
+    const auto stats =
+        phase_registry.timer_stats(std::string("opt_total.") + phase);
+    if (stats && stats->count > 0) {
+      fast_extras.push_back("\"phase_" + std::string(phase) +
+                            "_ms\": " + json_number(stats->total_ms));
+    }
+  }
+
   const std::string prefix = "opt_total_" + workload;
   cases.push_back({prefix + "_reference", ref_ms, "ms", {}});
-  cases.push_back({prefix + "_fast", fast_ms, "ms",
-                   {"\"segments\": " + std::to_string(fast.segments),
-                    "\"distinct_snapshots\": " +
-                        std::to_string(fast.distinct_snapshots),
-                    "\"dedup_hits\": " + std::to_string(fast.dedup_hits),
-                    "\"speedup_vs_reference\": " +
-                        json_number(ref_ms / fast_ms)}});
+  cases.push_back({prefix + "_fast", fast_ms, "ms", std::move(fast_extras)});
   cases.push_back({prefix + "_fast_sequential", seq_ms, "ms",
                    {"\"speedup_vs_reference\": " +
                     json_number(ref_ms / seq_ms)}});
@@ -197,9 +218,11 @@ void append_oracle_cases(std::vector<BenchCase>& cases, const CostModel& model,
 int main(int argc, char** argv) {
   using namespace dbp;
   try {
-    const cli::Args args(argc, argv, {"out", "items", "repeats", "threads"},
-                         kUsage);
-    set_parallel_worker_count(static_cast<int>(args.get_u64("threads", 0)));
+    const cli::Args args(
+        argc, argv,
+        {"out", "items", "repeats", "threads", "trace-out", "metrics"}, kUsage);
+    set_parallel_worker_count(args.get_thread_count());
+    cli::ObsSession obs_session(args);
     const std::size_t items = args.get_u64("items", 5'000);
     const std::size_t repeats = std::max<std::size_t>(1, args.get_u64("repeats", 3));
     const std::string out_path = args.get("out", "BENCH_perf.json");
@@ -233,6 +256,7 @@ int main(int argc, char** argv) {
     out << json.str();
     std::cout << json.str();
     std::cerr << "report written to " << out_path << "\n";
+    obs_session.finish();
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "dbp_bench_report: " << error.what() << "\n";

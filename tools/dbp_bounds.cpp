@@ -29,8 +29,7 @@ int main(int argc, char** argv) {
         argc, argv,
         {"trace", "capacity", "rate", "no-exact", "threads", "sequential"},
         kUsage);
-    set_parallel_worker_count(
-        static_cast<int>(args.get_u64("threads", 0)));
+    set_parallel_worker_count(args.get_thread_count());
     const Instance instance = read_instance_csv(args.require("trace"));
     DBP_REQUIRE(!instance.empty(), "trace is empty");
     const CostModel model{args.get_double("capacity", 1.0),

@@ -14,6 +14,7 @@
 #include "analysis/table.hpp"
 #include "cli.hpp"
 #include "core/strfmt.hpp"
+#include "obs_cli.hpp"
 #include "sim/fault_sim.hpp"
 #include "workload/fault_schedule.hpp"
 #include "workload/random_instance.hpp"
@@ -26,7 +27,8 @@ constexpr const char* kUsage =
     "                 [--crash-rate=R | --crash-rates=r1,r2,...]\n"
     "                 [--anomaly-rate=R] [--target=fullest|emptiest|oldest|"
     "newest|random]\n"
-    "                 [--items=N] [--seed=S] [--trace=FILE]\n";
+    "                 [--items=N] [--seed=S] [--trace=FILE]\n"
+    "                 [--trace-out=FILE] [--metrics]\n";
 
 using namespace dbp;
 
@@ -47,8 +49,10 @@ int main(int argc, char** argv) {
   try {
     const cli::Args args(argc, argv,
                          {"algo", "algorithms", "crash-rate", "crash-rates",
-                          "anomaly-rate", "target", "items", "seed", "trace"},
+                          "anomaly-rate", "target", "items", "seed", "trace",
+                          "trace-out", "metrics"},
                          kUsage);
+    cli::ObsSession obs_session(args);
     const std::uint64_t seed = args.get_u64("seed", 1);
     const CrashTarget target = parse_target(args.get("target", "fullest"));
     const double anomaly_rate = args.get_double("anomaly-rate", 0.0);
@@ -113,6 +117,7 @@ int main(int argc, char** argv) {
       }
     }
     table.print(std::cout);
+    obs_session.finish();
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "dbp_chaos: " << error.what() << "\n";

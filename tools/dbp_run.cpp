@@ -18,6 +18,7 @@
 #include "analysis/timeline.hpp"
 #include "cli.hpp"
 #include "core/strfmt.hpp"
+#include "obs_cli.hpp"
 #include "workload/trace_io.hpp"
 
 namespace {
@@ -25,7 +26,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: dbp_run --trace=FILE [--algorithms=a,b,c] [--capacity=W]\n"
     "               [--rate=C] [--no-opt] [--threads=N] [--timeline=PREFIX]\n"
-    "               [--svg=PREFIX]\n";
+    "               [--svg=PREFIX] [--trace-out=FILE] [--metrics]\n";
 
 }  // namespace
 
@@ -35,10 +36,10 @@ int main(int argc, char** argv) {
     const cli::Args args(
         argc, argv,
         {"trace", "algorithms", "capacity", "rate", "no-opt", "threads",
-         "timeline", "svg"},
+         "timeline", "svg", "trace-out", "metrics"},
         kUsage);
-    set_parallel_worker_count(
-        static_cast<int>(args.get_u64("threads", 0)));
+    set_parallel_worker_count(args.get_thread_count());
+    cli::ObsSession obs_session(args);
     const Instance instance = read_instance_csv(args.require("trace"));
     DBP_REQUIRE(!instance.empty(), "trace is empty");
     const CostModel model{args.get_double("capacity", 1.0),
@@ -125,6 +126,7 @@ int main(int argc, char** argv) {
       out << render_open_bins_svg(series, svg_options);
       std::cout << "SVGs written to " << prefix << ".*\n";
     }
+    obs_session.finish();
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "dbp_run: " << error.what() << "\n";

@@ -1,0 +1,64 @@
+// Shared --trace-out / --metrics plumbing for the CLI tools.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cli.hpp"
+#include "core/error.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_tracer.hpp"
+
+namespace dbp::cli {
+
+/// Owns the tool-wide tracer/registry selected by --trace-out=FILE and
+/// --metrics, installs them as the calling thread's observability context for
+/// the object's lifetime, and writes both out in finish(). When neither flag
+/// is present nothing is allocated and instrumentation stays disabled.
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args) {
+    if (args.has("trace-out")) {
+      trace_path_ = args.require("trace-out");
+      tracer_ = std::make_unique<obs::RunTracer>();
+    }
+    if (args.has("metrics")) {
+      metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    scope_.emplace(tracer_.get(), metrics_.get());
+  }
+
+  /// Writes the trace JSONL (if requested) and prints the metrics summary to
+  /// stderr, so neither ever mixes with a tool's stdout tables.
+  void finish() {
+    scope_.reset();  // detach before export so export itself is not traced
+    if (tracer_ != nullptr) {
+      std::ofstream out(trace_path_);
+      DBP_REQUIRE(out.is_open(), "cannot write trace file: " + trace_path_);
+      tracer_->export_jsonl(out);
+      std::cerr << "trace: " << tracer_->total_recorded() << " record(s) -> "
+                << trace_path_ << "\n";
+    }
+    if (metrics_ != nullptr) {
+      std::cerr << "-- metrics --\n";
+      metrics_->write_text(std::cerr);
+    }
+  }
+
+  [[nodiscard]] obs::RunTracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] obs::MetricsRegistry* metrics() noexcept {
+    return metrics_.get();
+  }
+
+ private:
+  std::string trace_path_;
+  std::unique_ptr<obs::RunTracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::optional<obs::ObsScope> scope_;
+};
+
+}  // namespace dbp::cli

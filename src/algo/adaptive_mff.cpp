@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/audit.hpp"
 #include "core/error.hpp"
 #include "obs/obs.hpp"
 
@@ -21,6 +22,17 @@ BinId AdaptiveMffPacker::on_arrival(const ArrivingItem& item) {
   BinId bin;
   if (chosen) {
     bin = *chosen;
+    DBP_AUDIT_CHECK(bin_is_large_.at(bin) == large,
+                    "adaptive MFF routed an item to the wrong pool's bin");
+#if DBP_AUDIT_ENABLED
+    // Pool-local First Fit scan-order monotonicity (both pools are FF).
+    for (const BinId open : manager_.open_bins()) {
+      if (open >= bin) break;
+      if (bin_is_large_.at(open) != large) continue;
+      DBP_AUDIT_CHECK(!manager_.fits(item.size, open),
+                      "adaptive MFF skipped an earlier-opened fitting bin");
+    }
+#endif
   } else {
     bin = manager_.open_bin(item.arrival);
     bin_is_large_[bin] = large;

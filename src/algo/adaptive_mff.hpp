@@ -39,7 +39,10 @@ class AdaptiveMffPacker final : public Packer {
  private:
   FirstFitStrategy small_pool_;
   FirstFitStrategy large_pool_;
+  // DBP_LINT_ALLOW(unordered-container): pool-membership lookup by bin id
+  // only; pool scan order lives in the FirstFitStrategy segment trees.
   std::unordered_map<BinId, bool> bin_is_large_;
+  // DBP_LINT_ALLOW(unordered-container): arrival lookup by item id only.
   std::unordered_map<ItemId, Time> arrival_of_;
   double mu_hat_ = 1.0;
   Time min_len_seen_ = kTimeInfinity;

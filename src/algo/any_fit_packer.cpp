@@ -1,5 +1,6 @@
 #include "algo/any_fit_packer.hpp"
 
+#include "core/audit.hpp"
 #include "core/error.hpp"
 #include "obs/obs.hpp"
 
@@ -18,8 +19,20 @@ BinId AnyFitPacker::on_arrival(const ArrivingItem& item) {
   BinId bin;
   if (chosen) {
     bin = *chosen;
+#if DBP_AUDIT_ENABLED
+    // First Fit scan-order monotonicity: the selected bin must be the
+    // *earliest-opened* open bin that fits — no open bin with a smaller id
+    // may accommodate the item (bin ids are assigned in opening order).
+    if (strategy_->name() == "first-fit") {
+      for (const BinId open : manager_.open_bins()) {
+        if (open >= bin) break;
+        DBP_AUDIT_CHECK(!manager_.fits(item.size, open),
+                        "First Fit skipped an earlier-opened fitting bin");
+      }
+    }
+#endif
   } else {
-    if (paranoid_ && strategy_->any_fit_contract()) {
+    if ((paranoid_ || audit_enabled()) && strategy_->any_fit_contract()) {
       for (BinId open : manager_.open_bins()) {
         DBP_CHECK(!manager_.fits(item.size, open),
                   "Any Fit contract violated: a fitting bin was declined");

@@ -1,7 +1,9 @@
 #include "algo/bin_manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "core/audit.hpp"
 #include "core/error.hpp"
 #include "obs/obs.hpp"
 
@@ -58,6 +60,7 @@ void BinManager::place(const ArrivingItem& item, BinId bin) {
   if (state.head != kNoItem) items_[static_cast<std::size_t>(state.head)].prev = item.id;
   state.head = item.id;
   ++active_count_;
+  audit_bin(bin);
 }
 
 DepartureOutcome BinManager::remove(ItemId item, Time t) {
@@ -104,6 +107,7 @@ DepartureOutcome BinManager::remove(ItemId item, Time t) {
       metrics->gauge("bin_manager.open_bins").set(static_cast<double>(open_count_));
     }
   }
+  audit_bin(bin);
   return outcome;
 }
 
@@ -167,5 +171,80 @@ void BinManager::reset() {
   open_count_ = 0;
   active_count_ = 0;
 }
+
+#if DBP_AUDIT_ENABLED
+
+void BinManager::audit_bin(BinId bin) const {
+  const BinState& state = bins_[static_cast<std::size_t>(bin)];
+  const BinUsageRecord& record = usage_[static_cast<std::size_t>(bin)];
+  DBP_AUDIT_CHECK(state.open == !record.is_closed(),
+                  "bin open flag disagrees with its usage record");
+  if (!state.open) {
+    DBP_AUDIT_CHECK(state.item_count == 0 && state.head == kNoItem &&
+                        state.level.value() == 0.0,
+                    "closed bin retains residents or a non-zero level");
+    return;
+  }
+  // Walk the intrusive resident list: census, link symmetry, membership,
+  // and the level recomputed from scratch.
+  double recomputed = 0.0;
+  std::size_t census = 0;
+  ItemId prev = kNoItem;
+  for (ItemId id = state.head; id != kNoItem;
+       id = items_[static_cast<std::size_t>(id)].next) {
+    DBP_AUDIT_CHECK(static_cast<std::size_t>(id) < items_.size(),
+                    "resident list points past the item table");
+    const ItemSlot& slot = items_[static_cast<std::size_t>(id)];
+    DBP_AUDIT_CHECK(slot.active, "resident list contains an inactive item");
+    DBP_AUDIT_CHECK(slot.bin == bin, "resident list contains a foreign item");
+    DBP_AUDIT_CHECK(slot.prev == prev, "resident list prev/next links disagree");
+    DBP_AUDIT_CHECK(slot.size > 0.0, "resident item has a non-positive size");
+    recomputed += slot.size;
+    ++census;
+    DBP_AUDIT_CHECK(census <= state.item_count,
+                    "resident list is longer than the bin's item count");
+    prev = id;
+  }
+  DBP_AUDIT_CHECK(census == state.item_count,
+                  "open-bin resident census disagrees with item count");
+  // The cached level is a compensated sum over the placement history while
+  // the recomputation folds in list order, so agreement is up to the fit
+  // tolerance (itself far below any meaningful size), not bitwise.
+  const double tolerance =
+      model_.fit_tolerance * static_cast<double>(state.item_count + 1);
+  DBP_AUDIT_CHECK(std::abs(recomputed - state.level.value()) <= tolerance,
+                  "bin level disagrees with the sum of resident sizes");
+  DBP_AUDIT_CHECK(state.level.value() <= model_.bin_capacity + model_.fit_tolerance,
+                  "bin level exceeds the bin capacity");
+}
+
+void BinManager::audit() const {
+  std::size_t open_census = 0;
+  std::size_t resident_census = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    audit_bin(static_cast<BinId>(i));
+    if (bins_[i].open) {
+      ++open_census;
+      resident_census += bins_[i].item_count;
+    }
+  }
+  DBP_AUDIT_CHECK(open_census == open_count_,
+                  "open-bin count disagrees with the census of open bins");
+  DBP_AUDIT_CHECK(resident_census == active_count_,
+                  "active-item count disagrees with the per-bin item counts");
+  std::size_t active_slots = 0;
+  for (const ItemSlot& slot : items_) {
+    if (slot.active) ++active_slots;
+  }
+  DBP_AUDIT_CHECK(active_slots == active_count_,
+                  "active-item count disagrees with the item-slot census");
+}
+
+#else  // !DBP_AUDIT_ENABLED
+
+void BinManager::audit_bin(BinId) const {}
+void BinManager::audit() const {}
+
+#endif  // DBP_AUDIT_ENABLED
 
 }  // namespace dbp

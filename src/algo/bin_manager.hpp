@@ -101,6 +101,15 @@ class BinManager {
   /// Drops all state, keeping the cost model.
   void reset();
 
+  /// Deep structural audit: every open bin's level equals the sum of its
+  /// residents (within fit tolerance), levels respect W, the open-bin count
+  /// matches a census of open bins, intrusive resident lists are doubly
+  /// linked consistently, and the active-item count matches the per-bin item
+  /// counts. Throws InvariantError on violation. Compiled to a no-op unless
+  /// the build defines DBP_AUDIT (core/audit.hpp); place/remove additionally
+  /// audit the touched bin on every call in audit builds.
+  void audit() const;
+
  private:
   struct BinState {
     CompensatedSum level;
@@ -120,6 +129,10 @@ class BinManager {
   };
 
   const BinState& state_of(BinId bin) const;
+
+  /// Audits one bin's resident list against its cached level/item count
+  /// (DBP_AUDIT builds only; no-op otherwise).
+  void audit_bin(BinId bin) const;
 
   CostModel model_;
   std::vector<BinState> bins_;         // by BinId

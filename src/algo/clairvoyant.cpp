@@ -33,8 +33,10 @@ Time DurationAwarePacker::projected_close(BinId bin) const {
 BinId DurationAwarePacker::on_arrival_clairvoyant(const Item& item) {
   DBP_REQUIRE(model().fits(item.size, model().bin_capacity),
               "item larger than the bin capacity");
-  // Any Fit scan over open bins: keep the best-scoring fitting bin
-  // (lower score wins; ties to the earliest-opened bin via map order).
+  // Any Fit scan over open bins: keep the best-scoring fitting bin —
+  // lower score wins, ties go to the lowest bin id via the explicit
+  // (score, bin) comparison, so the argmin is independent of the
+  // unordered_map's iteration order.
   BinId best = 0;
   double best_score = std::numeric_limits<double>::infinity();
   bool found = false;

@@ -62,7 +62,11 @@ class DurationAwarePacker final : public ClairvoyantPacker {
  private:
   Policy policy_;
   /// Per-open-bin multiset of resident departure times.
+  // DBP_LINT_ALLOW(unordered-container): the arrival scan minimizes the
+  // strict total order (score, bin id), so the argmin is independent of
+  // map iteration order; all other access is by bin id.
   std::unordered_map<BinId, std::multiset<Time>> departures_;
+  // DBP_LINT_ALLOW(unordered-container): departure lookup by item id only.
   std::unordered_map<ItemId, Time> departure_of_;
 };
 

@@ -36,6 +36,8 @@ class FirstFitStrategy final : public FitStrategy {
   CostModel model_;
   MaxSegmentTree residuals_;                  // position = registration order
   std::vector<BinId> bin_at_;                 // position -> bin
+  // DBP_LINT_ALLOW(unordered-container): position lookup by bin id only;
+  // never iterated (selection order comes from the segment tree).
   std::unordered_map<BinId, std::size_t> pos_of_;
 };
 
@@ -55,6 +57,8 @@ class LastFitStrategy final : public FitStrategy {
   CostModel model_;
   MaxSegmentTree residuals_;
   std::vector<BinId> bin_at_;
+  // DBP_LINT_ALLOW(unordered-container): position lookup by bin id only;
+  // never iterated (selection order comes from the segment tree).
   std::unordered_map<BinId, std::size_t> pos_of_;
 };
 
@@ -74,6 +78,8 @@ class BestFitStrategy final : public FitStrategy {
  private:
   CostModel model_;
   std::set<std::pair<double, BinId>> by_residual_;   // (residual, id) ascending
+  // DBP_LINT_ALLOW(unordered-container): residual lookup by bin id only;
+  // selection order comes from the ordered by_residual_ set.
   std::unordered_map<BinId, double> residual_of_;
 };
 
@@ -100,6 +106,8 @@ class WorstFitStrategy final : public FitStrategy {
   };
   CostModel model_;
   std::set<std::pair<double, BinId>, Order> by_residual_;
+  // DBP_LINT_ALLOW(unordered-container): residual lookup by bin id only;
+  // selection order comes from the ordered by_residual_ set.
   std::unordered_map<BinId, double> residual_of_;
 };
 
@@ -142,6 +150,8 @@ class RandomFitStrategy final : public FitStrategy {
   CostModel model_;
   std::mt19937_64 rng_;
   std::vector<std::pair<BinId, double>> open_;       // unordered (bin, residual)
+  // DBP_LINT_ALLOW(unordered-container): index lookup by bin id only; the
+  // random choice draws from open_ by seeded RNG index, never map order.
   std::unordered_map<BinId, std::size_t> pos_of_;    // bin -> index in open_
 };
 
@@ -161,7 +171,10 @@ class MoveToFrontStrategy final : public FitStrategy {
  private:
   CostModel model_;
   std::list<BinId> order_;  // front = most recently used
+  // DBP_LINT_ALLOW(unordered-container): iterator/residual lookups by bin
+  // id only; scan order is the explicit recency list order_.
   std::unordered_map<BinId, std::list<BinId>::iterator> where_;
+  // DBP_LINT_ALLOW(unordered-container): lookup by bin id only.
   std::unordered_map<BinId, double> residual_of_;
 };
 

@@ -1,0 +1,39 @@
+// Compile-time invariant audits (the DBP_AUDIT build option).
+//
+// The paper's claims are exact inequalities, so silent state corruption in
+// the packers would falsify bound checks rather than crash. Audit builds
+// (cmake -DDBP_AUDIT=ON, and the sanitizer CI legs) compile deep structural
+// assertions into BinManager, the Any-Fit/size-classed/adaptive-MFF packers
+// and the OPT_total sweep: per-bin level == sum of resident sizes, level <=
+// W, open-bin count == intrusive-list census, First Fit scan-order
+// monotonicity, RLE snapshot multiset == dense bookkeeping.
+//
+// Audits are strictly additive: they read state and throw InvariantError on
+// violation, never mutate. Default builds compile them out entirely so the
+// packer event loop stays allocation- and branch-free.
+#pragma once
+
+#include "core/error.hpp"
+
+#if defined(DBP_AUDIT)
+#define DBP_AUDIT_ENABLED 1
+/// Structural invariant check, compiled only into DBP_AUDIT builds.
+#define DBP_AUDIT_CHECK(expr, msg) DBP_CHECK(expr, msg)
+/// Declarations/statements that exist only in audit builds.
+#define DBP_AUDIT_ONLY(...) __VA_ARGS__
+#else
+#define DBP_AUDIT_ENABLED 0
+#define DBP_AUDIT_CHECK(expr, msg) \
+  do {                             \
+  } while (false)
+#define DBP_AUDIT_ONLY(...)
+#endif
+
+namespace dbp {
+
+/// True when invariant audits are compiled into this build.
+[[nodiscard]] constexpr bool audit_enabled() noexcept {
+  return DBP_AUDIT_ENABLED != 0;
+}
+
+}  // namespace dbp

@@ -333,14 +333,18 @@ void RegionalDispatcher::end_session(std::uint64_t session_id, Time now_minutes)
 
 std::size_t RegionalDispatcher::active_servers() const {
   std::size_t total = 0;
+  // DBP_LINT_ALLOW(unordered-container): integer sum, order-independent.
   for (const auto& [region, fleet] : fleets_) total += fleet->active_servers();
   return total;
 }
 
 double RegionalDispatcher::rental_cost_dollars(Time now_minutes) const {
+  // Sum fleets in sorted region order: the bill is a floating-point
+  // accumulation, and hash-map iteration order would make it vary across
+  // standard-library implementations.
   double total = 0.0;
-  for (const auto& [region, fleet] : fleets_) {
-    total += fleet->rental_cost_dollars(now_minutes);
+  for (const std::string& region : regions()) {
+    total += fleets_.at(region)->rental_cost_dollars(now_minutes);
   }
   return total;
 }

@@ -102,6 +102,9 @@ class GameServerDispatcher {
   DispatcherFaultStats stats_;
   std::unique_ptr<Packer> packer_;
   /// Active session sizes — needed for crash re-dispatch and shedding.
+  // DBP_LINT_ALLOW(unordered-container): point lookups by session id only;
+  // crash re-dispatch and shedding candidates come from the BinManager's
+  // sorted items_in()/open_bins(), never from iterating this map.
   std::unordered_map<std::uint64_t, double> sessions_;
   Rng rental_rng_;
   Time last_event_time_ = -kTimeInfinity;
@@ -152,7 +155,11 @@ class RegionalDispatcher {
   ServerSpec spec_;
   std::string algorithm_;
   PackerOptions options_;
+  // DBP_LINT_ALLOW(unordered-container): every float-accumulating traversal
+  // goes through regions() (sorted); the remaining iterations are
+  // order-independent integer sums or name collection followed by a sort.
   std::unordered_map<std::string, std::unique_ptr<GameServerDispatcher>> fleets_;
+  // DBP_LINT_ALLOW(unordered-container): point lookups by session id only.
   std::unordered_map<std::uint64_t, GameServerDispatcher*> session_fleet_;
 };
 

@@ -75,7 +75,7 @@ std::optional<TimerStats> MetricsRegistry::timer_stats(
   return it->second->stats();
 }
 
-void MetricsRegistry::write_text(std::ostream& out) const {
+void MetricsRegistry::write_text(std::ostream& out, bool include_timings) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     out << strfmt("counter %-42s %llu\n", name.c_str(),
@@ -86,12 +86,17 @@ void MetricsRegistry::write_text(std::ostream& out) const {
   }
   for (const auto& [name, timer] : timers_) {
     const TimerStats stats = timer->stats();
-    out << strfmt(
-        "timer   %-42s total %.3f ms | count %llu | min %.3f | mean %.3f | "
-        "max %.3f\n",
-        name.c_str(), stats.total_ms,
-        static_cast<unsigned long long>(stats.count), stats.min_ms,
-        stats.mean_ms(), stats.max_ms);
+    if (include_timings) {
+      out << strfmt(
+          "timer   %-42s total %.3f ms | count %llu | min %.3f | mean %.3f | "
+          "max %.3f\n",
+          name.c_str(), stats.total_ms,
+          static_cast<unsigned long long>(stats.count), stats.min_ms,
+          stats.mean_ms(), stats.max_ms);
+    } else {
+      out << strfmt("timer   %-42s count %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(stats.count));
+    }
   }
 }
 

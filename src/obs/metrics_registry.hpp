@@ -87,8 +87,10 @@ class MetricsRegistry {
   [[nodiscard]] std::optional<TimerStats> timer_stats(std::string_view name) const;
 
   /// Human-readable dump, one metric per line, sorted by name (the CLI
-  /// tools' --metrics report).
-  void write_text(std::ostream& out) const;
+  /// tools' --metrics report). With include_timings=false, timer lines
+  /// carry only the (deterministic) invocation count and omit the measured
+  /// milliseconds, so two identical runs produce byte-identical dumps.
+  void write_text(std::ostream& out, bool include_timings = true) const;
 
  private:
   mutable std::mutex mutex_;

@@ -94,6 +94,9 @@ class BinCountOracle {
   CostModel model_;
   BinCountOptions options_;
   std::size_t memo_limit_;
+  // DBP_LINT_ALLOW(unordered-container): memo lookups by exact RLE key;
+  // eviction keeps every entry with seq >= cutoff, so the surviving set is
+  // determined by insertion sequence, not by iteration order.
   std::unordered_map<std::vector<SizeRun>, MemoEntry, SizeRunVectorHash> memo_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t hits_ = 0;

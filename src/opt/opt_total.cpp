@@ -10,10 +10,15 @@
 #include <string>
 
 #include "analysis/sweep.hpp"
+#include "core/audit.hpp"
 #include "core/compensated_sum.hpp"
 #include "core/error.hpp"
 #include "obs/obs.hpp"
 #include "sim/event.hpp"
+
+#if DBP_AUDIT_ENABLED
+#include <set>
+#endif
 
 namespace dbp {
 
@@ -38,13 +43,18 @@ class PhaseObserver {
       : active_(obs::tracer() != nullptr || obs::metrics() != nullptr) {}
 
   void begin() noexcept {
+    // DBP_LINT_ALLOW(wall-clock): observability-only timing; elapsed time
+    // flows exclusively into metrics timers and trace "ms" fields, which
+    // are excluded from byte-identical exports (include_timings=false),
+    // never into packing or OPT results.
     if (active_) start_ = std::chrono::steady_clock::now();
   }
 
   void end(const char* phase, std::uint64_t count) {
     if (!active_) return;
-    const std::chrono::duration<double, std::milli> elapsed =
-        std::chrono::steady_clock::now() - start_;
+    // DBP_LINT_ALLOW(wall-clock): see begin() — result-neutral timing only.
+    const auto now = std::chrono::steady_clock::now();
+    const std::chrono::duration<double, std::milli> elapsed = now - start_;
     if (obs::MetricsRegistry* metrics = obs::metrics()) {
       metrics->timer(std::string("opt_total.") + phase).record_ms(elapsed.count());
     }
@@ -60,6 +70,7 @@ class PhaseObserver {
 
  private:
   bool active_;
+  // DBP_LINT_ALLOW(wall-clock): see begin() — result-neutral timing only.
   std::chrono::steady_clock::time_point start_{};
 };
 
@@ -83,8 +94,15 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
   std::map<double, std::uint64_t, std::greater<>> active;
   std::vector<std::vector<SizeRun>> snapshots;  // first-occurrence order
   std::vector<SnapshotWeight> weights;          // parallel to snapshots
+  // DBP_LINT_ALLOW(unordered-container): dedup via try_emplace by exact
+  // key; never iterated — snapshot order is first-occurrence order.
   std::unordered_map<std::vector<SizeRun>, std::size_t, SizeRunVectorHash> index;
   std::vector<SizeRun> key;
+#if DBP_AUDIT_ENABLED
+  // Audit shadow of `active`: a dense multiset maintained item-by-item. At
+  // every snapshot the RLE key must describe exactly this multiset.
+  std::multiset<double, std::greater<>> audit_active;
+#endif
 
   std::size_t i = 0;
   while (i < events.size()) {
@@ -94,10 +112,17 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
       const Item& item = instance.item(events[i].item);
       if (events[i].kind == EventKind::kArrival) {
         ++active[item.size];
+        DBP_AUDIT_ONLY(audit_active.insert(item.size);)
       } else {
         const auto it = active.find(item.size);
         DBP_CHECK(it != active.end(), "departure of an inactive size");
         if (--it->second == 0) active.erase(it);
+#if DBP_AUDIT_ENABLED
+        const auto audit_it = audit_active.find(item.size);
+        DBP_AUDIT_CHECK(audit_it != audit_active.end(),
+                        "dense shadow multiset missing a departing size");
+        audit_active.erase(audit_it);
+#endif
       }
     }
     if (i == events.size()) {
@@ -111,6 +136,18 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
     key.clear();
     key.reserve(active.size());
     for (const auto& [size, count] : active) key.push_back(SizeRun{size, count});
+#if DBP_AUDIT_ENABLED
+    // RLE snapshot multiset == dense bookkeeping: identical total count and
+    // per-size multiplicities, strictly decreasing run sizes.
+    DBP_AUDIT_CHECK(rle_item_count(key) == audit_active.size(),
+                    "RLE snapshot item count disagrees with the dense multiset");
+    for (std::size_t r = 0; r < key.size(); ++r) {
+      DBP_AUDIT_CHECK(r == 0 || key[r].size < key[r - 1].size,
+                      "RLE snapshot runs are not strictly decreasing");
+      DBP_AUDIT_CHECK(audit_active.count(key[r].size) == key[r].count,
+                      "RLE run multiplicity disagrees with the dense multiset");
+    }
+#endif
 
     const auto [slot, inserted] = index.try_emplace(key, snapshots.size());
     if (inserted) {

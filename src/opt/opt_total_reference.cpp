@@ -53,6 +53,8 @@ OptTotalResult estimate_opt_total_reference(const Instance& instance,
   std::multiset<double, std::greater<>> active;
   std::vector<std::vector<double>> snapshots;  // first-occurrence order
   std::vector<SnapshotWeight> weights;
+  // DBP_LINT_ALLOW(unordered-container): dedup via try_emplace by exact
+  // key; never iterated — snapshot order is first-occurrence order.
   std::unordered_map<std::vector<double>, std::size_t, FlatSnapshotHash> index;
   std::vector<double> snapshot;
 

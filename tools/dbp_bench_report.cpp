@@ -47,6 +47,8 @@ constexpr const char* kUsage =
     "                        [--repeats=3] [--threads=N] [--trace-out=FILE]\n"
     "                        [--metrics]\n";
 
+// DBP_LINT_ALLOW(wall-clock): this is the benchmark harness — measuring
+// wall time is its entire job; timings go to the perf report only.
 using Clock = std::chrono::steady_clock;
 
 /// Runs `fn` `repeats` times and returns the best wall-clock milliseconds.

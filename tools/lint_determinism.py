@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Determinism lint: statically bans nondeterminism sources in src/.
+
+The library's contract is bit-identical output for identical inputs
+(across runs, thread counts, and trace on/off — see docs/observability.md
+and tests/opt_total_differential_test.cpp). This linter enforces the three
+patterns that historically break that contract:
+
+  rng              rand()/srand()/std::random_device — all randomness must
+                   flow through the seeded generators in src/workload/
+                   (workload/rng.hpp), so the whole pipeline replays under
+                   a fixed seed. Allowed inside src/workload/.
+
+  wall-clock       std::time / time(...) / clock() / gettimeofday /
+                   std::chrono::{system,steady,high_resolution}_clock reads.
+                   Wall-clock belongs to the observability layer (src/obs/),
+                   which is required to be result-neutral; a clock read
+                   anywhere else can leak timing into results. Allowed
+                   inside src/obs/.
+
+  unordered-container
+                   std::unordered_map / std::unordered_set. Iteration order
+                   is implementation-defined, so any traversal that feeds
+                   cost accounting or serialized output is a portability
+                   hazard. Every use must either be replaced with an
+                   ordered/dense structure or carry an allowlist marker
+                   (see below) justifying why its use is order-independent.
+                   #include lines are exempt.
+
+Allowlist syntax — on the offending line, or anywhere in the contiguous
+block of // comments directly above it:
+
+    // DBP_LINT_ALLOW(<rule>): <justification>
+
+The justification is mandatory; an empty one is a lint error. Example:
+
+    // DBP_LINT_ALLOW(unordered-container): point lookups by dense id only;
+    // never iterated.
+    std::unordered_map<ItemId, Time> arrival_of_;
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ALLOW_MARKER = re.compile(r"DBP_LINT_ALLOW\((?P<rule>[a-z-]+)\):\s*(?P<why>\S.*)?")
+
+# rule name -> (pattern, path predicate saying "exempt", human explanation)
+RULES = {
+    "rng": (
+        re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\(|std::random_device"),
+        lambda rel: rel.parts[:2] == ("src", "workload"),
+        "randomness outside src/workload/ (must flow through seeded Rng)",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"std::chrono::(?:system|steady|high_resolution)_clock"
+            r"|(?<![\w:])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0|&)"
+            r"|std::clock\b"  # bare clock() is too ambiguous (domain clocks)
+            r"|gettimeofday|localtime|gmtime"
+        ),
+        lambda rel: rel.parts[:2] == ("src", "obs"),
+        "wall-clock read outside src/obs/ (timing may leak into results)",
+    ),
+    "unordered-container": (
+        re.compile(r"std::unordered_(?:map|set|multimap|multiset)"),
+        lambda rel: False,
+        "unordered container (iteration order is implementation-defined)",
+    ),
+}
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
+
+
+def is_comment_line(line: str) -> bool:
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*")
+
+
+def allow_rules_for(lines: list[str], idx: int) -> dict[str, str]:
+    """Allowlist markers that apply to lines[idx]: same line, or the
+    contiguous comment block directly above. Returns rule -> justification
+    ('' when the justification is missing)."""
+    allowed: dict[str, str] = {}
+    scan = [lines[idx]]
+    j = idx - 1
+    while j >= 0 and is_comment_line(lines[j]):
+        scan.append(lines[j])
+        j -= 1
+    for line in scan:
+        for match in ALLOW_MARKER.finditer(line):
+            rule = match.group("rule")
+            why = (match.group("why") or "").strip()
+            # A continuation comment line directly below the marker line
+            # extends the justification; presence is what we enforce.
+            allowed[rule] = allowed.get(rule) or why
+    return allowed
+
+
+def lint_file(path: Path, root: Path) -> list[str]:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(*path.parts[-2:])
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{path}: unreadable: {err}"]
+    lines = text.splitlines()
+    findings: list[str] = []
+    for idx, line in enumerate(lines):
+        if line.lstrip().startswith("#include"):
+            continue
+        code = line.split("//", 1)[0] if "DBP_LINT_ALLOW" not in line else line
+        for rule, (pattern, exempt, explanation) in RULES.items():
+            if not pattern.search(code):
+                continue
+            if exempt(rel):
+                continue
+            if is_comment_line(line) and rule != "unordered-container":
+                continue  # prose mentioning a banned name is not a use
+            allowed = allow_rules_for(lines, idx)
+            if rule in allowed:
+                if not allowed[rule]:
+                    findings.append(
+                        f"{path}:{idx + 1}: DBP_LINT_ALLOW({rule}) needs a "
+                        "justification after the colon"
+                    )
+                continue
+            findings.append(f"{path}:{idx + 1}: [{rule}] {explanation}\n    {line.strip()}")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--root", default=None,
+                        help="repo root for rule path exemptions "
+                             "(default: the linter's parent directory)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    files: list[Path] = []
+    for raw in (args.paths or ["src"]):
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*") if p.suffix in SOURCE_SUFFIXES))
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"lint_determinism: no such path: {path}", file=sys.stderr)
+            return 2
+
+    findings: list[str] = []
+    for path in files:
+        findings.extend(lint_file(path, root))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\nlint_determinism: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_determinism: clean ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -108,11 +108,11 @@ void BM_BinCountOracleRle(benchmark::State& state) {
 BENCHMARK(BM_BinCountOracleRle)->Arg(32)->Arg(256)->Arg(2048)->MinTime(0.05);
 
 void RunOptTotal(benchmark::State& state, const Instance& instance,
-                 bool parallel) {
+                 exec::ExecutionPolicy policy) {
   const CostModel model = unit_model();
   OptTotalOptions options;
   options.bin_count.exact.node_budget = 20'000;
-  options.parallel = parallel;
+  options.policy = policy;
   for (auto _ : state) {
     const OptTotalResult result = estimate_opt_total(instance, model, options);
     benchmark::DoNotOptimize(result.lower_cost);
@@ -121,20 +121,20 @@ void RunOptTotal(benchmark::State& state, const Instance& instance,
 
 void BM_OptTotal(benchmark::State& state) {
   RunOptTotal(state, make_instance(static_cast<std::size_t>(state.range(0))),
-              /*parallel=*/true);
+              exec::ExecutionPolicy::kAdaptive);
 }
 BENCHMARK(BM_OptTotal)->Arg(1'000)->Arg(5'000)->Unit(benchmark::kMillisecond)->MinTime(0.05);
 
 void BM_OptTotalSequential(benchmark::State& state) {
   RunOptTotal(state, make_instance(static_cast<std::size_t>(state.range(0))),
-              /*parallel=*/false);
+              exec::ExecutionPolicy::kSequential);
 }
 BENCHMARK(BM_OptTotalSequential)->Arg(5'000)->Unit(benchmark::kMillisecond)->MinTime(0.05);
 
 void BM_OptTotalDyadic(benchmark::State& state) {
   RunOptTotal(state,
               make_dyadic_instance(static_cast<std::size_t>(state.range(0))),
-              /*parallel=*/true);
+              exec::ExecutionPolicy::kAdaptive);
 }
 BENCHMARK(BM_OptTotalDyadic)->Arg(1'000)->Arg(5'000)->Unit(benchmark::kMillisecond)->MinTime(0.05);
 

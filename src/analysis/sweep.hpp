@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "exec/worker_budget.hpp"
+
 #if defined(DBP_HAVE_OPENMP)
 #include <omp.h>
 #endif
@@ -44,10 +46,17 @@ auto parallel_map(const std::vector<Job>& jobs, Fn&& fn)
   std::exception_ptr error;
   std::atomic<bool> cancelled{false};
 
+  // One fan-out decision per map, delegated to the worker-budget layer: a
+  // 1-worker budget, a held WorkerLease, or an enclosing active parallel
+  // region (nested map) all serialize the loop instead of paying for an
+  // OpenMP team that cannot help.
+  const bool fan_out = jobs.size() > 1 && exec::WorkerBudget::effective() > 1;
   // Signed induction variable: unsigned ones break OpenMP 2.0 / MSVC builds.
   const auto job_count = static_cast<std::ptrdiff_t>(jobs.size());
 #if defined(DBP_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic)
+#pragma omp parallel for schedule(dynamic) if (fan_out)
+#else
+  (void)fan_out;
 #endif
   for (std::ptrdiff_t i = 0; i < job_count; ++i) {  // NOLINT(modernize-loop-convert)
     if (cancelled.load(std::memory_order_relaxed)) continue;
@@ -70,24 +79,18 @@ auto parallel_map(const std::vector<Job>& jobs, Fn&& fn)
   return results;
 }
 
-/// Number of worker threads parallel_map will use.
+/// Number of worker threads parallel_map will use from this thread. Thin
+/// wrapper over exec::WorkerBudget::effective() kept for existing call
+/// sites; new code should talk to the budget directly.
 [[nodiscard]] inline int parallel_worker_count() {
-#if defined(DBP_HAVE_OPENMP)
-  return omp_get_max_threads();
-#else
-  return 1;
-#endif
+  return exec::WorkerBudget::effective();
 }
 
 /// Caps the worker count for subsequent parallel_map calls (CLI --threads
-/// plumbing). `threads` <= 0 keeps the runtime default; a no-op without
-/// OpenMP.
+/// plumbing). Delegates to the process-wide exec::WorkerBudget; `threads`
+/// <= 0 restores the runtime default.
 inline void set_parallel_worker_count(int threads) {
-#if defined(DBP_HAVE_OPENMP)
-  if (threads > 0) omp_set_num_threads(threads);
-#else
-  (void)threads;
-#endif
+  exec::WorkerBudget::set(threads);
 }
 
 }  // namespace dbp

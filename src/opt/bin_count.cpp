@@ -12,11 +12,26 @@ namespace dbp {
 
 namespace {
 
-/// Largest m such that m items of size `size` fit one bin under the
-/// tolerance-based feasibility (m * size <= W + tol).
+/// Largest m such that m items of size `size` fit one bin under the same
+/// tolerance rule CostModel::fits applies per placement: m * size <= W + tol.
+///
+/// The quotient floor(capacity / size) is only a seed — division rounding
+/// can land it one off in either direction, and the old ad-hoc fudge factor
+/// (floor(capacity / size * (1 + 1e-12))) could *admit* an m with
+/// m * size > W + tol. Concretely, with W = 1, tol = 0, and
+/// size = nextafter(0.5, 1.0): the quotient is 1.9999999999999996, the
+/// 1e-12 fudge pushes it past 2, yet 2 * size = 1.0000000000000002 > 1 —
+/// two such items do not share a bin under fits(), so FFD opens one bin
+/// per item while the "exact" equal-size fast path certified half that,
+/// an invalid lower bound (tests/bin_count_test.cpp pins this case). The
+/// corrective loops below re-anchor the seed to the multiplication the
+/// feasibility rule really performs; they run at most one step in practice
+/// (division is correctly rounded, so the seed is off by at most one).
 std::size_t per_bin_count(double size, const CostModel& model) {
   const double capacity = model.bin_capacity + model.fit_tolerance;
-  auto m = static_cast<std::size_t>(std::floor(capacity / size * (1.0 + 1e-12)));
+  auto m = static_cast<std::size_t>(std::floor(capacity / size));
+  while (m > 1 && static_cast<double>(m) * size > capacity) --m;
+  while (static_cast<double>(m + 1) * size <= capacity) ++m;
   return std::max<std::size_t>(m, 1);
 }
 

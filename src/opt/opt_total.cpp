@@ -13,6 +13,8 @@
 #include "core/audit.hpp"
 #include "core/compensated_sum.hpp"
 #include "core/error.hpp"
+#include "exec/execution_policy.hpp"
+#include "exec/worker_budget.hpp"
 #include "obs/obs.hpp"
 #include "sim/event.hpp"
 
@@ -194,7 +196,20 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
   const auto evaluate = [&](std::size_t s) {
     return optimal_bin_count_rle(snapshots[s], model, options.bin_count);
   };
-  if (options.parallel && pending.size() > 1) {
+  // The fan-out decision: the worker budget (1 worker, a held lease, or an
+  // enclosing sweep-level parallel region all mean "no help available") and
+  // the pending job mix (few or tiny snapshots cannot amortize the OpenMP
+  // region + result-slot overhead) both have to justify parallel_map.
+  // work_units = total RLE runs across pending snapshots, so a thousand
+  // heavily-deduplicated two-run snapshots do not count as heavy work.
+  exec::ParallelWorkEstimate work;
+  work.jobs = pending.size();
+  for (const std::size_t s : pending) work.work_units += snapshots[s].size();
+  const int workers = exec::WorkerBudget::effective();
+  const bool fan_out = exec::should_parallelize(options.policy, work, workers);
+  result.evaluate_parallel = fan_out;
+  result.evaluate_workers = fan_out ? workers : 1;
+  if (fan_out) {
     // Pure evaluations; the oracle memo is written back sequentially below.
     const std::vector<BinCountBounds> computed = parallel_map(pending, evaluate);
     for (std::size_t p = 0; p < pending.size(); ++p) bounds[pending[p]] = computed[p];
@@ -247,6 +262,13 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
     metrics->counter("opt_total.dedup_hits").add(result.dedup_hits);
     metrics->counter("opt_total.oracle_hits").add(result.oracle_hits);
     metrics->counter("opt_total.oracle_misses").add(result.oracle_misses);
+    // Which path phase 2 took, so the execution-policy choice is observable
+    // (tests/exec_test.cpp pins the 1-worker sequential fallback on these).
+    metrics->counter(result.evaluate_parallel ? "opt_total.evaluate_parallel"
+                                              : "opt_total.evaluate_sequential")
+        .add();
+    metrics->gauge("opt_total.evaluate_workers")
+        .set(static_cast<double>(result.evaluate_workers));
   }
   return result;
 }

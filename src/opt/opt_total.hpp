@@ -26,6 +26,7 @@
 #include "core/instance.hpp"
 #include "core/metrics.hpp"
 #include "core/types.hpp"
+#include "exec/execution_policy.hpp"
 #include "opt/bin_count.hpp"
 
 namespace dbp {
@@ -64,6 +65,13 @@ struct OptTotalResult {
   std::uint64_t oracle_misses = 0;
   std::uint64_t oracle_evictions = 0;
 
+  /// Execution metadata, not part of the mathematical result (the
+  /// differential suite compares every field above this line, never these):
+  /// which path phase 2 took and how many workers it used. With the
+  /// adaptive policy on a 1-worker budget these read {false, 1}.
+  bool evaluate_parallel = false;
+  int evaluate_workers = 1;
+
   /// Midpoint estimate, handy for plotting.
   [[nodiscard]] double midpoint() const noexcept {
     return 0.5 * (lower_cost + upper_cost);
@@ -72,9 +80,13 @@ struct OptTotalResult {
 
 struct OptTotalOptions {
   BinCountOptions bin_count{};
-  /// Evaluate distinct snapshots via parallel_map (OpenMP). The combine is
-  /// sequential either way, so results are bit-identical to parallel=false.
-  bool parallel = true;
+  /// How phase 2 evaluates the distinct snapshots. kAdaptive (the default)
+  /// routes through parallel_map only when the worker budget and the
+  /// pending job mix can amortize the fan-out overhead (see
+  /// exec/execution_policy.hpp); kSequential and kParallel force one path.
+  /// The combine is sequential under every policy, so results are
+  /// bit-identical across policies and worker counts.
+  exec::ExecutionPolicy policy = exec::ExecutionPolicy::kAdaptive;
   /// Optional caller-owned oracle whose memo persists across calls (cyclic
   /// workloads, repeated evaluation of transformed instances). The caller
   /// must not share one oracle between concurrent estimate_opt_total calls.

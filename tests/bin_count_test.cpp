@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <vector>
 
@@ -49,6 +50,43 @@ TEST(BinCountTest, EqualSizeHalfPacksPairs) {
   const BinCountBounds bounds = optimal_bin_count(sizes, unit_model());
   EXPECT_TRUE(bounds.exact());
   EXPECT_EQ(bounds.upper, 3u);
+}
+
+TEST(BinCountTest, EqualSizesMatchFitsRuleWithZeroTolerance) {
+  // The fp counter-example behind the per_bin_count fix: with tol = 0 and
+  // size = nextafter(0.5, 1.0), the quotient 1.0 / size is
+  // 1.9999999999999996 but the old 1e-12 fudge factor floored it to 2 —
+  // yet 2 * size = 1.0000000000000002 > 1.0, so two such items do NOT
+  // share a unit bin under CostModel::fits. The old equal-size fast path
+  // certified 2 bins for 4 items as "exact"; every real packing opens 4.
+  const CostModel model{1.0, 1.0, 0.0};
+  const double size = std::nextafter(0.5, 1.0);
+  ASSERT_GT(2.0 * size, 1.0);
+  const BinCountBounds bounds =
+      optimal_bin_count(std::vector<double>(4, size), model);
+  EXPECT_TRUE(bounds.exact());
+  EXPECT_EQ(bounds.upper, 4u);
+}
+
+TEST(BinCountTest, EqualSizesPerBinCountAgreesWithFits) {
+  // Property pinning the equal-size fast path to the placement rule: the
+  // per-bin count must be exactly the largest m with m * size fitting under
+  // CostModel::fits — computed here by the multiplication itself.
+  for (const double tol : {0.0, 1e-9}) {
+    const CostModel model{1.0, 1.0, tol};
+    for (const double size :
+         {0.2, 0.1, 1.0 / 3.0, 0.07, 0.125, 0.25, 0.49, 0.9}) {
+      std::size_t m = 1;
+      while (model.fits(static_cast<double>(m + 1) * size, model.bin_capacity)) {
+        ++m;
+      }
+      const std::size_t n = 3 * m + 1;  // forces ceil(n/m) = 4
+      const BinCountBounds bounds =
+          optimal_bin_count(std::vector<double>(n, size), model);
+      EXPECT_TRUE(bounds.exact()) << "size " << size << " tol " << tol;
+      EXPECT_EQ(bounds.upper, 4u) << "size " << size << " tol " << tol;
+    }
+  }
 }
 
 TEST(BinCountTest, GeneralMixSolvedExactly) {
@@ -179,6 +217,36 @@ TEST(BinCountOracleTest, EvictionKeepsRecentEntriesHot) {
   const std::uint64_t hits_before = oracle.hits();
   (void)oracle.count_sorted(std::vector<double>(100, 0.25));
   EXPECT_EQ(oracle.hits(), hits_before + 1);
+}
+
+TEST(BinCountOracleTest, FifoEvictionCountersPinned) {
+  // Pins the exact hit/miss/eviction trajectory of the FIFO-halving memo at
+  // limit 4. Stores 1..7 are distinct multisets (k items of 0.25):
+  //   stores 1-4: inserts, no eviction              (size 4)
+  //   store  5:   at limit -> cutoff drops seq 0,1  (size 3)
+  //   store  6:   insert                            (size 4)
+  //   store  7:   at limit -> cutoff drops seq 2,3  (size 3)
+  // Any change to the eviction arithmetic moves these numbers.
+  constexpr std::size_t kLimit = 4;
+  BinCountOracle oracle(unit_model(), {}, kLimit);
+  for (std::size_t k = 1; k <= 7; ++k) {
+    (void)oracle.count_sorted(std::vector<double>(k, 0.25));
+  }
+  EXPECT_EQ(oracle.misses(), 7u);
+  EXPECT_EQ(oracle.hits(), 0u);
+  EXPECT_EQ(oracle.evictions(), 4u);
+  EXPECT_EQ(oracle.memo_size(), 3u);
+
+  // Survivors are exactly the last three inserts (seq 4, 5, 6)...
+  (void)oracle.count_sorted(std::vector<double>(5, 0.25));
+  (void)oracle.count_sorted(std::vector<double>(6, 0.25));
+  (void)oracle.count_sorted(std::vector<double>(7, 0.25));
+  EXPECT_EQ(oracle.hits(), 3u);
+  EXPECT_EQ(oracle.misses(), 7u);
+  // ...and the evicted oldest key misses and is re-stored.
+  (void)oracle.count_sorted(std::vector<double>(1, 0.25));
+  EXPECT_EQ(oracle.hits(), 3u);
+  EXPECT_EQ(oracle.misses(), 8u);
 }
 
 TEST(BinCountOracleTest, EvictedEntriesAreRecomputedCorrectly) {

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/sweep.hpp"
+#include "exec/worker_budget.hpp"
 #include "opt/opt_total_reference.hpp"
 #include "workload/adversary_anyfit.hpp"
 #include "workload/adversary_bestfit.hpp"
@@ -37,21 +40,22 @@ void expect_bit_identical(const OptTotalResult& fast,
   EXPECT_EQ(fast.closed_form.span_lower, reference.closed_form.span_lower);
 }
 
+/// Every execution policy must reproduce the reference bit for bit — the
+/// policy only chooses *where* snapshots are evaluated, never *what* is
+/// computed.
 void expect_differential_match(const Instance& instance,
                                const OptTotalOptions& options = {}) {
   const OptTotalResult reference =
       estimate_opt_total_reference(instance, unit_model(), options);
-  OptTotalOptions parallel_options = options;
-  parallel_options.parallel = true;
-  const OptTotalResult fast =
-      estimate_opt_total(instance, unit_model(), parallel_options);
-  expect_bit_identical(fast, reference);
-
-  OptTotalOptions sequential_options = options;
-  sequential_options.parallel = false;
-  const OptTotalResult sequential =
-      estimate_opt_total(instance, unit_model(), sequential_options);
-  expect_bit_identical(sequential, reference);
+  for (const exec::ExecutionPolicy policy :
+       {exec::ExecutionPolicy::kSequential, exec::ExecutionPolicy::kParallel,
+        exec::ExecutionPolicy::kAdaptive}) {
+    OptTotalOptions policy_options = options;
+    policy_options.policy = policy;
+    const OptTotalResult result =
+        estimate_opt_total(instance, unit_model(), policy_options);
+    expect_bit_identical(result, reference);
+  }
 }
 
 Instance uniform_instance(std::size_t items, std::uint64_t seed) {
@@ -148,6 +152,34 @@ TEST(OptTotalDifferentialTest, DeterministicAcrossWorkerCounts) {
   const OptTotalResult four = estimate_opt_total(instance, unit_model());
   set_parallel_worker_count(0);  // restore the runtime default
   expect_bit_identical(four, one);
+}
+
+// The full cross product the acceptance gate names: every ExecutionPolicy
+// under worker budgets {1, 2, 8} reproduces the reference bit for bit, on
+// both a uniform and a dedup-heavy workload.
+TEST(OptTotalDifferentialTest, PolicyTimesThreadsCrossProduct) {
+  const Instance instances[] = {uniform_instance(400, 31),
+                                dyadic_burst_instance(400, 31)};
+  for (const Instance& instance : instances) {
+    const OptTotalResult reference =
+        estimate_opt_total_reference(instance, unit_model());
+    for (const int threads : {1, 2, 8}) {
+      exec::WorkerBudget::set(threads);
+      for (const exec::ExecutionPolicy policy :
+           {exec::ExecutionPolicy::kSequential,
+            exec::ExecutionPolicy::kParallel,
+            exec::ExecutionPolicy::kAdaptive}) {
+        OptTotalOptions options;
+        options.policy = policy;
+        const OptTotalResult result =
+            estimate_opt_total(instance, unit_model(), options);
+        expect_bit_identical(result, reference);
+        // The budget caps what the estimator may claim to have used.
+        EXPECT_LE(result.evaluate_workers, std::max(threads, 1));
+      }
+    }
+    exec::WorkerBudget::set(0);  // restore the runtime default
+  }
 }
 
 TEST(OptTotalDifferentialTest, SharedOracleHitsAcrossCalls) {

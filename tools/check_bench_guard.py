@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Bench smoke guard: fail when the adaptive OPT_total path regresses.
+
+Reads a dbp-bench-perf report (schema 1 or 2) and checks, for every
+workload that reports both, that ``opt_total_<w>_fast`` is no slower than
+``opt_total_<w>_fast_sequential`` by more than the allowed ratio. The
+adaptive execution policy exists precisely so the fast path can never do
+worse than sequential plus noise; this guard pins that in CI.
+
+Exit codes: 0 = all workloads within bounds, 1 = regression, 2 = bad input.
+
+Usage:
+    check_bench_guard.py BENCH_perf.json [--min-ratio=0.95]
+
+``--min-ratio=R`` requires ``seq_ms / fast_ms >= R``. CI uses the default
+0.95 (5% tolerance for timer noise); the ctest smoke run uses a loose 0.50
+because its tiny instances make the ratio jittery.
+"""
+import json
+import sys
+
+
+def main(argv):
+    path = None
+    min_ratio = 0.95
+    for arg in argv[1:]:
+        if arg.startswith("--min-ratio="):
+            min_ratio = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(f"check_bench_guard: unknown option {arg}", file=sys.stderr)
+            return 2
+        else:
+            path = arg
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        cases = {case["name"]: case for case in report["cases"]}
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"check_bench_guard: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+
+    suffix = "_fast_sequential"
+    checked = 0
+    failures = 0
+    for name, seq_case in sorted(cases.items()):
+        if not name.endswith(suffix):
+            continue
+        fast_name = name[: -len(suffix)] + "_fast"
+        fast_case = cases.get(fast_name)
+        if fast_case is None:
+            continue
+        checked += 1
+        fast_ms = float(fast_case["value"])
+        seq_ms = float(seq_case["value"])
+        ratio = seq_ms / fast_ms if fast_ms > 0 else float("inf")
+        verdict = "ok" if ratio >= min_ratio else "REGRESSION"
+        print(
+            f"{fast_name}: fast {fast_ms:.2f} ms vs sequential "
+            f"{seq_ms:.2f} ms -> ratio {ratio:.3f} (min {min_ratio}) {verdict}"
+        )
+        if ratio < min_ratio:
+            failures += 1
+
+    if checked == 0:
+        print(f"check_bench_guard: no fast/sequential case pairs in {path}",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(
+            f"check_bench_guard: {failures}/{checked} workload(s) regressed — "
+            "the adaptive policy should never lose to sequential by more "
+            "than noise",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_bench_guard: {checked} workload(s) within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "exec/execution_policy.hpp"
 
 namespace dbp::cli {
 
@@ -92,6 +93,23 @@ class Args {
                 "--" + key + " value '" + text + "' is out of range (max " +
                     std::to_string(kMaxThreads) + ")\n" + usage_);
     return static_cast<int>(parsed);
+  }
+
+  /// Strict parse for --policy: sequential | parallel | adaptive, mapped to
+  /// exec::ExecutionPolicy (anything else is a CLI error with the usage
+  /// hint). Returns `fallback` when the option is absent.
+  [[nodiscard]] exec::ExecutionPolicy get_execution_policy(
+      exec::ExecutionPolicy fallback = exec::ExecutionPolicy::kAdaptive,
+      const std::string& key = "policy") const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      return exec::parse_execution_policy(it->second);
+    } catch (const PreconditionError& error) {
+      // Re-throw with the usage block appended; the parse error already
+      // carries the DBP_REQUIRE prefix, so don't wrap it in another one.
+      throw PreconditionError(std::string(error.what()) + "\n" + usage_);
+    }
   }
 
   /// Splits a comma-separated value ("a,b,c").

@@ -10,6 +10,7 @@
 #include "cli.hpp"
 #include "core/metrics.hpp"
 #include "core/strfmt.hpp"
+#include "exec/worker_budget.hpp"
 #include "opt/opt_total.hpp"
 #include "opt/repack_baseline.hpp"
 #include "workload/trace_io.hpp"
@@ -18,7 +19,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: dbp_bounds --trace=FILE [--capacity=W] [--rate=C] [--no-exact]\n"
-    "                  [--threads=N] [--sequential]\n";
+    "                  [--threads=N] [--policy=sequential|parallel|adaptive]\n"
+    "                  [--sequential]\n";
 
 }  // namespace
 
@@ -27,9 +29,10 @@ int main(int argc, char** argv) {
   try {
     const cli::Args args(
         argc, argv,
-        {"trace", "capacity", "rate", "no-exact", "threads", "sequential"},
+        {"trace", "capacity", "rate", "no-exact", "threads", "policy",
+         "sequential"},
         kUsage);
-    set_parallel_worker_count(args.get_thread_count());
+    exec::WorkerBudget::set(args.get_thread_count());
     const Instance instance = read_instance_csv(args.require("trace"));
     DBP_REQUIRE(!instance.empty(), "trace is empty");
     const CostModel model{args.get_double("capacity", 1.0),
@@ -50,7 +53,9 @@ int main(int argc, char** argv) {
 
     OptTotalOptions options;
     options.bin_count.use_exact_solver = !args.has("no-exact");
-    options.parallel = !args.has("sequential");
+    // --sequential is the legacy spelling of --policy=sequential.
+    options.policy = args.has("sequential") ? exec::ExecutionPolicy::kSequential
+                                            : args.get_execution_policy();
     const OptTotalResult opt = estimate_opt_total(instance, model, options);
     std::cout << strfmt(
         "OPT_total in [%.6f, %.6f]%s  (%zu/%zu segments proven exact)\n",

@@ -14,6 +14,7 @@
 #include "analysis/table.hpp"
 #include "cli.hpp"
 #include "core/strfmt.hpp"
+#include "exec/worker_budget.hpp"
 #include "obs_cli.hpp"
 #include "sim/fault_sim.hpp"
 #include "workload/fault_schedule.hpp"
@@ -27,7 +28,7 @@ constexpr const char* kUsage =
     "                 [--crash-rate=R | --crash-rates=r1,r2,...]\n"
     "                 [--anomaly-rate=R] [--target=fullest|emptiest|oldest|"
     "newest|random]\n"
-    "                 [--items=N] [--seed=S] [--trace=FILE]\n"
+    "                 [--items=N] [--seed=S] [--trace=FILE] [--threads=N]\n"
     "                 [--trace-out=FILE] [--metrics]\n";
 
 using namespace dbp;
@@ -50,8 +51,11 @@ int main(int argc, char** argv) {
     const cli::Args args(argc, argv,
                          {"algo", "algorithms", "crash-rate", "crash-rates",
                           "anomaly-rate", "target", "items", "seed", "trace",
-                          "trace-out", "metrics"},
+                          "threads", "trace-out", "metrics"},
                          kUsage);
+    // Pin the worker budget before any work: chaos runs are compared across
+    // machines, so the budget must come from the flag, not the core count.
+    exec::WorkerBudget::set(args.get_thread_count());
     cli::ObsSession obs_session(args);
     const std::uint64_t seed = args.get_u64("seed", 1);
     const CrashTarget target = parse_target(args.get("target", "fullest"));

@@ -21,6 +21,7 @@
 #include "algo/strategies.hpp"
 #include "analysis/ff_decomposition.hpp"
 #include "cli.hpp"
+#include "exec/worker_budget.hpp"
 #include "core/metrics.hpp"
 #include "core/strfmt.hpp"
 #include "opt/opt_total.hpp"
@@ -33,7 +34,8 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: dbp_fuzz [--rounds=N] [--seed=S] [--items=MAX] [--no-chaos]\n";
+    "usage: dbp_fuzz [--rounds=N] [--seed=S] [--items=MAX] [--threads=N]\n"
+    "                [--no-chaos]\n";
 
 using namespace dbp;
 
@@ -211,8 +213,13 @@ bool run_round(std::uint64_t round, std::uint64_t seed, std::size_t max_items,
 
 int main(int argc, char** argv) {
   try {
-    const dbp::cli::Args args(argc, argv, {"rounds", "seed", "items", "no-chaos"},
+    const dbp::cli::Args args(argc, argv,
+                              {"rounds", "seed", "items", "threads", "no-chaos"},
                               kUsage);
+    // Strict --threads (shared cli.hpp parsing): a pinned budget makes fuzz
+    // wall-clock and scheduling comparable across machines with different
+    // core counts; results are bit-identical either way.
+    dbp::exec::WorkerBudget::set(args.get_thread_count());
     const std::uint64_t rounds = args.get_u64("rounds", 25);
     const std::uint64_t base_seed = args.get_u64("seed", 1);
     const std::size_t max_items = args.get_u64("items", 600);

@@ -18,6 +18,7 @@
 #include "analysis/timeline.hpp"
 #include "cli.hpp"
 #include "core/strfmt.hpp"
+#include "exec/worker_budget.hpp"
 #include "obs_cli.hpp"
 #include "workload/trace_io.hpp"
 
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
         {"trace", "algorithms", "capacity", "rate", "no-opt", "threads",
          "timeline", "svg", "trace-out", "metrics"},
         kUsage);
-    set_parallel_worker_count(args.get_thread_count());
+    exec::WorkerBudget::set(args.get_thread_count());
     cli::ObsSession obs_session(args);
     const Instance instance = read_instance_csv(args.require("trace"));
     DBP_REQUIRE(!instance.empty(), "trace is empty");

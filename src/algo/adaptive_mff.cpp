@@ -1,6 +1,8 @@
 #include "algo/adaptive_mff.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "core/audit.hpp"
 #include "core/error.hpp"
@@ -43,6 +45,72 @@ BinId AdaptiveMffPacker::on_arrival(const ArrivingItem& item) {
   arrival_of_[item.id] = item.arrival;
   obs::trace_arrival(item.arrival, item.id, item.size, bin, candidates);
   return bin;
+}
+
+void AdaptiveMffPacker::save_extra(ByteWriter& out) const {
+  // Maps are persisted in sorted key order so the byte stream is a pure
+  // function of the logical state, not of hash iteration order.
+  std::vector<std::pair<BinId, bool>> pools(bin_is_large_.begin(),
+                                            bin_is_large_.end());
+  std::sort(pools.begin(), pools.end());
+  out.u64(pools.size());
+  for (const auto& [bin, large] : pools) {
+    out.u64(bin);
+    out.boolean(large);
+  }
+  std::vector<std::pair<ItemId, Time>> arrivals(arrival_of_.begin(),
+                                                arrival_of_.end());
+  std::sort(arrivals.begin(), arrivals.end());
+  out.u64(arrivals.size());
+  for (const auto& [item, arrival] : arrivals) {
+    out.u64(item);
+    out.f64(arrival);
+  }
+  out.f64(mu_hat_);
+  out.f64(min_len_seen_);
+  out.f64(max_len_seen_);
+  small_pool_.save_state(out);
+  large_pool_.save_state(out);
+}
+
+void AdaptiveMffPacker::restore_extra(ByteReader& in) {
+  bin_is_large_.clear();
+  arrival_of_.clear();
+  const std::uint64_t pool_count = in.u64();
+  if (pool_count != manager_.open_count()) {
+    throw CorruptionError("adaptive-mff pool census disagrees with open bins");
+  }
+  for (std::uint64_t i = 0; i < pool_count; ++i) {
+    const BinId bin = in.u64();
+    const bool large = in.boolean();
+    if (bin >= manager_.total_bins_opened() || !manager_.is_open(bin) ||
+        !bin_is_large_.emplace(bin, large).second) {
+      throw CorruptionError("adaptive-mff pool map names an invalid bin");
+    }
+  }
+  const std::uint64_t arrival_count = in.u64();
+  if (arrival_count != manager_.active_item_count()) {
+    throw CorruptionError("adaptive-mff arrival census disagrees with items");
+  }
+  for (std::uint64_t i = 0; i < arrival_count; ++i) {
+    const ItemId item = in.u64();
+    const Time arrival = in.f64();
+    if (!arrival_of_.emplace(item, arrival).second) {
+      throw CorruptionError("adaptive-mff arrival map repeats an item");
+    }
+  }
+  mu_hat_ = in.f64();
+  min_len_seen_ = in.f64();
+  max_len_seen_ = in.f64();
+  // Pool registration replay in opening order, routed by the restored map.
+  for (const BinId bin : manager_.open_bins()) {
+    FitStrategy& pool = bin_is_large_.at(bin)
+                            ? static_cast<FitStrategy&>(large_pool_)
+                            : static_cast<FitStrategy&>(small_pool_);
+    pool.on_bin_registered(bin, manager_.residual(bin));
+  }
+  small_pool_.load_state(in);
+  large_pool_.load_state(in);
 }
 
 void AdaptiveMffPacker::on_departure(ItemId item, Time now) {

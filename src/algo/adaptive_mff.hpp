@@ -36,6 +36,12 @@ class AdaptiveMffPacker final : public Packer {
     return manager_.model().bin_capacity / (mu_hat_ + 7.0);
   }
 
+  [[nodiscard]] bool snapshot_supported() const override { return true; }
+
+ protected:
+  void save_extra(ByteWriter& out) const override;
+  void restore_extra(ByteReader& in) override;
+
  private:
   FirstFitStrategy small_pool_;
   FirstFitStrategy large_pool_;

@@ -47,6 +47,22 @@ BinId AnyFitPacker::on_arrival(const ArrivingItem& item) {
   return bin;
 }
 
+void AnyFitPacker::save_extra(ByteWriter& out) const {
+  strategy_->save_state(out);
+}
+
+void AnyFitPacker::restore_extra(ByteReader& in) {
+  // Registration replay in ascending BinId order reproduces the original
+  // registration order (bin ids are assigned in opening order), so the
+  // derived strategies rebuild the exact relative scan order; residuals come
+  // from the bit-exact restored levels. Stateful strategies then override
+  // their extra history in load_state.
+  for (const BinId bin : manager_.open_bins()) {
+    strategy_->on_bin_registered(bin, manager_.residual(bin));
+  }
+  strategy_->load_state(in);
+}
+
 void AnyFitPacker::on_departure(ItemId item, Time now) {
   const DepartureOutcome outcome = manager_.remove(item, now);
   obs::trace_departure(now, item, outcome.bin);

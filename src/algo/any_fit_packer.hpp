@@ -25,6 +25,14 @@ class AnyFitPacker : public Packer {
   /// accommodated the item. Used by the test suite; off by default.
   void set_paranoid(bool value) noexcept { paranoid_ = value; }
 
+  [[nodiscard]] bool snapshot_supported() const override { return true; }
+
+ protected:
+  /// Replays on_bin_registered over the restored open bins (ascending id =
+  /// opening order) and then lets the strategy restore any extra history.
+  void save_extra(ByteWriter& out) const override;
+  void restore_extra(ByteReader& in) override;
+
  private:
   std::unique_ptr<FitStrategy> strategy_;
   bool paranoid_ = false;

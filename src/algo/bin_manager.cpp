@@ -164,6 +164,103 @@ std::vector<ItemId> BinManager::items_in(BinId bin) const {
   return result;
 }
 
+void BinManager::save_state(ByteWriter& out) const {
+  // Cost model fields are written so restore can verify the receiving
+  // manager was constructed identically (fit decisions depend on all three).
+  out.f64(model_.bin_capacity);
+  out.f64(model_.cost_rate);
+  out.f64(model_.fit_tolerance);
+  out.u64(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const BinState& state = bins_[i];
+    out.f64(state.level.raw_sum());
+    out.f64(state.level.raw_compensation());
+    out.u64(state.item_count);
+    out.u64(state.head);
+    out.boolean(state.open);
+    out.f64(usage_[i].opened);
+    out.f64(usage_[i].closed);
+  }
+  out.u64(items_.size());
+  for (const ItemSlot& slot : items_) {
+    out.f64(slot.size);
+    out.u64(slot.bin);
+    out.u64(slot.next);
+    out.u64(slot.prev);
+    out.boolean(slot.active);
+  }
+}
+
+void BinManager::restore_state(ByteReader& in) {
+  const double capacity = in.f64();
+  const double rate = in.f64();
+  const double tolerance = in.f64();
+  if (capacity != model_.bin_capacity || rate != model_.cost_rate ||
+      tolerance != model_.fit_tolerance) {
+    throw CorruptionError("checkpoint cost model differs from this manager's");
+  }
+  reset();
+  const std::uint64_t bin_count = in.u64();
+  bins_.reserve(bin_count);
+  usage_.reserve(bin_count);
+  for (std::uint64_t i = 0; i < bin_count; ++i) {
+    const double sum = in.f64();
+    const double compensation = in.f64();
+    BinState state{CompensatedSum::from_raw(sum, compensation),
+                   static_cast<std::size_t>(in.u64()), in.u64(), in.boolean()};
+    BinUsageRecord record{static_cast<BinId>(i), in.f64(), in.f64()};
+    if (state.open != !record.is_closed()) {
+      throw CorruptionError("bin open flag disagrees with its usage record");
+    }
+    if (state.open) ++open_count_;
+    bins_.push_back(state);
+    usage_.push_back(record);
+  }
+  const std::uint64_t item_count = in.u64();
+  items_.reserve(item_count);
+  for (std::uint64_t i = 0; i < item_count; ++i) {
+    ItemSlot slot;
+    slot.size = in.f64();
+    slot.bin = in.u64();
+    slot.next = in.u64();
+    slot.prev = in.u64();
+    slot.active = in.boolean();
+    if (slot.active) {
+      if (slot.bin >= bins_.size() || !bins_[static_cast<std::size_t>(slot.bin)].open) {
+        throw CorruptionError("active item resides in an unknown or closed bin");
+      }
+      ++active_count_;
+    }
+    items_.push_back(slot);
+  }
+  // Census check: the decoded resident lists must agree with the per-bin
+  // item counts before any caller trusts the state.
+  std::size_t resident_census = 0;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    const BinState& state = bins_[b];
+    std::size_t walked = 0;
+    for (ItemId id = state.head; id != kNoItem;
+         id = items_[static_cast<std::size_t>(id)].next) {
+      if (static_cast<std::size_t>(id) >= items_.size() ||
+          !items_[static_cast<std::size_t>(id)].active ||
+          items_[static_cast<std::size_t>(id)].bin != static_cast<BinId>(b)) {
+        throw CorruptionError("resident list is inconsistent with item slots");
+      }
+      if (++walked > state.item_count) {
+        throw CorruptionError("resident list longer than the bin's item count");
+      }
+    }
+    if (walked != state.item_count) {
+      throw CorruptionError("resident census disagrees with the item count");
+    }
+    resident_census += state.item_count;
+  }
+  if (resident_census != active_count_) {
+    throw CorruptionError("active-item count disagrees with per-bin censuses");
+  }
+  audit();
+}
+
 void BinManager::reset() {
   bins_.clear();
   usage_.clear();

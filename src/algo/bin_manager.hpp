@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "core/binary_io.hpp"
 #include "core/compensated_sum.hpp"
 #include "core/item.hpp"
 #include "core/types.hpp"
@@ -100,6 +101,18 @@ class BinManager {
 
   /// Drops all state, keeping the cost model.
   void reset();
+
+  /// Serializes the complete manager state — levels as raw compensated-sum
+  /// terms, usage records, the full item table with its intrusive resident
+  /// lists — so restore_state() is bit-exact: every subsequent fit decision,
+  /// level update and usage record matches an uninterrupted run.
+  void save_state(ByteWriter& out) const;
+
+  /// Rebuilds the state written by save_state() over a manager constructed
+  /// with the *same* cost model (checked; mismatch throws CorruptionError).
+  /// Existing state is discarded. Structural invariants of the decoded state
+  /// are re-validated; violations throw CorruptionError.
+  void restore_state(ByteReader& in);
 
   /// Deep structural audit: every open bin's level equals the sum of its
   /// residents (within fit tolerance), levels respect W, the open-bin count

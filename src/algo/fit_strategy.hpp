@@ -43,6 +43,16 @@ class FitStrategy {
   /// True when the strategy honours the Any Fit contract (returns a bin
   /// whenever one fits). Next Fit overrides this to false.
   [[nodiscard]] virtual bool any_fit_contract() const { return true; }
+
+  /// Checkpoint hooks. Restore first replays on_bin_registered over every
+  /// open bin in ascending BinId order (= opening order), which fully
+  /// rebuilds strategies whose choice is a pure function of (bin, residual)
+  /// registrations — First/Last/Best/Worst Fit. Strategies with *extra*
+  /// history (Next Fit's current bin, Random Fit's RNG position and scan
+  /// order, Move-To-Front's recency list) override these to persist it;
+  /// load_state runs after the registration replay and overrides it.
+  virtual void save_state(ByteWriter& out) const { (void)out; }
+  virtual void load_state(ByteReader& in) { (void)in; }
 };
 
 }  // namespace dbp

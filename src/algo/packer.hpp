@@ -39,7 +39,36 @@ class Packer {
 
   [[nodiscard]] const CostModel& model() const noexcept { return manager_.model(); }
 
+  /// True when this packer can checkpoint and restore its full decision
+  /// state bit-exactly. False by default; the clairvoyant baselines stay
+  /// unsupported (their pending-departure queues are out of the online
+  /// durability scope).
+  [[nodiscard]] virtual bool snapshot_supported() const { return false; }
+
+  /// Serializes the complete packer state (bin mechanics + policy state).
+  /// Requires snapshot_supported().
+  void save_snapshot(ByteWriter& out) const {
+    DBP_REQUIRE(snapshot_supported(),
+                "this packer does not support snapshots: " + name());
+    manager_.save_state(out);
+    save_extra(out);
+  }
+
+  /// Restores the state written by save_snapshot() into a freshly
+  /// constructed packer of the same algorithm and cost model. After this
+  /// call the packer continues the interrupted run bit-identically.
+  void restore_snapshot(ByteReader& in) {
+    DBP_REQUIRE(snapshot_supported(),
+                "this packer does not support snapshots: " + name());
+    manager_.restore_state(in);
+    restore_extra(in);
+  }
+
  protected:
+  /// Policy-state halves of the snapshot, layered on the BinManager state.
+  virtual void save_extra(ByteWriter& out) const { (void)out; }
+  virtual void restore_extra(ByteReader& in) { (void)in; }
+
   BinManager manager_;
 };
 

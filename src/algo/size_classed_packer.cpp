@@ -100,6 +100,45 @@ void SizeClassedPacker::on_departure(ItemId item, Time now) {
   }
 }
 
+void SizeClassedPacker::save_extra(ByteWriter& out) const {
+  out.u64(boundaries_.size());
+  for (const double b : boundaries_) out.f64(b);
+  out.u64(bin_class_.size());
+  for (const std::size_t cls : bin_class_) out.u64(cls);
+  for (const auto& strategy : strategies_) strategy->save_state(out);
+}
+
+void SizeClassedPacker::restore_extra(ByteReader& in) {
+  const std::uint64_t boundary_count = in.u64();
+  if (boundary_count != boundaries_.size()) {
+    throw CorruptionError("size-class boundary count differs from this packer");
+  }
+  for (const double b : boundaries_) {
+    if (in.f64() != b) {
+      throw CorruptionError("size-class boundaries differ from this packer");
+    }
+  }
+  bin_class_.clear();
+  const std::uint64_t bin_count = in.u64();
+  if (bin_count != manager_.total_bins_opened()) {
+    throw CorruptionError("size-class bin census disagrees with the manager");
+  }
+  bin_class_.reserve(bin_count);
+  for (std::uint64_t i = 0; i < bin_count; ++i) {
+    const std::uint64_t cls = in.u64();
+    if (cls >= strategies_.size()) {
+      throw CorruptionError("size-class map names an unknown class");
+    }
+    bin_class_.push_back(static_cast<std::size_t>(cls));
+  }
+  // Per-pool registration replay in opening order, then each pool's own
+  // extra history in class order.
+  for (const BinId bin : manager_.open_bins()) {
+    strategies_[class_of_bin(bin)]->on_bin_registered(bin, manager_.residual(bin));
+  }
+  for (const auto& strategy : strategies_) strategy->load_state(in);
+}
+
 namespace {
 
 std::unique_ptr<FitStrategy> make_ff_strategy(const CostModel& model) {

@@ -43,6 +43,12 @@ class SizeClassedPacker : public Packer {
   /// The class whose pool owns `bin`.
   [[nodiscard]] std::size_t class_of_bin(BinId bin) const;
 
+  [[nodiscard]] bool snapshot_supported() const override { return true; }
+
+ protected:
+  void save_extra(ByteWriter& out) const override;
+  void restore_extra(ByteReader& in) override;
+
  private:
   std::string name_;
   std::vector<double> boundaries_;

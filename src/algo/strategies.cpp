@@ -1,6 +1,8 @@
 #include "algo/strategies.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <sstream>
 
 #include "core/error.hpp"
 
@@ -142,6 +144,20 @@ void NextFitStrategy::on_bin_closed(BinId bin) {
   if (current_ && *current_ == bin) current_.reset();
 }
 
+void NextFitStrategy::save_state(ByteWriter& out) const {
+  out.boolean(current_.has_value());
+  out.u64(current_ ? *current_ : kNoBin);
+  out.f64(current_residual_);
+}
+
+void NextFitStrategy::load_state(ByteReader& in) {
+  const bool has_current = in.boolean();
+  const BinId bin = in.u64();
+  const double residual = in.f64();
+  current_ = has_current ? std::optional<BinId>(bin) : std::nullopt;
+  current_residual_ = residual;
+}
+
 // --------------------------------------------------------------- RandomFit
 
 std::optional<BinId> RandomFitStrategy::select(double size) {
@@ -179,6 +195,41 @@ void RandomFitStrategy::on_bin_closed(BinId bin) {
   open_.pop_back();
 }
 
+void RandomFitStrategy::save_state(ByteWriter& out) const {
+  std::ostringstream engine;
+  engine << rng_;
+  out.str(engine.str());
+  out.u64(open_.size());
+  for (const auto& [bin, residual] : open_) {
+    out.u64(bin);
+    out.f64(residual);
+  }
+}
+
+void RandomFitStrategy::load_state(ByteReader& in) {
+  std::istringstream engine(in.str());
+  engine >> rng_;
+  if (engine.fail()) throw CorruptionError("malformed random-fit engine state");
+  // Replace the registration-replay order with the persisted swap-remove
+  // order: select() iterates open_, so the order is part of the trajectory.
+  const std::uint64_t count = in.u64();
+  if (count != open_.size()) {
+    throw CorruptionError("random-fit open-bin census mismatch");
+  }
+  std::vector<std::pair<BinId, double>> restored;
+  restored.reserve(count);
+  pos_of_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const BinId bin = in.u64();
+    const double residual = in.f64();
+    if (!pos_of_.emplace(bin, restored.size()).second) {
+      throw CorruptionError("random-fit open list repeats a bin");
+    }
+    restored.emplace_back(bin, residual);
+  }
+  open_ = std::move(restored);
+}
+
 // ------------------------------------------------------------- MoveToFront
 
 std::optional<BinId> MoveToFrontStrategy::select(double size) {
@@ -209,6 +260,30 @@ void MoveToFrontStrategy::on_bin_closed(BinId bin) {
   order_.erase(it->second);
   where_.erase(it);
   residual_of_.erase(bin);
+}
+
+void MoveToFrontStrategy::save_state(ByteWriter& out) const {
+  out.u64(order_.size());
+  for (const BinId bin : order_) out.u64(bin);
+}
+
+void MoveToFrontStrategy::load_state(ByteReader& in) {
+  const std::uint64_t count = in.u64();
+  if (count != residual_of_.size()) {
+    throw CorruptionError("move-to-front recency census mismatch");
+  }
+  // The registration replay left order_ in opening order; rebuild the
+  // persisted recency order over the same bin set.
+  order_.clear();
+  where_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const BinId bin = in.u64();
+    if (!residual_of_.contains(bin) || where_.contains(bin)) {
+      throw CorruptionError("move-to-front recency list names a foreign bin");
+    }
+    order_.push_back(bin);
+    where_[bin] = std::prev(order_.end());
+  }
 }
 
 }  // namespace dbp

@@ -126,6 +126,10 @@ class NextFitStrategy final : public FitStrategy {
   void on_bin_registered(BinId bin, double residual) override;
   void on_residual_changed(BinId bin, double residual) override;
   void on_bin_closed(BinId bin) override;
+  // The current bin is real history, not derivable from the open bins: a
+  // failed fit retires it even though it stays open in the BinManager.
+  void save_state(ByteWriter& out) const override;
+  void load_state(ByteReader& in) override;
 
  private:
   CostModel model_;
@@ -145,6 +149,11 @@ class RandomFitStrategy final : public FitStrategy {
   void on_bin_registered(BinId bin, double residual) override;
   void on_residual_changed(BinId bin, double residual) override;
   void on_bin_closed(BinId bin) override;
+  // Persists the engine *position* and the swap-remove scan order of open_
+  // — both consumed by the reservoir sampler, neither derivable from the
+  // set of open bins.
+  void save_state(ByteWriter& out) const override;
+  void load_state(ByteReader& in) override;
 
  private:
   CostModel model_;
@@ -167,6 +176,9 @@ class MoveToFrontStrategy final : public FitStrategy {
   void on_bin_registered(BinId bin, double residual) override;
   void on_residual_changed(BinId bin, double residual) override;
   void on_bin_closed(BinId bin) override;
+  // Persists the recency order, which encodes the full placement history.
+  void save_state(ByteWriter& out) const override;
+  void load_state(ByteReader& in) override;
 
  private:
   CostModel model_;

@@ -1,0 +1,42 @@
+// Checked file-output helpers for everything the CLI tools write.
+//
+// std::ofstream reports failure through stream state, which is easy to
+// ignore: a full disk or a vanished directory produces a partial (or empty)
+// file and a successful-looking exit. These helpers turn both failure points
+// into typed IoError throws — open failures immediately, write failures at
+// the mandatory close_output_file() flush — so every tool exits non-zero
+// instead of silently shipping a damaged report.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace dbp {
+
+/// Opens `path` for writing (truncating); throws IoError when the stream
+/// cannot open (missing directory, permissions, ...).
+[[nodiscard]] inline std::ofstream open_output_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    throw IoError("cannot open output file for writing: " + path);
+  }
+  return out;
+}
+
+/// Flushes `out` and throws IoError if any write into it failed (including
+/// earlier, silently-latched failures). Every open_output_file() stream must
+/// pass through here before success is reported.
+inline void close_output_file(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out.good()) {
+    throw IoError("write failed for output file: " + path);
+  }
+  out.close();
+  if (out.fail()) {
+    throw IoError("close failed for output file: " + path);
+  }
+}
+
+}  // namespace dbp

@@ -38,6 +38,22 @@ class CompensatedSum {
 
   [[nodiscard]] double value() const noexcept { return sum_ + compensation_; }
 
+  /// Raw internal terms for bit-exact serialization. A checkpoint must
+  /// persist (sum, compensation) separately — re-seeding from value() would
+  /// fold the compensation away and diverge from an uninterrupted run on the
+  /// very next add().
+  [[nodiscard]] double raw_sum() const noexcept { return sum_; }
+  [[nodiscard]] double raw_compensation() const noexcept { return compensation_; }
+
+  /// Rebuilds the exact internal state captured by raw_sum()/raw_compensation().
+  [[nodiscard]] static CompensatedSum from_raw(double sum,
+                                               double compensation) noexcept {
+    CompensatedSum result;
+    result.sum_ = sum;
+    result.compensation_ = compensation;
+    return result;
+  }
+
  private:
   double sum_ = 0.0;
   double compensation_ = 0.0;

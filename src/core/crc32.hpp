@@ -1,0 +1,44 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over byte spans.
+//
+// The durability layer stamps every journal record and checkpoint payload
+// with a CRC so torn writes and bit rot are *detected* rather than replayed
+// as silently wrong state. Software table lookup: the journal is written on
+// the event path but hashed per flushed record, so throughput is dominated
+// by the write() syscall, not the CRC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dbp {
+
+namespace detail {
+
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `data` (full-buffer convenience; standard init/final XOR).
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                         std::uint32_t seed = 0) noexcept {
+  std::uint32_t c = ~seed;
+  for (const std::uint8_t byte : data) {
+    c = detail::kCrc32Table[(c ^ byte) & 0xFFU] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace dbp

@@ -23,6 +23,21 @@ class InvariantError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Thrown when an operating-system I/O operation fails (unwritable path,
+/// short write, failed flush). Environmental, not a caller or library bug.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when persisted bytes fail validation (CRC mismatch, truncated
+/// framing, version skew). Always a *detected* condition: durability readers
+/// raise this instead of ever deserializing corrupt state.
+class CorruptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg) {

@@ -1,0 +1,41 @@
+// Test-only fault injection for the durability write path.
+//
+// The crash-consistency harness (tools/dbp_crashtest) must be able to kill
+// the process at *arbitrary byte offsets* inside journal appends and
+// checkpoint writes — in between the partial writes a real power cut or
+// SIGKILL would leave behind. Every physical write in src/durability flows
+// through detail::write_all, which consults this hook: the hook may allow
+// the write, or demand that only a prefix be written before the process
+// raises SIGKILL against itself.
+//
+// Production code never installs a hook; the default is "no interference"
+// with zero overhead beyond one atomic load per write call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+
+namespace dbp::durability {
+
+/// Decision callback invoked before each physical write.
+///   tag     "journal" or "checkpoint" (which write path)
+///   offset  current byte offset in the target file
+///   length  bytes about to be written
+/// Return std::nullopt to allow the write, or a byte count k <= length to
+/// have exactly k bytes written before the process SIGKILLs itself.
+using WriteCrashHook = std::function<std::optional<std::size_t>(
+    std::string_view tag, std::uint64_t offset, std::size_t length)>;
+
+/// Installs (or, with an empty function, removes) the process-wide hook.
+/// Not thread-safe against concurrent durability writes — the harness
+/// installs it before any durable object exists.
+void set_write_crash_hook(WriteCrashHook hook);
+
+namespace detail {
+/// The installed hook (nullptr-equivalent when unset). Internal.
+[[nodiscard]] const WriteCrashHook& write_crash_hook();
+}  // namespace detail
+
+}  // namespace dbp::durability

@@ -1,0 +1,139 @@
+#include "durability/file_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/stat.h>
+#include <utility>
+
+#include "durability/crash_hook.hpp"
+
+namespace dbp::durability {
+
+namespace {
+
+WriteCrashHook g_write_crash_hook;
+
+[[noreturn]] void kill_self() {
+  // The harness's contract is an abrupt death — no destructors, no buffered
+  // flushes, exactly what SIGKILL delivers.
+  (void)::raise(SIGKILL);
+  ::_exit(137);  // unreachable unless raise itself failed
+}
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void set_write_crash_hook(WriteCrashHook hook) {
+  g_write_crash_hook = std::move(hook);
+}
+
+const WriteCrashHook& detail::write_crash_hook() { return g_write_crash_hook; }
+
+namespace detail {
+
+FileHandle::FileHandle(const std::string& path, int flags) {
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) throw IoError(errno_text("cannot open " + path));
+}
+
+FileHandle::~FileHandle() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+FileHandle::FileHandle(FileHandle&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+FileHandle& FileHandle::operator=(FileHandle&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void FileHandle::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+void write_fully(int fd, std::span<const std::uint8_t> data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(errno_text("write failed"));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void write_all(int fd, const char* tag, std::uint64_t offset,
+               std::span<const std::uint8_t> data) {
+  const WriteCrashHook& hook = write_crash_hook();
+  if (hook) {
+    const std::optional<std::size_t> allow = hook(tag, offset, data.size());
+    if (allow.has_value()) {
+      write_fully(fd, data.subspan(0, *allow));
+      kill_self();
+    }
+  }
+  write_fully(fd, data);
+}
+
+void sync_fd(int fd) {
+  if (::fsync(fd) != 0) throw IoError(errno_text("fsync failed"));
+}
+
+void sync_dir(const std::string& dir) {
+  FileHandle handle(dir, O_RDONLY | O_DIRECTORY);
+  sync_fd(handle.fd());
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  FileHandle handle(path, O_RDONLY);
+  std::vector<std::uint8_t> data;
+  std::uint8_t buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(handle.fd(), buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(errno_text("read failed for " + path));
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buffer, buffer + n);
+  }
+  return data;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat info{};
+  if (::stat(path.c_str(), &info) != 0) {
+    throw IoError(errno_text("cannot stat " + path));
+  }
+  return static_cast<std::uint64_t>(info.st_size);
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+  FileHandle handle(path, O_WRONLY);
+  if (::ftruncate(handle.fd(), static_cast<off_t>(size)) != 0) {
+    throw IoError(errno_text("cannot truncate " + path));
+  }
+  sync_fd(handle.fd());
+}
+
+}  // namespace detail
+}  // namespace dbp::durability

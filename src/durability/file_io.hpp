@@ -1,0 +1,62 @@
+// POSIX file primitives shared by the journal and checkpoint writers.
+//
+// Durability needs three things std::ofstream cannot give portably: explicit
+// fsync points (a flushed record must survive the process dying), atomic
+// rename with a directory fsync (a checkpoint is fully present or absent),
+// and a single choke point for the crash-injection hook. All failures throw
+// IoError with errno context — short writes are never silent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dbp::durability::detail {
+
+/// RAII file descriptor. Move-only.
+class FileHandle {
+ public:
+  FileHandle() = default;
+  /// Opens with ::open(path, flags, 0644); throws IoError on failure.
+  FileHandle(const std::string& path, int flags);
+  ~FileHandle();
+
+  FileHandle(FileHandle&& other) noexcept;
+  FileHandle& operator=(FileHandle&& other) noexcept;
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Writes all of `data` at the file's current position, routing through the
+/// crash hook (crash_hook.hpp) under `tag` with `offset` as the position
+/// being written. Retries short writes/EINTR; throws IoError on OS failure.
+void write_all(int fd, const char* tag, std::uint64_t offset,
+               std::span<const std::uint8_t> data);
+
+/// fsync(fd); throws IoError on failure.
+void sync_fd(int fd);
+
+/// Opens and fsyncs the directory so a just-renamed file's name entry is
+/// durable; throws IoError on failure.
+void sync_dir(const std::string& dir);
+
+/// Reads an entire file; throws IoError when it cannot be opened or read.
+[[nodiscard]] std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// File size in bytes; throws IoError when stat fails.
+[[nodiscard]] std::uint64_t file_size(const std::string& path);
+
+/// Truncates `path` to `size` bytes and fsyncs it; throws IoError on failure.
+void truncate_file(const std::string& path, std::uint64_t size);
+
+}  // namespace dbp::durability::detail

@@ -1,0 +1,201 @@
+// Durable wrappers and crash recovery (docs/durability.md Sections 4-5).
+//
+// DurableDispatcher / DurableRun implement write-ahead logging over the
+// cloud-gaming dispatcher and the plain packing simulation: every input
+// event is journaled and flushed *before* it is applied, and a full state
+// checkpoint is written atomically every `checkpoint_every` events. The
+// RecoveryManager inverts that: load the newest checkpoint that validates
+// (falling back across corrupt ones), truncate the journal's torn tail,
+// replay the journal suffix, and hand back a wrapper that continues the
+// interrupted stream — bit-identically to a run that never crashed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "algo/factory.hpp"
+#include "core/types.hpp"
+#include "durability/journal.hpp"
+#include "gaming/dispatcher.hpp"
+
+namespace dbp::durability {
+
+struct DurabilityConfig {
+  /// Directory holding `journal.dbpj` and `ckpt-*.dbpc`. Created on demand.
+  std::string dir;
+  /// Events between automatic checkpoints (0 = only explicit checkpoint_now).
+  std::uint64_t checkpoint_every = 64;
+  /// Checkpoints retained after a new one lands (>= 1).
+  std::size_t keep_checkpoints = 2;
+  /// Events per journal flush; 1 = strict WAL (flush before every apply).
+  std::uint64_t flush_every = 1;
+  /// Stream identity stamped into journal + checkpoints so files from a
+  /// different run cannot be mixed silently.
+  std::uint64_t stream_id = 0xD0B9D0B9ULL;
+
+  void validate() const;
+};
+
+inline constexpr const char* kJournalFileName = "journal.dbpj";
+
+/// How recovery went. `next_seq` is where the caller resumes feeding events.
+struct RecoveryReport {
+  std::uint64_t checkpoint_seq = 0;      ///< next_seq of the checkpoint used
+  std::size_t checkpoints_skipped = 0;   ///< newer-but-unusable checkpoints
+  std::uint64_t replayed_events = 0;     ///< journal suffix length applied
+  std::uint64_t next_seq = 0;            ///< first seq not yet applied
+  bool torn_tail = false;                ///< journal had a truncated tail
+};
+
+namespace detail {
+
+/// Journal + checkpoint bookkeeping shared by both durable wrappers.
+struct StreamCore {
+  DurabilityConfig config;
+  std::unique_ptr<JournalWriter> journal;
+  std::uint64_t next_seq = 0;
+  std::uint64_t unflushed = 0;
+
+  /// Fresh stream: creates the directory; the caller writes checkpoint 0
+  /// and then calls open_fresh_journal().
+  explicit StreamCore(DurabilityConfig cfg);
+
+  void open_fresh_journal();
+  void open_resumed_journal(std::uint64_t resume_offset);
+
+  /// WAL step: append + flush (per config.flush_every) and advance the seq.
+  void journal_event(JournalEventKind kind, Time time, std::uint64_t subject,
+                     double size);
+  [[nodiscard]] bool checkpoint_due() const;
+  void commit_checkpoint(std::vector<std::uint8_t> payload);
+};
+
+}  // namespace detail
+
+/// Crash-durable facade over GameServerDispatcher. Construction writes
+/// checkpoint 0; every event is journaled ahead of being applied, so the
+/// dispatcher's visible behavior (return values, throw behavior, stats) is
+/// exactly GameServerDispatcher's. Requires an algorithm whose packer
+/// supports snapshots (all online algorithms; not the clairvoyant ones).
+class DurableDispatcher {
+ public:
+  DurableDispatcher(const DurabilityConfig& config, const ServerSpec& spec,
+                    const std::string& algorithm, const PackerOptions& options,
+                    const FaultPolicy& policy);
+
+  BinId start_session(std::uint64_t session_id, double gpu_fraction,
+                      Time now_minutes);
+  void end_session(std::uint64_t session_id, Time now_minutes);
+  std::size_t fail_server(BinId server, Time now_minutes);
+
+  /// Forces a checkpoint at the current position (journal flushed first).
+  void checkpoint_now();
+  /// Flushes any buffered journal records (a durability point).
+  void flush();
+
+  [[nodiscard]] const GameServerDispatcher& dispatcher() const noexcept {
+    return dispatcher_;
+  }
+  [[nodiscard]] std::uint64_t next_seq() const noexcept {
+    return core_.next_seq;
+  }
+  [[nodiscard]] const JournalWriter& journal() const noexcept {
+    return *core_.journal;
+  }
+
+ private:
+  friend class RecoveryManager;
+  struct RecoveredTag {};
+  DurableDispatcher(RecoveredTag, DurabilityConfig config, ServerSpec spec,
+                    std::string algorithm, PackerOptions options,
+                    FaultPolicy policy);
+
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint_payload() const;
+  void maybe_checkpoint();
+  /// Replay-side application: reproduces the original call, swallowing the
+  /// DispatchError a kThrow policy would re-raise (the original caller
+  /// already observed it; the state change — counters — is what replays).
+  void apply_replayed(const JournalEvent& event);
+
+  detail::StreamCore core_;
+  ServerSpec spec_;
+  std::string algorithm_;
+  PackerOptions options_;
+  FaultPolicy policy_;
+  GameServerDispatcher dispatcher_;
+};
+
+/// Crash-durable packing run: the simulation-mode twin of DurableDispatcher.
+/// Feed it the instance's event sequence (arrivals and departures in time
+/// order); after the last departure the underlying packer's bin state yields
+/// the same SimulationResult an uninterrupted simulate() would produce.
+class DurableRun {
+ public:
+  DurableRun(const DurabilityConfig& config, const CostModel& model,
+             const std::string& algorithm, const PackerOptions& options);
+
+  BinId apply_arrival(const ArrivingItem& item);
+  void apply_departure(ItemId item, Time now);
+
+  void checkpoint_now();
+  void flush();
+
+  [[nodiscard]] const Packer& packer() const noexcept { return *packer_; }
+  [[nodiscard]] std::uint64_t next_seq() const noexcept {
+    return core_.next_seq;
+  }
+  [[nodiscard]] const JournalWriter& journal() const noexcept {
+    return *core_.journal;
+  }
+
+ private:
+  friend class RecoveryManager;
+  struct RecoveredTag {};
+  DurableRun(RecoveredTag, DurabilityConfig config, CostModel model,
+             std::string algorithm, PackerOptions options);
+
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint_payload() const;
+  void maybe_checkpoint();
+  void apply_replayed(const JournalEvent& event);
+
+  detail::StreamCore core_;
+  CostModel model_;
+  std::string algorithm_;
+  PackerOptions options_;
+  std::unique_ptr<Packer> packer_;
+  /// Active item sizes, for the checkpoint's RLE cross-check. Ordered map:
+  /// iterated when building checkpoint payloads.
+  std::map<ItemId, double> active_;
+};
+
+/// Which durable wrapper a directory's newest valid checkpoint belongs to.
+enum class DurableMode : std::uint8_t {
+  kDispatcher = 1,
+  kSimulation = 2,
+};
+
+/// Loads the newest valid checkpoint, repairs the journal, replays the
+/// suffix and returns a wrapper ready to continue the stream. Exactly one
+/// of `dispatcher` / `run` is non-null (matching `mode`).
+struct RecoveredState {
+  DurableMode mode = DurableMode::kDispatcher;
+  std::unique_ptr<DurableDispatcher> dispatcher;
+  std::unique_ptr<DurableRun> run;
+  RecoveryReport report;
+};
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(DurabilityConfig config);
+
+  /// Throws CorruptionError when no checkpoint validates (nothing safe to
+  /// recover to — callers must treat the directory as lost, never guess).
+  [[nodiscard]] RecoveredState recover();
+
+ private:
+  DurabilityConfig config_;
+};
+
+}  // namespace dbp::durability

@@ -1,10 +1,14 @@
 #include "gaming/dispatcher.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "core/error.hpp"
 #include "core/strfmt.hpp"
 #include "obs/obs.hpp"
+#include "opt/rle.hpp"
 
 namespace dbp {
 
@@ -257,6 +261,129 @@ std::size_t GameServerDispatcher::fail_server(BinId server, Time now_minutes) {
   }
   policy_.on_anomaly = saved;
   return redispatched;
+}
+
+void GameServerDispatcher::save_state(ByteWriter& out) const {
+  out.str(algorithm_);
+  out.f64(spec_.gpu_capacity);
+  out.f64(spec_.price_per_hour);
+  out.u8(static_cast<std::uint8_t>(policy_.on_anomaly));
+  out.f64(policy_.rental_failure_rate);
+  out.u64(static_cast<std::uint64_t>(policy_.max_rental_retries));
+  out.f64(policy_.backoff_base_minutes);
+  out.u64(policy_.max_fleet_servers);
+  out.u64(policy_.seed);
+  packer_->save_snapshot(out);
+  std::vector<std::pair<std::uint64_t, double>> sessions(sessions_.begin(),
+                                                         sessions_.end());
+  std::sort(sessions.begin(), sessions.end());
+  out.u64(sessions.size());
+  for (const auto& [id, size] : sessions) {
+    out.u64(id);
+    out.f64(size);
+  }
+  // RLE size-multiset cross-check (opt/rle.hpp): a compact semantic summary
+  // of the active load, validated independently of the packer bytes on
+  // restore so a checkpoint whose halves disagree is rejected, not trusted.
+  std::vector<double> sizes;
+  sizes.reserve(sessions.size());
+  for (const auto& [id, size] : sessions) sizes.push_back(size);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  const std::vector<SizeRun> runs = rle_from_sorted(sizes);
+  out.u64(runs.size());
+  for (const SizeRun& run : runs) {
+    out.f64(run.size);
+    out.u64(run.count);
+  }
+  out.u64(stats_.duplicate_starts);
+  out.u64(stats_.unknown_ends);
+  out.u64(stats_.unknown_servers);
+  out.u64(stats_.time_order_violations);
+  out.u64(stats_.invalid_sizes);
+  out.u64(stats_.rental_attempts_failed);
+  out.u64(stats_.sessions_rejected_rental);
+  out.u64(stats_.sessions_rejected_cap);
+  out.u64(stats_.sessions_shed);
+  out.u64(stats_.sessions_redispatched);
+  out.u64(stats_.sessions_lost_on_crash);
+  out.u64(stats_.servers_crashed);
+  out.f64(stats_.backoff_minutes);
+  out.str(rental_rng_.save_state());
+  out.f64(last_event_time_);
+}
+
+void GameServerDispatcher::restore_state(ByteReader& in) {
+  if (in.str() != algorithm_) {
+    throw CorruptionError("checkpoint algorithm differs from this dispatcher's");
+  }
+  if (in.f64() != spec_.gpu_capacity || in.f64() != spec_.price_per_hour) {
+    throw CorruptionError("checkpoint server spec differs from this dispatcher's");
+  }
+  FaultPolicy persisted = policy_;
+  persisted.on_anomaly = static_cast<FaultPolicy::AnomalyAction>(in.u8());
+  persisted.rental_failure_rate = in.f64();
+  persisted.max_rental_retries = static_cast<int>(in.u64());
+  persisted.backoff_base_minutes = in.f64();
+  persisted.max_fleet_servers = static_cast<std::size_t>(in.u64());
+  persisted.seed = in.u64();
+  if (!(persisted == policy_)) {
+    throw CorruptionError("checkpoint fault policy differs from this dispatcher's");
+  }
+  packer_->restore_snapshot(in);
+  sessions_.clear();
+  const std::uint64_t session_count = in.u64();
+  for (std::uint64_t i = 0; i < session_count; ++i) {
+    const std::uint64_t id = in.u64();
+    const double size = in.f64();
+    if (!sessions_.emplace(id, size).second) {
+      throw CorruptionError("checkpoint session table repeats an id");
+    }
+  }
+  // The session table must exactly cover the packer's resident items.
+  const BinManager& bins = packer_->bins();
+  if (session_count != bins.active_item_count()) {
+    throw CorruptionError("session census disagrees with the packer's residents");
+  }
+  std::vector<double> active_sizes;
+  active_sizes.reserve(session_count);
+  for (const BinId bin : bins.open_bins()) {
+    for (const ItemId item : bins.items_in(bin)) {
+      const auto it = sessions_.find(item);
+      if (it == sessions_.end()) {
+        throw CorruptionError("packer resident missing from the session table");
+      }
+      active_sizes.push_back(it->second);
+    }
+  }
+  // Recompute the RLE active-size multiset from the restored state and
+  // require it to match the persisted runs bit-for-bit.
+  std::sort(active_sizes.begin(), active_sizes.end(), std::greater<>());
+  const std::vector<SizeRun> recomputed = rle_from_sorted(active_sizes);
+  rle_validate(recomputed, packer_->model());
+  const std::uint64_t run_count = in.u64();
+  if (run_count != recomputed.size()) {
+    throw CorruptionError("RLE cross-check run count mismatch");
+  }
+  for (const SizeRun& run : recomputed) {
+    if (in.f64() != run.size || in.u64() != run.count) {
+      throw CorruptionError("RLE cross-check multiset mismatch");
+    }
+  }
+  stats_.duplicate_starts = in.u64();
+  stats_.unknown_ends = in.u64();
+  stats_.unknown_servers = in.u64();
+  stats_.time_order_violations = in.u64();
+  stats_.invalid_sizes = in.u64();
+  stats_.rental_attempts_failed = in.u64();
+  stats_.sessions_rejected_rental = in.u64();
+  stats_.sessions_rejected_cap = in.u64();
+  stats_.sessions_shed = in.u64();
+  stats_.sessions_redispatched = in.u64();
+  stats_.sessions_lost_on_crash = in.u64();
+  stats_.servers_crashed = in.u64();
+  stats_.backoff_minutes = in.f64();
+  rental_rng_.load_state(in.str());
+  last_event_time_ = in.f64();
 }
 
 std::size_t GameServerDispatcher::active_servers() const {

@@ -81,6 +81,27 @@ class GameServerDispatcher {
     return stats_;
   }
 
+  /// Read access to the underlying packer's bin state (servers = bins).
+  [[nodiscard]] const BinManager& bins() const noexcept { return packer_->bins(); }
+
+  /// True when the configured algorithm's packer can checkpoint bit-exactly.
+  [[nodiscard]] bool snapshot_supported() const {
+    return packer_->snapshot_supported();
+  }
+
+  /// Serializes the complete dispatcher state: packer snapshot, active
+  /// session table, fault statistics (including the retry/backoff
+  /// accumulators), the rental RNG *position*, and the event clock — plus an
+  /// RLE size-multiset cross-check of the active sessions. Requires
+  /// snapshot_supported().
+  void save_state(ByteWriter& out) const;
+
+  /// Restores save_state() bytes into a dispatcher freshly constructed with
+  /// the same (spec, algorithm, options, policy). Mismatched construction or
+  /// inconsistent state throws CorruptionError; afterwards the dispatcher
+  /// continues the interrupted run bit-identically.
+  void restore_state(ByteReader& in);
+
  private:
   /// Validation failure: throws DispatchError (kThrow) or bumps `counter`
   /// and returns false (kDropAndCount).

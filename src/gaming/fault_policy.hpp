@@ -74,6 +74,10 @@ struct FaultPolicy {
 
   /// Throws PreconditionError unless the policy is usable.
   void validate() const;
+
+  /// Exact equality — checkpoint restore refuses a dispatcher constructed
+  /// with a different policy.
+  friend bool operator==(const FaultPolicy&, const FaultPolicy&) = default;
 };
 
 /// Per-category counters of everything the fault policy absorbed. Counters
@@ -105,6 +109,12 @@ struct DispatcherFaultStats {
     return duplicate_starts + unknown_ends + time_order_violations +
            invalid_sizes;
   }
+
+  /// Exact field equality, including the accumulated backoff_minutes double
+  /// bit-for-bit — the recovery differential asserts a restored dispatcher's
+  /// stats equal an uninterrupted run's.
+  friend bool operator==(const DispatcherFaultStats&,
+                         const DispatcherFaultStats&) = default;
 };
 
 }  // namespace dbp

@@ -3,6 +3,10 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
+
+#include "core/error.hpp"
 
 namespace dbp {
 
@@ -42,6 +46,22 @@ class Rng {
 
   [[nodiscard]] bool bernoulli(double p) {
     return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exact engine state as text (the standard guarantees operator<</operator>>
+  /// round-trip mt19937_64 bit-exactly). Used by checkpoints: restoring the
+  /// *position* of the stream — not merely the seed — is what keeps a
+  /// recovered run on the same random trajectory as an uninterrupted one.
+  [[nodiscard]] std::string save_state() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+
+  void load_state(const std::string& text) {
+    std::istringstream in(text);
+    in >> engine_;
+    if (in.fail()) throw CorruptionError("malformed RNG engine state");
   }
 
   /// Derives an independent child stream (e.g. one per sweep cell) without

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/checked_output.hpp"
 #include "core/error.hpp"
 #include "core/strfmt.hpp"
 
@@ -55,9 +56,9 @@ void write_instance_csv(const Instance& instance, std::ostream& out) {
 }
 
 void write_instance_csv(const Instance& instance, const std::string& path) {
-  std::ofstream out(path);
-  DBP_REQUIRE(out.is_open(), "cannot open trace csv for writing: " + path);
+  std::ofstream out = open_output_file(path);
   write_instance_csv(instance, out);
+  close_output_file(out, path);
 }
 
 Instance read_instance_csv(std::istream& in) {

@@ -27,6 +27,7 @@
 
 #include "analysis/sweep.hpp"
 #include "cli.hpp"
+#include "core/checked_output.hpp"
 #include "core/error.hpp"
 #include "exec/execution_policy.hpp"
 #include "exec/worker_budget.hpp"
@@ -300,9 +301,9 @@ int main(int argc, char** argv) {
     }
     json << "  ]\n}\n";
 
-    std::ofstream out(out_path);
-    DBP_REQUIRE(out.is_open(), "cannot write " + out_path);
+    std::ofstream out = open_output_file(out_path);
     out << json.str();
+    close_output_file(out, out_path);
     std::cout << json.str();
     std::cerr << "report written to " << out_path << "\n";
     obs_session.finish();

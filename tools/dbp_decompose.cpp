@@ -11,6 +11,7 @@
 
 #include "analysis/ff_decomposition.hpp"
 #include "cli.hpp"
+#include "core/checked_output.hpp"
 #include "core/strfmt.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace_io.hpp"
@@ -62,8 +63,8 @@ int main(int argc, char** argv) {
     }
 
     if (args.has("sub-periods")) {
-      std::ofstream out(args.require("sub-periods"));
-      DBP_REQUIRE(out.is_open(), "cannot open sub-period csv for writing");
+      const std::string path = args.require("sub-periods");
+      std::ofstream out = open_output_file(path);
       out << "bin,index,begin,end,reference_point,reference_bin,intersecting,"
              "partner\n";
       for (const SubPeriod& sub : d.sub_periods) {
@@ -74,8 +75,8 @@ int main(int argc, char** argv) {
                       sub.intersecting ? 1 : 0,
                       sub.partner ? strfmt("%zu", *sub.partner).c_str() : "-");
       }
-      std::cout << "sub-periods written to " << args.require("sub-periods")
-                << "\n";
+      close_output_file(out, path);
+      std::cout << "sub-periods written to " << path << "\n";
     }
     return report.all_ok() ? 0 : 2;
   } catch (const std::exception& error) {

@@ -9,18 +9,25 @@
 // the OPT sandwich, and (for First Fit) the Section 4.3 invariants. Unless
 // --no-chaos is given, each round then replays the instance under a random
 // FaultPlan (crashes + anomalous events) and checks that the cost
-// accounting invariants survive recovery. On any violation it prints the
-// offending (round, seed) so the failure is reproducible, and exits
-// non-zero. Used as a long-running robustness soak beyond what the
+// accounting invariants survive recovery. Each round also fuzzes the
+// durability journal codec: a journal encoded by the real JournalWriter is
+// truncated, bit-flipped, spliced and garbage-extended, and the scanner
+// must return exactly the intact record prefix or a typed CorruptionError —
+// it must never crash and never accept a damaged record. On any violation
+// it prints the offending (round, seed) so the failure is reproducible, and
+// exits non-zero. Used as a long-running robustness soak beyond what the
 // unit-test sweeps cover.
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <iostream>
+#include <vector>
 
 #include "algo/any_fit_packer.hpp"
 #include "algo/strategies.hpp"
 #include "analysis/ff_decomposition.hpp"
 #include "cli.hpp"
+#include "durability/journal.hpp"
 #include "exec/worker_budget.hpp"
 #include "core/metrics.hpp"
 #include "core/strfmt.hpp"
@@ -131,6 +138,153 @@ bool run_chaos_round(std::uint64_t round, std::uint64_t seed,
   return ok;
 }
 
+/// Fuzzes the journal decoder: encode a random event stream through the
+/// real JournalWriter, then mutate the bytes and require scan_journal_bytes
+/// to return exactly the intact record prefix or throw CorruptionError —
+/// never crash, never accept a record the writer did not produce intact.
+bool run_journal_fuzz_round(std::uint64_t round, std::uint64_t seed) {
+  namespace dur = durability;
+  Rng rng(seed ^ 0x70511F1EDULL);
+  bool ok = true;
+  const auto fail = [&](const std::string& what) {
+    std::cerr << strfmt("FUZZ JOURNAL FAILURE round=%llu seed=%llu: %s\n",
+                        static_cast<unsigned long long>(round),
+                        static_cast<unsigned long long>(seed), what.c_str());
+    ok = false;
+  };
+
+  // Ground truth: a dense event stream encoded by the production writer.
+  const std::uint64_t stream_id = rng.uniform_int(0, ~std::uint64_t{0});
+  const std::size_t count = 1 + rng.uniform_int(0, 39);
+  const std::uint64_t base_seq = rng.bernoulli(0.5) ? 0 : rng.uniform_int(1, 500);
+  std::vector<dur::JournalEvent> truth(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    truth[i].seq = base_seq + i;
+    truth[i].kind = static_cast<dur::JournalEventKind>(rng.uniform_int(1, 5));
+    truth[i].time = rng.uniform(0.0, 1000.0);
+    truth[i].subject = rng.uniform_int(0, 1'000'000);
+    truth[i].size = rng.uniform(0.0, 1.0);
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       strfmt("dbp_fuzz_journal.%llu.%llu.dbpj",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(round)))
+          .string();
+  std::filesystem::remove(path);
+  {
+    dur::JournalWriter writer(path, stream_id);
+    for (const dur::JournalEvent& event : truth) writer.append(event);
+    writer.flush();
+  }
+  const std::vector<std::uint8_t> bytes = dur::detail::read_file(path);
+  std::filesystem::remove(path);
+  DBP_REQUIRE((bytes.size() - dur::kJournalHeaderBytes) % count == 0,
+              "journal records are not fixed-size");
+  const std::size_t record_size =
+      (bytes.size() - dur::kJournalHeaderBytes) / count;
+
+  // Clean decode must round-trip exactly.
+  {
+    const dur::JournalScan scan = dur::scan_journal_bytes(bytes);
+    if (scan.stream_id != stream_id) fail("clean scan lost the stream id");
+    if (scan.events != truth) fail("clean scan did not round-trip");
+    if (scan.torn_tail || scan.valid_bytes != bytes.size()) {
+      fail("clean scan reported damage");
+    }
+  }
+
+  /// Expect exactly the first `prefix` ground-truth records, with damage.
+  const auto expect_prefix = [&](const std::vector<std::uint8_t>& mutated,
+                                 std::size_t prefix, const char* what) {
+    try {
+      const dur::JournalScan scan = dur::scan_journal_bytes(mutated);
+      if (scan.events.size() != prefix ||
+          !std::equal(scan.events.begin(), scan.events.end(), truth.begin())) {
+        fail(std::string(what) + ": accepted records beyond the intact prefix");
+        return;
+      }
+      if (scan.valid_bytes !=
+          dur::kJournalHeaderBytes + prefix * record_size) {
+        fail(std::string(what) + ": wrong valid-prefix length");
+      }
+      if (!scan.torn_tail && mutated.size() != scan.valid_bytes) {
+        fail(std::string(what) + ": damage not reported as a torn tail");
+      }
+    } catch (const CorruptionError&) {
+      fail(std::string(what) + ": intact-prefix damage escalated to "
+                               "CorruptionError");
+    }
+  };
+  const auto expect_refusal = [&](const std::vector<std::uint8_t>& mutated,
+                                  const char* what) {
+    try {
+      (void)dur::scan_journal_bytes(mutated);
+      fail(std::string(what) + ": decoder accepted unrecoverable bytes");
+    } catch (const CorruptionError&) {
+      // expected: typed refusal, not a crash and not a fabricated scan
+    }
+  };
+
+  // Truncation at any byte: crashes can only shorten the file.
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t cut = rng.uniform_int(0, bytes.size());
+    std::vector<std::uint8_t> mutated(bytes.begin(),
+                                      bytes.begin() + static_cast<long>(cut));
+    if (cut < dur::kJournalHeaderBytes) {
+      expect_refusal(mutated, "truncation inside header");
+    } else {
+      expect_prefix(mutated, (cut - dur::kJournalHeaderBytes) / record_size,
+                    "truncation");
+    }
+  }
+
+  // Single bit flips: damage inside record r ends the valid prefix at r.
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t at = rng.uniform_int(0, bytes.size() - 1);
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[at] ^= static_cast<std::uint8_t>(1U << rng.uniform_int(0, 7));
+    if (at < dur::kJournalHeaderBytes) {
+      expect_refusal(mutated, "header bit flip");
+    } else {
+      expect_prefix(mutated, (at - dur::kJournalHeaderBytes) / record_size,
+                    "record bit flip");
+    }
+  }
+
+  // Garbage appended past the last record: a torn tail, nothing accepted.
+  {
+    std::vector<std::uint8_t> mutated = bytes;
+    const std::size_t extra = 1 + rng.uniform_int(0, 63);
+    for (std::size_t i = 0; i < extra; ++i) {
+      mutated.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    expect_prefix(mutated, count, "garbage tail");
+  }
+
+  // Splicing out a middle record leaves CRC-valid records with a sequence
+  // break — impossible as a crash artifact, so the file must be refused.
+  if (count >= 3) {
+    const std::size_t victim = 1 + rng.uniform_int(0, count - 3);
+    std::vector<std::uint8_t> mutated = bytes;
+    const auto start = static_cast<long>(dur::kJournalHeaderBytes +
+                                         victim * record_size);
+    mutated.erase(mutated.begin() + start,
+                  mutated.begin() + start + static_cast<long>(record_size));
+    expect_refusal(mutated, "spliced-out record");
+  }
+
+  // Arbitrary garbage is never a journal.
+  {
+    std::vector<std::uint8_t> garbage(rng.uniform_int(0, 200));
+    for (std::uint8_t& byte : garbage) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    expect_refusal(garbage, "random garbage");
+  }
+  return ok;
+}
+
 bool run_round(std::uint64_t round, std::uint64_t seed, std::size_t max_items,
                bool chaos) {
   Rng rng(seed);
@@ -206,6 +360,7 @@ bool run_round(std::uint64_t round, std::uint64_t seed, std::size_t max_items,
       !run_chaos_round(round, seed, instance, model, closed, metrics, rng)) {
     ok = false;
   }
+  if (!run_journal_fuzz_round(round, seed)) ok = false;
   return ok;
 }
 

@@ -17,6 +17,7 @@
 #include "analysis/table.hpp"
 #include "analysis/timeline.hpp"
 #include "cli.hpp"
+#include "core/checked_output.hpp"
 #include "core/strfmt.hpp"
 #include "exec/worker_budget.hpp"
 #include "obs_cli.hpp"
@@ -89,14 +90,16 @@ int main(int argc, char** argv) {
       for (const std::string& name : algorithms) {
         const SimulationResult result = simulate(instance, name, model, options);
         {
-          std::ofstream out(prefix + "." + name + ".bins.csv");
-          DBP_REQUIRE(out.is_open(), "cannot write timeline csv");
+          const std::string path = prefix + "." + name + ".bins.csv";
+          std::ofstream out = open_output_file(path);
           write_step_function_csv(result.open_bins_over_time, out);
+          close_output_file(out, path);
         }
         {
-          std::ofstream out(prefix + "." + name + ".assign.csv");
-          DBP_REQUIRE(out.is_open(), "cannot write assignment csv");
+          const std::string path = prefix + "." + name + ".assign.csv";
+          std::ofstream out = open_output_file(path);
           write_assignment_csv(instance, result, out);
+          close_output_file(out, path);
         }
       }
       std::cout << "\ntimelines written to " << prefix << ".<algo>.*.csv\n";
@@ -112,9 +115,10 @@ int main(int argc, char** argv) {
         runs.push_back(simulate(instance, name, model, options));
         SvgOptions svg_options;
         svg_options.title = runs.back().algorithm + " — bin layout";
-        std::ofstream out(prefix + "." + name + ".gantt.svg");
-        DBP_REQUIRE(out.is_open(), "cannot write gantt svg");
+        const std::string path = prefix + "." + name + ".gantt.svg";
+        std::ofstream out = open_output_file(path);
         out << render_bin_gantt_svg(instance, runs.back(), svg_options);
+        close_output_file(out, path);
       }
       std::vector<TimelineSeries> series;
       for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -122,9 +126,10 @@ int main(int argc, char** argv) {
       }
       SvgOptions svg_options;
       svg_options.title = "open bins over time (the MinTotal cost integrand)";
-      std::ofstream out(prefix + ".open_bins.svg");
-      DBP_REQUIRE(out.is_open(), "cannot write open-bins svg");
+      const std::string path = prefix + ".open_bins.svg";
+      std::ofstream out = open_output_file(path);
       out << render_open_bins_svg(series, svg_options);
+      close_output_file(out, path);
       std::cout << "SVGs written to " << prefix << ".*\n";
     }
     obs_session.finish();

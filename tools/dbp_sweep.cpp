@@ -38,6 +38,7 @@
 #include "analysis/sweep.hpp"
 #include "analysis/table.hpp"
 #include "cli.hpp"
+#include "core/checked_output.hpp"
 #include "core/error.hpp"
 #include "core/metrics.hpp"
 #include "core/strfmt.hpp"
@@ -205,9 +206,9 @@ void write_json(const std::vector<CellOutcome>& outcomes,
     json << "}" << (i + 1 < outcomes.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
-  std::ofstream out(path);
-  DBP_REQUIRE(out.is_open(), "cannot write " + path);
+  std::ofstream out = open_output_file(path);
   out << json.str();
+  close_output_file(out, path);
 }
 
 }  // namespace
@@ -279,9 +280,9 @@ int main(int argc, char** argv) {
         const std::string path =
             prefix + "." + o.cell.workload + "." + o.cell.algorithm + "." +
             std::to_string(o.cell.seed) + ".jsonl";
-        std::ofstream out(path);
-        DBP_REQUIRE(out.is_open(), "cannot write " + path);
+        std::ofstream out = open_output_file(path);
         out << o.trace_jsonl;
+        close_output_file(out, path);
       }
       std::cout << "\nper-cell traces written to " << prefix << ".*.jsonl\n";
     }

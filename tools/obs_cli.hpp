@@ -8,6 +8,7 @@
 #include <string>
 
 #include "cli.hpp"
+#include "core/checked_output.hpp"
 #include "core/error.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/obs.hpp"
@@ -37,9 +38,9 @@ class ObsSession {
   void finish() {
     scope_.reset();  // detach before export so export itself is not traced
     if (tracer_ != nullptr) {
-      std::ofstream out(trace_path_);
-      DBP_REQUIRE(out.is_open(), "cannot write trace file: " + trace_path_);
+      std::ofstream out = open_output_file(trace_path_);
       tracer_->export_jsonl(out);
+      close_output_file(out, trace_path_);
       std::cerr << "trace: " << tracer_->total_recorded() << " record(s) -> "
                 << trace_path_ << "\n";
     }

@@ -1,9 +1,5 @@
 #include "algo/any_fit_packer.hpp"
 
-#include "core/audit.hpp"
-#include "core/error.hpp"
-#include "obs/obs.hpp"
-
 namespace dbp {
 
 AnyFitPacker::AnyFitPacker(CostModel model, std::unique_ptr<FitStrategy> strategy)
@@ -12,39 +8,11 @@ AnyFitPacker::AnyFitPacker(CostModel model, std::unique_ptr<FitStrategy> strateg
 }
 
 BinId AnyFitPacker::on_arrival(const ArrivingItem& item) {
-  DBP_REQUIRE(model().fits(item.size, model().bin_capacity),
-              "item larger than the bin capacity");
-  const std::size_t candidates = manager_.open_count();
-  std::optional<BinId> chosen = strategy_->select(item.size);
-  BinId bin;
-  if (chosen) {
-    bin = *chosen;
-#if DBP_AUDIT_ENABLED
-    // First Fit scan-order monotonicity: the selected bin must be the
-    // *earliest-opened* open bin that fits — no open bin with a smaller id
-    // may accommodate the item (bin ids are assigned in opening order).
-    if (strategy_->name() == "first-fit") {
-      for (const BinId open : manager_.open_bins()) {
-        if (open >= bin) break;
-        DBP_AUDIT_CHECK(!manager_.fits(item.size, open),
-                        "First Fit skipped an earlier-opened fitting bin");
-      }
-    }
-#endif
-  } else {
-    if ((paranoid_ || audit_enabled()) && strategy_->any_fit_contract()) {
-      for (BinId open : manager_.open_bins()) {
-        DBP_CHECK(!manager_.fits(item.size, open),
-                  "Any Fit contract violated: a fitting bin was declined");
-      }
-    }
-    bin = manager_.open_bin(item.arrival);
-    strategy_->on_bin_registered(bin, manager_.residual(bin));
-  }
-  manager_.place(item, bin);
-  strategy_->on_residual_changed(bin, manager_.residual(bin));
-  obs::trace_arrival(item.arrival, item.id, item.size, bin, candidates);
-  return bin;
+  return arrival_impl(*strategy_, item);
+}
+
+void AnyFitPacker::on_departure(ItemId item, Time now) {
+  departure_impl(*strategy_, item, now);
 }
 
 void AnyFitPacker::save_extra(ByteWriter& out) const {
@@ -61,16 +29,6 @@ void AnyFitPacker::restore_extra(ByteReader& in) {
     strategy_->on_bin_registered(bin, manager_.residual(bin));
   }
   strategy_->load_state(in);
-}
-
-void AnyFitPacker::on_departure(ItemId item, Time now) {
-  const DepartureOutcome outcome = manager_.remove(item, now);
-  obs::trace_departure(now, item, outcome.bin);
-  if (outcome.bin_closed) {
-    strategy_->on_bin_closed(outcome.bin);
-  } else {
-    strategy_->on_residual_changed(outcome.bin, manager_.residual(outcome.bin));
-  }
 }
 
 }  // namespace dbp

@@ -31,98 +31,26 @@ BinId BinManager::open_bin(Time t) {
   return id;
 }
 
-const BinManager::BinState& BinManager::state_of(BinId bin) const {
-  DBP_REQUIRE(bin < bins_.size(), "unknown bin id");
-  return bins_[static_cast<std::size_t>(bin)];
-}
-
-void BinManager::place(const ArrivingItem& item, BinId bin) {
-  DBP_REQUIRE(bin < bins_.size(), "unknown bin id");
+void BinManager::close_emptied_bin(BinId bin, Time t) {
   BinState& state = bins_[static_cast<std::size_t>(bin)];
-  DBP_REQUIRE(state.open, "cannot place into a closed bin");
-  DBP_REQUIRE(item.size > 0.0, "item size must be positive");
-  DBP_REQUIRE(model_.fits(item.size, model_.bin_capacity - state.level.value()),
-              "item does not fit into the chosen bin");
-  const auto index = static_cast<std::size_t>(item.id);
-  if (index >= items_.size()) {
-    items_.resize(index + 1);  // ids are dense; growth is amortized O(1)
+  DBP_CHECK(state.head == kNoItem, "empty bin with a non-empty resident list");
+  state.level.reset();  // exact zero: no drift survives a bin closure
+  state.open = false;
+  usage_[static_cast<std::size_t>(bin)].closed = t;
+  --open_count_;
+  if (obs::RunTracer* tracer = obs::tracer()) {
+    obs::TraceRecord record;
+    record.time = t;
+    record.kind = obs::TraceKind::kBinClose;
+    record.bin = bin;
+    record.count = open_count_;
+    tracer->record(std::move(record));
   }
-  ItemSlot& slot = items_[index];
-  DBP_REQUIRE(!slot.active, "item id already active");
-  state.level.add(item.size);
-  ++state.item_count;
-  slot.size = item.size;
-  slot.bin = bin;
-  slot.active = true;
-  // Push onto the bin's resident list.
-  slot.prev = kNoItem;
-  slot.next = state.head;
-  if (state.head != kNoItem) items_[static_cast<std::size_t>(state.head)].prev = item.id;
-  state.head = item.id;
-  ++active_count_;
-  audit_bin(bin);
-}
-
-DepartureOutcome BinManager::remove(ItemId item, Time t) {
-  const auto index = static_cast<std::size_t>(item);
-  DBP_REQUIRE(index < items_.size() && items_[index].active,
-              "departure of an item that is not active");
-  ItemSlot& slot = items_[index];
-  const BinId bin = slot.bin;
-  BinState& state = bins_[static_cast<std::size_t>(bin)];
-  DBP_CHECK(state.open && state.item_count > 0, "departure from an empty/closed bin");
-  state.level.subtract(slot.size);
-  --state.item_count;
-  // Unlink from the bin's resident list.
-  if (slot.prev != kNoItem) {
-    items_[static_cast<std::size_t>(slot.prev)].next = slot.next;
-  } else {
-    state.head = slot.next;
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    metrics->counter("bin_manager.bins_closed").add();
+    metrics->gauge("bin_manager.open_bins").set(static_cast<double>(open_count_));
   }
-  if (slot.next != kNoItem) {
-    items_[static_cast<std::size_t>(slot.next)].prev = slot.prev;
-  }
-  slot.next = kNoItem;
-  slot.prev = kNoItem;
-  slot.active = false;  // slot.bin stays: assignment history
-  --active_count_;
-  DepartureOutcome outcome{bin, false};
-  if (state.item_count == 0) {
-    DBP_CHECK(state.head == kNoItem, "empty bin with a non-empty resident list");
-    state.level.reset();  // exact zero: no drift survives a bin closure
-    state.open = false;
-    usage_[static_cast<std::size_t>(bin)].closed = t;
-    --open_count_;
-    outcome.bin_closed = true;
-    if (obs::RunTracer* tracer = obs::tracer()) {
-      obs::TraceRecord record;
-      record.time = t;
-      record.kind = obs::TraceKind::kBinClose;
-      record.bin = bin;
-      record.count = open_count_;
-      tracer->record(std::move(record));
-    }
-    if (obs::MetricsRegistry* metrics = obs::metrics()) {
-      metrics->counter("bin_manager.bins_closed").add();
-      metrics->gauge("bin_manager.open_bins").set(static_cast<double>(open_count_));
-    }
-  }
-  audit_bin(bin);
-  return outcome;
 }
-
-double BinManager::level(BinId bin) const { return state_of(bin).level.value(); }
-
-double BinManager::residual(BinId bin) const {
-  return model_.bin_capacity - state_of(bin).level.value();
-}
-
-bool BinManager::fits(double size, BinId bin) const {
-  const BinState& state = state_of(bin);
-  return state.open && model_.fits(size, model_.bin_capacity - state.level.value());
-}
-
-bool BinManager::is_open(BinId bin) const { return state_of(bin).open; }
 
 std::size_t BinManager::item_count(BinId bin) const { return state_of(bin).item_count; }
 
@@ -259,6 +187,12 @@ void BinManager::restore_state(ByteReader& in) {
     throw CorruptionError("active-item count disagrees with per-bin censuses");
   }
   audit();
+}
+
+void BinManager::reserve(std::size_t bins_hint, std::size_t items_hint) {
+  bins_.reserve(bins_hint);
+  usage_.reserve(bins_hint);
+  items_.reserve(items_hint);
 }
 
 void BinManager::reset() {

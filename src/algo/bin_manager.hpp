@@ -16,8 +16,10 @@
 #include <span>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "core/binary_io.hpp"
 #include "core/compensated_sum.hpp"
+#include "core/error.hpp"
 #include "core/item.hpp"
 #include "core/types.hpp"
 
@@ -54,23 +56,32 @@ class BinManager {
 
   /// Places an arriving item into `bin`. Throws PreconditionError when the
   /// bin is closed, the item does not fit (beyond tolerance), or the item id
-  /// is already present.
+  /// is already present. Defined inline below: place/remove run once per
+  /// event inside the devirtualized replay loop, and out-of-line they cost
+  /// a call (plus a call to the no-op audit hook) per event.
   void place(const ArrivingItem& item, BinId bin);
 
   /// Removes a previously placed item at time `t`; closes the bin when it
-  /// becomes empty. Throws PreconditionError for unknown item ids.
+  /// becomes empty (the close itself is the out-of-line cold path — it
+  /// traces and touches usage records). Throws PreconditionError for
+  /// unknown item ids. Defined inline below.
   DepartureOutcome remove(ItemId item, Time t);
 
   /// Total size of items currently in `bin` (0 for closed bins).
-  [[nodiscard]] double level(BinId bin) const;
+  [[nodiscard]] double level(BinId bin) const { return state_of(bin).level.value(); }
 
   /// W - level(bin); negative-free up to tolerance.
-  [[nodiscard]] double residual(BinId bin) const;
+  [[nodiscard]] double residual(BinId bin) const {
+    return model_.bin_capacity - state_of(bin).level.value();
+  }
 
   /// True when an item of `size` fits in `bin` now (tolerance-aware).
-  [[nodiscard]] bool fits(double size, BinId bin) const;
+  [[nodiscard]] bool fits(double size, BinId bin) const {
+    const BinState& state = state_of(bin);
+    return state.open && model_.fits(size, model_.bin_capacity - state.level.value());
+  }
 
-  [[nodiscard]] bool is_open(BinId bin) const;
+  [[nodiscard]] bool is_open(BinId bin) const { return state_of(bin).open; }
   [[nodiscard]] std::size_t open_count() const noexcept { return open_count_; }
   [[nodiscard]] std::size_t total_bins_opened() const noexcept { return bins_.size(); }
   [[nodiscard]] std::size_t item_count(BinId bin) const;
@@ -98,6 +109,12 @@ class BinManager {
 
   /// Item ids currently resident in `bin`, ascending.
   [[nodiscard]] std::vector<ItemId> items_in(BinId bin) const;
+
+  /// Pre-sizes the bin and item tables for a run expected to open at most
+  /// `bins_hint` bins over at most `items_hint` distinct item ids, so the
+  /// event loop's amortized growth never actually reallocates. A hint of 0
+  /// leaves the corresponding table untouched; under-estimation is safe.
+  void reserve(std::size_t bins_hint, std::size_t items_hint);
 
   /// Drops all state, keeping the cost model.
   void reset();
@@ -141,7 +158,14 @@ class BinManager {
     bool active = false;
   };
 
-  const BinState& state_of(BinId bin) const;
+  const BinState& state_of(BinId bin) const {
+    DBP_REQUIRE(bin < bins_.size(), "unknown bin id");
+    return bins_[static_cast<std::size_t>(bin)];
+  }
+
+  /// Cold half of remove(): closes a bin whose last resident just departed
+  /// (resets the level exactly, stamps the usage record, traces).
+  void close_emptied_bin(BinId bin, Time t);
 
   /// Audits one bin's resident list against its cached level/item count
   /// (DBP_AUDIT builds only; no-op otherwise).
@@ -154,5 +178,75 @@ class BinManager {
   std::size_t open_count_ = 0;
   std::size_t active_count_ = 0;
 };
+
+// ------------------------------------------------------------------------
+// Inline hot paths: place/remove run once per event inside the
+// devirtualized replay loops, so their bodies live here. The statement
+// sequences are identical to the historical out-of-line definitions —
+// inlining changes where the code is emitted, never what it computes.
+// ------------------------------------------------------------------------
+
+inline void BinManager::place(const ArrivingItem& item, BinId bin) {
+  DBP_REQUIRE(bin < bins_.size(), "unknown bin id");
+  BinState& state = bins_[static_cast<std::size_t>(bin)];
+  DBP_REQUIRE(state.open, "cannot place into a closed bin");
+  DBP_REQUIRE(item.size > 0.0, "item size must be positive");
+  DBP_REQUIRE(model_.fits(item.size, model_.bin_capacity - state.level.value()),
+              "item does not fit into the chosen bin");
+  const auto index = static_cast<std::size_t>(item.id);
+  if (index >= items_.size()) {
+    items_.resize(index + 1);  // ids are dense; growth is amortized O(1)
+  }
+  ItemSlot& slot = items_[index];
+  DBP_REQUIRE(!slot.active, "item id already active");
+  state.level.add(item.size);
+  ++state.item_count;
+  slot.size = item.size;
+  slot.bin = bin;
+  slot.active = true;
+  // Push onto the bin's resident list.
+  slot.prev = kNoItem;
+  slot.next = state.head;
+  if (state.head != kNoItem) items_[static_cast<std::size_t>(state.head)].prev = item.id;
+  state.head = item.id;
+  ++active_count_;
+#if DBP_AUDIT_ENABLED
+  audit_bin(bin);
+#endif
+}
+
+inline DepartureOutcome BinManager::remove(ItemId item, Time t) {
+  const auto index = static_cast<std::size_t>(item);
+  DBP_REQUIRE(index < items_.size() && items_[index].active,
+              "departure of an item that is not active");
+  ItemSlot& slot = items_[index];
+  const BinId bin = slot.bin;
+  BinState& state = bins_[static_cast<std::size_t>(bin)];
+  DBP_CHECK(state.open && state.item_count > 0, "departure from an empty/closed bin");
+  state.level.subtract(slot.size);
+  --state.item_count;
+  // Unlink from the bin's resident list.
+  if (slot.prev != kNoItem) {
+    items_[static_cast<std::size_t>(slot.prev)].next = slot.next;
+  } else {
+    state.head = slot.next;
+  }
+  if (slot.next != kNoItem) {
+    items_[static_cast<std::size_t>(slot.next)].prev = slot.prev;
+  }
+  slot.next = kNoItem;
+  slot.prev = kNoItem;
+  slot.active = false;  // slot.bin stays: assignment history
+  --active_count_;
+  DepartureOutcome outcome{bin, false};
+  if (state.item_count == 0) {
+    close_emptied_bin(bin, t);
+    outcome.bin_closed = true;
+  }
+#if DBP_AUDIT_ENABLED
+  audit_bin(bin);
+#endif
+  return outcome;
+}
 
 }  // namespace dbp

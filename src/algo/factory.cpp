@@ -5,6 +5,7 @@
 #include "algo/adaptive_mff.hpp"
 #include "algo/any_fit_packer.hpp"
 #include "algo/clairvoyant.hpp"
+#include "algo/reference_strategies.hpp"
 #include "algo/size_classed_packer.hpp"
 #include "algo/strategies.hpp"
 #include "core/error.hpp"
@@ -13,19 +14,45 @@ namespace dbp {
 
 std::unique_ptr<Packer> make_packer(const std::string& name, const CostModel& model,
                                     const PackerOptions& options) {
-  auto any_fit = [&](std::unique_ptr<FitStrategy> strategy) {
-    return std::make_unique<AnyFitPacker>(model, std::move(strategy));
+  // Built-in strategies go through StaticAnyFitPacker<S>: bit-identical to
+  // AnyFitPacker (same arrival/departure bodies) with the per-event policy
+  // calls devirtualized and inlined into the event loop.
+  auto static_fit = [&]<typename S>(std::unique_ptr<S> strategy) {
+    return std::make_unique<StaticAnyFitPacker<S>>(model, std::move(strategy));
   };
-  if (name == "first-fit") return any_fit(std::make_unique<FirstFitStrategy>(model));
-  if (name == "best-fit") return any_fit(std::make_unique<BestFitStrategy>(model));
-  if (name == "worst-fit") return any_fit(std::make_unique<WorstFitStrategy>(model));
-  if (name == "next-fit") return any_fit(std::make_unique<NextFitStrategy>(model));
-  if (name == "last-fit") return any_fit(std::make_unique<LastFitStrategy>(model));
+  if (name == "first-fit") {
+    return static_fit(std::make_unique<FirstFitStrategy>(model));
+  }
+  if (name == "best-fit") {
+    return static_fit(std::make_unique<BestFitStrategy>(model));
+  }
+  if (name == "worst-fit") {
+    return static_fit(std::make_unique<WorstFitStrategy>(model));
+  }
+  if (name == "next-fit") {
+    return static_fit(std::make_unique<NextFitStrategy>(model));
+  }
+  if (name == "last-fit") {
+    return static_fit(std::make_unique<LastFitStrategy>(model));
+  }
   if (name == "random-fit") {
-    return any_fit(std::make_unique<RandomFitStrategy>(model, options.seed));
+    return static_fit(std::make_unique<RandomFitStrategy>(model, options.seed));
   }
   if (name == "move-to-front-fit") {
-    return any_fit(std::make_unique<MoveToFrontStrategy>(model));
+    return static_fit(std::make_unique<MoveToFrontStrategy>(model));
+  }
+  // Pre-arena reference implementations (algo/reference_strategies.hpp):
+  // same-run benchmark baselines and differential-test oracles. Deliberately
+  // absent from all_algorithm_names() — sweeps should not pack twice. They
+  // keep the seed's dynamic dispatch (plain AnyFitPacker) so the baseline
+  // they provide is the seed's, not a hybrid.
+  if (name == "first-fit-reference") {
+    return std::make_unique<AnyFitPacker>(
+        model, std::make_unique<FirstFitReferenceStrategy>(model));
+  }
+  if (name == "best-fit-reference") {
+    return std::make_unique<AnyFitPacker>(
+        model, std::make_unique<BestFitReferenceStrategy>(model));
   }
   if (name == "modified-first-fit") {
     return make_modified_first_fit(model, options.mff_k);

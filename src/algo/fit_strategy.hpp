@@ -44,6 +44,11 @@ class FitStrategy {
   /// whenever one fits). Next Fit overrides this to false.
   [[nodiscard]] virtual bool any_fit_contract() const { return true; }
 
+  /// Capacity hint: at most `bins_hint` bins will ever be registered.
+  /// Implementations pre-size their indexes so the steady-state event loop
+  /// performs no heap allocation; correctness never depends on the hint.
+  virtual void reserve(std::size_t bins_hint) { (void)bins_hint; }
+
   /// Checkpoint hooks. Restore first replays on_bin_registered over every
   /// open bin in ascending BinId order (= opening order), which fully
   /// rebuilds strategies whose choice is a pure function of (bin, residual)

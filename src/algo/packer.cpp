@@ -1,0 +1,31 @@
+#include "algo/packer.hpp"
+
+#include "algo/clairvoyant.hpp"
+
+namespace dbp {
+
+void Packer::replay(const Instance& instance, std::span<const Event> events) {
+  // Clairvoyant (departure-aware) baselines get the full item; online
+  // packers get only the ArrivingItem slice.
+  auto* clairvoyant = dynamic_cast<ClairvoyantPacker*>(this);
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kArrival) {
+      // Arrival ids come in id order (ids are assigned in arrival order), so
+      // this item load walks the instance sequentially.
+      const Item& item = instance.item(event.item);
+      if (clairvoyant != nullptr) {
+        clairvoyant->on_arrival_clairvoyant(item);
+      } else {
+        // event.time was copied from item.arrival at build time, so the
+        // slice is bit-identical to one built from the item.
+        on_arrival(ArrivingItem{event.item, event.time, item.size});
+      }
+    } else {
+      // A departure event already carries (id, departure time) verbatim —
+      // rereading them through the item would be a random access per event.
+      on_departure(event.item, event.time);
+    }
+  }
+}
+
+}  // namespace dbp

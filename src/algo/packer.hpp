@@ -1,9 +1,12 @@
 // The online packer interface driven by the simulator.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "algo/bin_manager.hpp"
+#include "core/event.hpp"
+#include "core/instance.hpp"
 #include "core/item.hpp"
 #include "core/types.hpp"
 
@@ -33,6 +36,21 @@ class Packer {
 
   /// Handles the departure of a previously placed item at time `now`.
   virtual void on_departure(ItemId item, Time now) = 0;
+
+  /// Drives this packer over a prebuilt sorted event sequence — the
+  /// steady-state event loop. The default dispatches every event through
+  /// the virtual on_arrival/on_departure (clairvoyant-aware); packers whose
+  /// handlers are statically known override it so the whole loop runs with
+  /// zero indirect calls. Overrides must be behaviorally identical to the
+  /// default — replay is a batched driver, never a semantic variation
+  /// (sim/simulator.cpp's replay_events is the public entry).
+  virtual void replay(const Instance& instance, std::span<const Event> events);
+
+  /// Capacity hint: the run will see at most `items` distinct items (and
+  /// thus at most `items` bins). Pre-sizes the bookkeeping so the event
+  /// loop runs allocation-free; purely an optimization — correctness never
+  /// depends on the hint, and exceeding it only costs amortized growth.
+  virtual void reserve_hint(std::size_t items) { manager_.reserve(items, items); }
 
   /// Read access to all bin state and usage history.
   [[nodiscard]] const BinManager& bins() const noexcept { return manager_; }

@@ -1,0 +1,68 @@
+// Reference (pre-arena) First Fit and Best Fit strategies.
+//
+// These are the original node-based/hashed implementations the optimized
+// strategies in algo/strategies.hpp replaced: First Fit with an ordered-map
+// position index and predicate-callback tree descent, Best Fit with a
+// node-based std::set residual index. They are kept verbatim for two jobs:
+//   * the same-run benchmark baseline — dbp_bench_report measures
+//     "first-fit" against "first-fit-reference" in the same process so the
+//     speedup ratio is machine-independent (tools/check_bench_guard.py
+//     guards it);
+//   * the differential oracle — tests/packer_reference_differential_test
+//     asserts the optimized strategies make bit-identical decisions.
+// They are registered with make_packer under "-reference" names but not
+// listed in all_algorithm_names(): sweeps and fuzzers should not pay for
+// packing every workload twice.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algo/fit_strategy.hpp"
+#include "algo/segment_tree.hpp"
+
+namespace dbp {
+
+/// The seed First Fit: segment tree + ordered scan positions, with the
+/// position looked up through a hash map on every residual change.
+class FirstFitReferenceStrategy final : public FitStrategy {
+ public:
+  explicit FirstFitReferenceStrategy(const CostModel& model) : model_(model) {}
+
+  [[nodiscard]] std::string name() const override { return "first-fit-reference"; }
+  [[nodiscard]] std::optional<BinId> select(double size) override;
+  void on_bin_registered(BinId bin, double residual) override;
+  void on_residual_changed(BinId bin, double residual) override;
+  void on_bin_closed(BinId bin) override;
+
+ private:
+  CostModel model_;
+  MaxSegmentTree residuals_;                  // position = registration order
+  std::vector<BinId> bin_at_;                 // position -> bin
+  // DBP_LINT_ALLOW(unordered-container): position lookup by bin id only;
+  // never iterated (selection order comes from the segment tree).
+  std::unordered_map<BinId, std::size_t> pos_of_;
+};
+
+/// The seed Best Fit: node-based ordered (residual, id) set.
+class BestFitReferenceStrategy final : public FitStrategy {
+ public:
+  explicit BestFitReferenceStrategy(const CostModel& model) : model_(model) {}
+
+  [[nodiscard]] std::string name() const override { return "best-fit-reference"; }
+  [[nodiscard]] std::optional<BinId> select(double size) override;
+  void on_bin_registered(BinId bin, double residual) override;
+  void on_residual_changed(BinId bin, double residual) override;
+  void on_bin_closed(BinId bin) override;
+
+ private:
+  CostModel model_;
+  std::set<std::pair<double, BinId>> by_residual_;   // (residual, id) ascending
+  // DBP_LINT_ALLOW(unordered-container): residual lookup by bin id only;
+  // selection order comes from the ordered by_residual_ set.
+  std::unordered_map<BinId, double> residual_of_;
+};
+
+}  // namespace dbp

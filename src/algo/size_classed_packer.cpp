@@ -100,6 +100,12 @@ void SizeClassedPacker::on_departure(ItemId item, Time now) {
   }
 }
 
+void SizeClassedPacker::reserve_hint(std::size_t items) {
+  Packer::reserve_hint(items);
+  bin_class_.reserve(items);
+  for (const auto& strategy : strategies_) strategy->reserve(items);
+}
+
 void SizeClassedPacker::save_extra(ByteWriter& out) const {
   out.u64(boundaries_.size());
   for (const double b : boundaries_) out.f64(b);

@@ -45,6 +45,12 @@ class SizeClassedPacker : public Packer {
 
   [[nodiscard]] bool snapshot_supported() const override { return true; }
 
+  /// Forwards the capacity hint to every class strategy and the per-bin
+  /// class index. Each pool could in the worst case own every bin, so all
+  /// pools get the full hint; after this the event loop is allocation-free
+  /// (tests/zero_alloc_test.cpp).
+  void reserve_hint(std::size_t items) override;
+
  protected:
   void save_extra(ByteWriter& out) const override;
   void restore_extra(ByteReader& in) override;

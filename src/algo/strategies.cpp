@@ -1,6 +1,7 @@
 #include "algo/strategies.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <sstream>
 
@@ -8,118 +9,89 @@
 
 namespace dbp {
 
+namespace {
+
+constexpr double kUnregistered = std::numeric_limits<double>::quiet_NaN();
+
+inline bool registered_residual(const std::vector<double>& residual_of,
+                                BinId bin) noexcept {
+  return bin < residual_of.size() &&
+         !std::isnan(residual_of[static_cast<std::size_t>(bin)]);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- FirstFit
+// (hot-path handlers are inline in strategies.hpp)
 
-std::optional<BinId> FirstFitStrategy::select(double size) {
-  auto pos = residuals_.find_leftmost(
-      [&](double residual) { return model_.fits(size, residual); });
-  if (!pos) return std::nullopt;
-  return bin_at_[*pos];
+void FirstFitStrategy::compact() {
+  // Re-register the live bins in position order. Relative order — the only
+  // thing the leftmost descent depends on — is preserved, so every future
+  // selection is identical to the uncompacted tree's.
+  scratch_.clear();
+  for (std::size_t p = 0; p < bin_at_.size(); ++p) {
+    const BinId bin = bin_at_[p];
+    if (pos_of_[static_cast<std::size_t>(bin)] == p) {
+      scratch_.emplace_back(residuals_.value_at(p), bin);
+    }
+  }
+  residuals_.clear();
+  bin_at_.clear();
+  for (const auto& [residual, bin] : scratch_) {
+    const std::size_t pos = residuals_.push_back(residual);
+    bin_at_.push_back(bin);
+    pos_of_[static_cast<std::size_t>(bin)] = pos;
+  }
 }
 
-void FirstFitStrategy::on_bin_registered(BinId bin, double residual) {
-  const std::size_t pos = residuals_.push_back(residual);
-  bin_at_.push_back(bin);
-  DBP_CHECK(bin_at_.size() == pos + 1, "first-fit position bookkeeping");
-  pos_of_[bin] = pos;
-}
-
-void FirstFitStrategy::on_residual_changed(BinId bin, double residual) {
-  residuals_.assign(pos_of_.at(bin), residual);
-}
-
-void FirstFitStrategy::on_bin_closed(BinId bin) {
-  auto it = pos_of_.find(bin);
-  DBP_REQUIRE(it != pos_of_.end(), "closing an unregistered bin");
-  residuals_.deactivate(it->second);
-  pos_of_.erase(it);
+void FirstFitStrategy::reserve(std::size_t bins_hint) {
+  residuals_.reserve(bins_hint);
+  bin_at_.reserve(bins_hint);
+  pos_of_.reserve(bins_hint);
+  scratch_.reserve(bins_hint);
 }
 
 // ----------------------------------------------------------------- LastFit
+// (hot-path handlers are inline in strategies.hpp)
 
-std::optional<BinId> LastFitStrategy::select(double size) {
-  auto pos = residuals_.find_rightmost(
-      [&](double residual) { return model_.fits(size, residual); });
-  if (!pos) return std::nullopt;
-  return bin_at_[*pos];
+void LastFitStrategy::compact() {
+  scratch_.clear();
+  for (std::size_t p = 0; p < bin_at_.size(); ++p) {
+    const BinId bin = bin_at_[p];
+    if (pos_of_[static_cast<std::size_t>(bin)] == p) {
+      scratch_.emplace_back(residuals_.value_at(p), bin);
+    }
+  }
+  residuals_.clear();
+  bin_at_.clear();
+  for (const auto& [residual, bin] : scratch_) {
+    const std::size_t pos = residuals_.push_back(residual);
+    bin_at_.push_back(bin);
+    pos_of_[static_cast<std::size_t>(bin)] = pos;
+  }
 }
 
-void LastFitStrategy::on_bin_registered(BinId bin, double residual) {
-  const std::size_t pos = residuals_.push_back(residual);
-  bin_at_.push_back(bin);
-  pos_of_[bin] = pos;
-}
-
-void LastFitStrategy::on_residual_changed(BinId bin, double residual) {
-  residuals_.assign(pos_of_.at(bin), residual);
-}
-
-void LastFitStrategy::on_bin_closed(BinId bin) {
-  auto it = pos_of_.find(bin);
-  DBP_REQUIRE(it != pos_of_.end(), "closing an unregistered bin");
-  residuals_.deactivate(it->second);
-  pos_of_.erase(it);
+void LastFitStrategy::reserve(std::size_t bins_hint) {
+  residuals_.reserve(bins_hint);
+  bin_at_.reserve(bins_hint);
+  pos_of_.reserve(bins_hint);
+  scratch_.reserve(bins_hint);
 }
 
 // ----------------------------------------------------------------- BestFit
+// (hot-path handlers are inline in strategies.hpp)
 
-std::optional<BinId> BestFitStrategy::select(double size) {
-  // Smallest residual r with fits(size, r), i.e. r >= size - tolerance.
-  auto it = by_residual_.lower_bound({size - model_.fit_tolerance, 0});
-  if (it == by_residual_.end()) return std::nullopt;
-  DBP_CHECK(model_.fits(size, it->first), "best-fit index out of sync");
-  return it->second;
-}
-
-void BestFitStrategy::on_bin_registered(BinId bin, double residual) {
-  const bool inserted = by_residual_.emplace(residual, bin).second;
-  DBP_CHECK(inserted, "duplicate best-fit registration");
-  residual_of_[bin] = residual;
-}
-
-void BestFitStrategy::on_residual_changed(BinId bin, double residual) {
-  auto it = residual_of_.find(bin);
-  DBP_REQUIRE(it != residual_of_.end(), "residual change for unregistered bin");
-  by_residual_.erase({it->second, bin});
-  by_residual_.emplace(residual, bin);
-  it->second = residual;
-}
-
-void BestFitStrategy::on_bin_closed(BinId bin) {
-  auto it = residual_of_.find(bin);
-  DBP_REQUIRE(it != residual_of_.end(), "closing an unregistered bin");
-  by_residual_.erase({it->second, bin});
-  residual_of_.erase(it);
+void BestFitStrategy::reserve(std::size_t bins_hint) {
+  by_residual_.reserve(bins_hint);
+  pos_of_.reserve(bins_hint);
 }
 
 // ---------------------------------------------------------------- WorstFit
+// (hot-path handlers are inline in strategies.hpp)
 
-std::optional<BinId> WorstFitStrategy::select(double size) {
-  if (by_residual_.empty()) return std::nullopt;
-  const auto& best = *by_residual_.rbegin();  // max residual, min id
-  if (!model_.fits(size, best.first)) return std::nullopt;
-  return best.second;
-}
-
-void WorstFitStrategy::on_bin_registered(BinId bin, double residual) {
-  const bool inserted = by_residual_.emplace(residual, bin).second;
-  DBP_CHECK(inserted, "duplicate worst-fit registration");
-  residual_of_[bin] = residual;
-}
-
-void WorstFitStrategy::on_residual_changed(BinId bin, double residual) {
-  auto it = residual_of_.find(bin);
-  DBP_REQUIRE(it != residual_of_.end(), "residual change for unregistered bin");
-  by_residual_.erase({it->second, bin});
-  by_residual_.emplace(residual, bin);
-  it->second = residual;
-}
-
-void WorstFitStrategy::on_bin_closed(BinId bin) {
-  auto it = residual_of_.find(bin);
-  DBP_REQUIRE(it != residual_of_.end(), "closing an unregistered bin");
-  by_residual_.erase({it->second, bin});
-  residual_of_.erase(it);
+void WorstFitStrategy::reserve(std::size_t bins_hint) {
+  by_residual_.reserve(bins_hint);
+  pos_of_.reserve(bins_hint);
 }
 
 // ----------------------------------------------------------------- NextFit
@@ -175,24 +147,34 @@ std::optional<BinId> RandomFitStrategy::select(double size) {
 }
 
 void RandomFitStrategy::on_bin_registered(BinId bin, double residual) {
-  pos_of_[bin] = open_.size();
+  if (bin >= pos_of_.size()) {
+    pos_of_.resize(static_cast<std::size_t>(bin) + 1, kNoPos);
+  }
+  pos_of_[static_cast<std::size_t>(bin)] = open_.size();
   open_.emplace_back(bin, residual);
 }
 
 void RandomFitStrategy::on_residual_changed(BinId bin, double residual) {
-  open_[pos_of_.at(bin)].second = residual;
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "residual change for unregistered bin");
+  open_[pos_of_[static_cast<std::size_t>(bin)]].second = residual;
 }
 
 void RandomFitStrategy::on_bin_closed(BinId bin) {
-  auto it = pos_of_.find(bin);
-  DBP_REQUIRE(it != pos_of_.end(), "closing an unregistered bin");
-  const std::size_t pos = it->second;
-  pos_of_.erase(it);
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "closing an unregistered bin");
+  const std::size_t pos = pos_of_[static_cast<std::size_t>(bin)];
+  pos_of_[static_cast<std::size_t>(bin)] = kNoPos;
   if (pos + 1 != open_.size()) {
     open_[pos] = open_.back();
-    pos_of_[open_[pos].first] = pos;
+    pos_of_[static_cast<std::size_t>(open_[pos].first)] = pos;
   }
   open_.pop_back();
+}
+
+void RandomFitStrategy::reserve(std::size_t bins_hint) {
+  open_.reserve(bins_hint);
+  pos_of_.reserve(bins_hint);
 }
 
 void RandomFitStrategy::save_state(ByteWriter& out) const {
@@ -216,15 +198,21 @@ void RandomFitStrategy::load_state(ByteReader& in) {
   if (count != open_.size()) {
     throw CorruptionError("random-fit open-bin census mismatch");
   }
+  for (const auto& [bin, residual] : open_) {
+    pos_of_[static_cast<std::size_t>(bin)] = kNoPos;
+  }
   std::vector<std::pair<BinId, double>> restored;
   restored.reserve(count);
-  pos_of_.clear();
   for (std::uint64_t i = 0; i < count; ++i) {
     const BinId bin = in.u64();
     const double residual = in.f64();
-    if (!pos_of_.emplace(bin, restored.size()).second) {
+    if (bin >= pos_of_.size()) {
+      pos_of_.resize(static_cast<std::size_t>(bin) + 1, kNoPos);
+    }
+    if (pos_of_[static_cast<std::size_t>(bin)] != kNoPos) {
       throw CorruptionError("random-fit open list repeats a bin");
     }
+    pos_of_[static_cast<std::size_t>(bin)] = restored.size();
     restored.emplace_back(bin, residual);
   }
   open_ = std::move(restored);
@@ -232,57 +220,132 @@ void RandomFitStrategy::load_state(ByteReader& in) {
 
 // ------------------------------------------------------------- MoveToFront
 
+bool MoveToFrontStrategy::registered(BinId bin) const noexcept {
+  return registered_residual(residual_of_, bin);
+}
+
+void MoveToFrontStrategy::grow_to(BinId bin) {
+  if (bin >= residual_of_.size()) {
+    const std::size_t count = static_cast<std::size_t>(bin) + 1;
+    residual_of_.resize(count, kUnregistered);
+    next_.resize(count, kNoBin);
+    prev_.resize(count, kNoBin);
+  }
+}
+
+void MoveToFrontStrategy::link_front(BinId bin) {
+  const auto b = static_cast<std::size_t>(bin);
+  prev_[b] = kNoBin;
+  next_[b] = head_;
+  if (head_ != kNoBin) {
+    prev_[static_cast<std::size_t>(head_)] = bin;
+  } else {
+    tail_ = bin;
+  }
+  head_ = bin;
+  ++list_size_;
+}
+
+void MoveToFrontStrategy::link_back(BinId bin) {
+  const auto b = static_cast<std::size_t>(bin);
+  next_[b] = kNoBin;
+  prev_[b] = tail_;
+  if (tail_ != kNoBin) {
+    next_[static_cast<std::size_t>(tail_)] = bin;
+  } else {
+    head_ = bin;
+  }
+  tail_ = bin;
+  ++list_size_;
+}
+
+void MoveToFrontStrategy::unlink(BinId bin) {
+  const auto b = static_cast<std::size_t>(bin);
+  const BinId p = prev_[b];
+  const BinId n = next_[b];
+  if (p != kNoBin) {
+    next_[static_cast<std::size_t>(p)] = n;
+  } else {
+    head_ = n;
+  }
+  if (n != kNoBin) {
+    prev_[static_cast<std::size_t>(n)] = p;
+  } else {
+    tail_ = p;
+  }
+  prev_[b] = kNoBin;
+  next_[b] = kNoBin;
+  --list_size_;
+}
+
 std::optional<BinId> MoveToFrontStrategy::select(double size) {
-  for (auto it = order_.begin(); it != order_.end(); ++it) {
-    if (model_.fits(size, residual_of_.at(*it))) {
+  for (BinId bin = head_; bin != kNoBin;
+       bin = next_[static_cast<std::size_t>(bin)]) {
+    if (model_.fits(size, residual_of_[static_cast<std::size_t>(bin)])) {
       // Selection implies placement under the Any Fit packer, so the
       // recency promotion happens here.
-      order_.splice(order_.begin(), order_, it);
-      return order_.front();
+      if (bin != head_) {
+        unlink(bin);
+        link_front(bin);
+      }
+      return bin;
     }
   }
   return std::nullopt;
 }
 
 void MoveToFrontStrategy::on_bin_registered(BinId bin, double residual) {
-  order_.push_front(bin);
-  where_[bin] = order_.begin();
-  residual_of_[bin] = residual;
+  grow_to(bin);
+  DBP_CHECK(!registered(bin), "duplicate move-to-front registration");
+  residual_of_[static_cast<std::size_t>(bin)] = residual;
+  link_front(bin);
 }
 
 void MoveToFrontStrategy::on_residual_changed(BinId bin, double residual) {
-  residual_of_.at(bin) = residual;
+  DBP_REQUIRE(registered(bin), "residual change for unregistered bin");
+  residual_of_[static_cast<std::size_t>(bin)] = residual;
 }
 
 void MoveToFrontStrategy::on_bin_closed(BinId bin) {
-  auto it = where_.find(bin);
-  DBP_REQUIRE(it != where_.end(), "closing an unregistered bin");
-  order_.erase(it->second);
-  where_.erase(it);
-  residual_of_.erase(bin);
+  DBP_REQUIRE(registered(bin), "closing an unregistered bin");
+  unlink(bin);
+  residual_of_[static_cast<std::size_t>(bin)] = kUnregistered;
+}
+
+void MoveToFrontStrategy::reserve(std::size_t bins_hint) {
+  residual_of_.reserve(bins_hint);
+  next_.reserve(bins_hint);
+  prev_.reserve(bins_hint);
 }
 
 void MoveToFrontStrategy::save_state(ByteWriter& out) const {
-  out.u64(order_.size());
-  for (const BinId bin : order_) out.u64(bin);
+  out.u64(list_size_);
+  for (BinId bin = head_; bin != kNoBin;
+       bin = next_[static_cast<std::size_t>(bin)]) {
+    out.u64(bin);
+  }
 }
 
 void MoveToFrontStrategy::load_state(ByteReader& in) {
   const std::uint64_t count = in.u64();
-  if (count != residual_of_.size()) {
+  if (count != list_size_) {
     throw CorruptionError("move-to-front recency census mismatch");
   }
-  // The registration replay left order_ in opening order; rebuild the
-  // persisted recency order over the same bin set.
-  order_.clear();
-  where_.clear();
+  // The registration replay left the list in opening order; rebuild the
+  // persisted recency order over the same bin set. Every registered bin is
+  // linked (class invariant), so count == list_size_ == #registered and the
+  // per-bin checks below force an exact bijection.
+  std::vector<std::uint8_t> seen(residual_of_.size(), 0);
+  head_ = kNoBin;
+  tail_ = kNoBin;
+  list_size_ = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     const BinId bin = in.u64();
-    if (!residual_of_.contains(bin) || where_.contains(bin)) {
+    if (!registered(bin) || seen[static_cast<std::size_t>(bin)] != 0) {
       throw CorruptionError("move-to-front recency list names a foreign bin");
     }
-    order_.push_back(bin);
-    where_[bin] = std::prev(order_.end());
+    seen[static_cast<std::size_t>(bin)] = 1;
+    link_back(bin);
   }
 }
 

@@ -5,13 +5,20 @@
 // well-known Any Fit variants included as empirical baselines (DESIGN.md
 // Section 7) — every one of them obeys the Any Fit contract, so Theorem 1's
 // lower bound of mu applies to each.
+//
+// Hot-path memory architecture (docs/performance.md): BinIds are dense by
+// construction, so every per-bin lookup is a vector index — no hashing, no
+// node-based containers, and with reserve() called ahead of a run, no heap
+// allocation in the steady-state event loop. The pre-arena node-based
+// implementations survive as algo/reference_strategies.hpp for the same-run
+// benchmark baseline and the differential tests.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <list>
+#include <limits>
 #include <random>
-#include <set>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "algo/fit_strategy.hpp"
@@ -21,28 +28,46 @@ namespace dbp {
 
 /// First Fit: the earliest-opened bin that accommodates the item
 /// (paper Section 3.2). O(log m) per operation via a max segment tree
-/// indexed by opening order.
+/// indexed by opening order; position lookup is a dense BinId-indexed
+/// vector.
+///
+/// Positions of closed bins are dead weight: without reuse the tree's depth
+/// (and footprint) grows with *total* bins opened, even when only a handful
+/// are concurrently open. Whenever the tree fills and at least half its
+/// positions are dead, compact() re-registers the live bins in the same
+/// relative order — selection depends only on that order, so decisions are
+/// unchanged while the tree stays within 4x the peak open-bin count and its
+/// hot path stays cache-resident.
 class FirstFitStrategy final : public FitStrategy {
  public:
   explicit FirstFitStrategy(const CostModel& model) : model_(model) {}
 
   [[nodiscard]] std::string name() const override { return "first-fit"; }
+  // Hot-path handlers are defined inline at the bottom of this header so the
+  // statically-typed packer (StaticAnyFitPacker) can inline them into the
+  // event loop.
   [[nodiscard]] std::optional<BinId> select(double size) override;
   void on_bin_registered(BinId bin, double residual) override;
   void on_residual_changed(BinId bin, double residual) override;
   void on_bin_closed(BinId bin) override;
+  void reserve(std::size_t bins_hint) override;
 
  private:
+  static constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+
+  void compact();
+
   CostModel model_;
-  MaxSegmentTree residuals_;                  // position = registration order
-  std::vector<BinId> bin_at_;                 // position -> bin
-  // DBP_LINT_ALLOW(unordered-container): position lookup by bin id only;
-  // never iterated (selection order comes from the segment tree).
-  std::unordered_map<BinId, std::size_t> pos_of_;
+  MaxSegmentTree residuals_;          // position = registration order
+  std::vector<BinId> bin_at_;         // position -> bin
+  std::vector<std::size_t> pos_of_;   // bin -> position (kNoPos = unregistered)
+  std::size_t active_ = 0;            // currently registered bins
+  std::vector<std::pair<double, BinId>> scratch_;  // compaction gather buffer
 };
 
 /// Last Fit: the *latest*-opened bin that accommodates the item. Mirror
-/// image of First Fit (rightmost descent).
+/// image of First Fit (rightmost descent), including the dead-position
+/// compaction.
 class LastFitStrategy final : public FitStrategy {
  public:
   explicit LastFitStrategy(const CostModel& model) : model_(model) {}
@@ -52,19 +77,26 @@ class LastFitStrategy final : public FitStrategy {
   void on_bin_registered(BinId bin, double residual) override;
   void on_residual_changed(BinId bin, double residual) override;
   void on_bin_closed(BinId bin) override;
+  void reserve(std::size_t bins_hint) override;
 
  private:
+  static constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+
+  void compact();
+
   CostModel model_;
   MaxSegmentTree residuals_;
   std::vector<BinId> bin_at_;
-  // DBP_LINT_ALLOW(unordered-container): position lookup by bin id only;
-  // never iterated (selection order comes from the segment tree).
-  std::unordered_map<BinId, std::size_t> pos_of_;
+  std::vector<std::size_t> pos_of_;   // bin -> position (kNoPos = unregistered)
+  std::size_t active_ = 0;
+  std::vector<std::pair<double, BinId>> scratch_;
 };
 
 /// Best Fit: the open bin with the smallest residual capacity that still
 /// accommodates the item (paper Section 3.2); ties broken toward the
-/// earliest-opened bin. O(log m) via an ordered (residual, id) index.
+/// earliest-opened bin. The (residual, id) index is a flat sorted vector —
+/// value-identical to the reference std::set ordering (std::pair's
+/// lexicographic compare) at a fraction of the node churn.
 class BestFitStrategy final : public FitStrategy {
  public:
   explicit BestFitStrategy(const CostModel& model) : model_(model) {}
@@ -74,17 +106,26 @@ class BestFitStrategy final : public FitStrategy {
   void on_bin_registered(BinId bin, double residual) override;
   void on_residual_changed(BinId bin, double residual) override;
   void on_bin_closed(BinId bin) override;
+  void reserve(std::size_t bins_hint) override;
 
  private:
+  static constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+
+  /// Moves the entry at `pos` to the sorted position of `to` by shifting the
+  /// entries in between (updating their dense positions as they move) — no
+  /// binary search, no node churn; the array contents end up exactly as a
+  /// set erase+insert would leave them.
+  void relocate(std::size_t pos, std::pair<double, BinId> to);
+
   CostModel model_;
-  std::set<std::pair<double, BinId>> by_residual_;   // (residual, id) ascending
-  // DBP_LINT_ALLOW(unordered-container): residual lookup by bin id only;
-  // selection order comes from the ordered by_residual_ set.
-  std::unordered_map<BinId, double> residual_of_;
+  std::vector<std::pair<double, BinId>> by_residual_;  // sorted ascending
+  std::vector<std::size_t> pos_of_;  // bin -> index in by_residual_ (kNoPos)
 };
 
 /// Worst Fit: the open bin with the *largest* residual capacity that
-/// accommodates the item; ties toward the earliest-opened bin.
+/// accommodates the item; ties toward the earliest-opened bin. Same flat
+/// index as Best Fit under the (residual asc, id desc) order, so back() is
+/// the (max residual, min id) entry.
 class WorstFitStrategy final : public FitStrategy {
  public:
   explicit WorstFitStrategy(const CostModel& model) : model_(model) {}
@@ -94,21 +135,25 @@ class WorstFitStrategy final : public FitStrategy {
   void on_bin_registered(BinId bin, double residual) override;
   void on_residual_changed(BinId bin, double residual) override;
   void on_bin_closed(BinId bin) override;
+  void reserve(std::size_t bins_hint) override;
 
  private:
   struct Order {
-    // residual ascending, id descending => rbegin() = (max residual, min id).
+    // residual ascending, id descending => back() = (max residual, min id).
     bool operator()(const std::pair<double, BinId>& a,
                     const std::pair<double, BinId>& b) const noexcept {
       if (a.first != b.first) return a.first < b.first;
       return a.second > b.second;
     }
   };
+
+  static constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+
+  void relocate(std::size_t pos, std::pair<double, BinId> to);
+
   CostModel model_;
-  std::set<std::pair<double, BinId>, Order> by_residual_;
-  // DBP_LINT_ALLOW(unordered-container): residual lookup by bin id only;
-  // selection order comes from the ordered by_residual_ set.
-  std::unordered_map<BinId, double> residual_of_;
+  std::vector<std::pair<double, BinId>> by_residual_;  // sorted by Order
+  std::vector<std::size_t> pos_of_;  // bin -> index in by_residual_ (kNoPos)
 };
 
 /// Next Fit adapted to dynamic bin packing: only the most recently opened
@@ -149,6 +194,7 @@ class RandomFitStrategy final : public FitStrategy {
   void on_bin_registered(BinId bin, double residual) override;
   void on_residual_changed(BinId bin, double residual) override;
   void on_bin_closed(BinId bin) override;
+  void reserve(std::size_t bins_hint) override;
   // Persists the engine *position* and the swap-remove scan order of open_
   // — both consumed by the reservoir sampler, neither derivable from the
   // set of open bins.
@@ -156,17 +202,19 @@ class RandomFitStrategy final : public FitStrategy {
   void load_state(ByteReader& in) override;
 
  private:
+  static constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+
   CostModel model_;
   std::mt19937_64 rng_;
-  std::vector<std::pair<BinId, double>> open_;       // unordered (bin, residual)
-  // DBP_LINT_ALLOW(unordered-container): index lookup by bin id only; the
-  // random choice draws from open_ by seeded RNG index, never map order.
-  std::unordered_map<BinId, std::size_t> pos_of_;    // bin -> index in open_
+  std::vector<std::pair<BinId, double>> open_;  // unordered (bin, residual)
+  std::vector<std::size_t> pos_of_;  // bin -> index in open_ (kNoPos = closed)
 };
 
 /// Move-To-Front Fit: bins kept in a recency list; the first fitting bin in
 /// the list receives the item and moves to the front. A locality-exploiting
-/// Any Fit variant.
+/// Any Fit variant. The recency list is intrusive — prev/next links live in
+/// dense BinId-indexed vectors, so promotion and closure are O(1) with no
+/// node allocation.
 class MoveToFrontStrategy final : public FitStrategy {
  public:
   explicit MoveToFrontStrategy(const CostModel& model) : model_(model) {}
@@ -176,18 +224,245 @@ class MoveToFrontStrategy final : public FitStrategy {
   void on_bin_registered(BinId bin, double residual) override;
   void on_residual_changed(BinId bin, double residual) override;
   void on_bin_closed(BinId bin) override;
+  void reserve(std::size_t bins_hint) override;
   // Persists the recency order, which encodes the full placement history.
   void save_state(ByteWriter& out) const override;
   void load_state(ByteReader& in) override;
 
  private:
+  void link_front(BinId bin);
+  void link_back(BinId bin);
+  void unlink(BinId bin);
+  void grow_to(BinId bin);
+  [[nodiscard]] bool registered(BinId bin) const noexcept;
+
   CostModel model_;
-  std::list<BinId> order_;  // front = most recently used
-  // DBP_LINT_ALLOW(unordered-container): iterator/residual lookups by bin
-  // id only; scan order is the explicit recency list order_.
-  std::unordered_map<BinId, std::list<BinId>::iterator> where_;
-  // DBP_LINT_ALLOW(unordered-container): lookup by bin id only.
-  std::unordered_map<BinId, double> residual_of_;
+  BinId head_ = kNoBin;  // most recently used
+  BinId tail_ = kNoBin;  // least recently used
+  std::size_t list_size_ = 0;
+  std::vector<BinId> next_;          // bin -> next (toward tail)
+  std::vector<BinId> prev_;          // bin -> previous (toward head)
+  std::vector<double> residual_of_;  // bin -> residual (NaN = unregistered)
 };
+
+// ------------------------------------------------------------------------
+// Inline hot-path definitions. These live in the header so that the
+// statically-typed packer instantiations (StaticAnyFitPacker<...> in the
+// factory) can inline the per-event policy work into the event loop; the
+// dynamic FitStrategy interface keeps working unchanged. Cold paths
+// (reserve, compaction, persistence, the O(open) strategies) stay in
+// strategies.cpp.
+// ------------------------------------------------------------------------
+
+// ---------------------------------------------------------------- FirstFit
+
+inline std::optional<BinId> FirstFitStrategy::select(double size) {
+  // The descent inlines CostModel::fits exactly: size <= residual + tol.
+  auto pos = residuals_.find_first_fit(size, model_.fit_tolerance);
+  if (!pos) return std::nullopt;
+  return bin_at_[*pos];
+}
+
+inline void FirstFitStrategy::on_bin_registered(BinId bin, double residual) {
+  // Compact instead of growing when at least half the positions are dead:
+  // the tree depth then tracks the *peak open* bin count, not the total.
+  if (residuals_.size() == residuals_.capacity() &&
+      2 * active_ <= residuals_.capacity()) {
+    compact();
+  }
+  const std::size_t pos = residuals_.push_back(residual);
+  bin_at_.push_back(bin);
+  DBP_CHECK(bin_at_.size() == pos + 1, "first-fit position bookkeeping");
+  if (bin >= pos_of_.size()) {
+    pos_of_.resize(static_cast<std::size_t>(bin) + 1, kNoPos);
+  }
+  pos_of_[static_cast<std::size_t>(bin)] = pos;
+  ++active_;
+}
+
+inline void FirstFitStrategy::on_residual_changed(BinId bin, double residual) {
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "residual change for unregistered bin");
+  residuals_.assign(pos_of_[static_cast<std::size_t>(bin)], residual);
+}
+
+inline void FirstFitStrategy::on_bin_closed(BinId bin) {
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "closing an unregistered bin");
+  residuals_.deactivate(pos_of_[static_cast<std::size_t>(bin)]);
+  pos_of_[static_cast<std::size_t>(bin)] = kNoPos;
+  --active_;
+}
+
+// ----------------------------------------------------------------- LastFit
+
+inline std::optional<BinId> LastFitStrategy::select(double size) {
+  auto pos = residuals_.find_last_fit(size, model_.fit_tolerance);
+  if (!pos) return std::nullopt;
+  return bin_at_[*pos];
+}
+
+inline void LastFitStrategy::on_bin_registered(BinId bin, double residual) {
+  if (residuals_.size() == residuals_.capacity() &&
+      2 * active_ <= residuals_.capacity()) {
+    compact();
+  }
+  const std::size_t pos = residuals_.push_back(residual);
+  bin_at_.push_back(bin);
+  if (bin >= pos_of_.size()) {
+    pos_of_.resize(static_cast<std::size_t>(bin) + 1, kNoPos);
+  }
+  pos_of_[static_cast<std::size_t>(bin)] = pos;
+  ++active_;
+}
+
+inline void LastFitStrategy::on_residual_changed(BinId bin, double residual) {
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "residual change for unregistered bin");
+  residuals_.assign(pos_of_[static_cast<std::size_t>(bin)], residual);
+}
+
+inline void LastFitStrategy::on_bin_closed(BinId bin) {
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "closing an unregistered bin");
+  residuals_.deactivate(pos_of_[static_cast<std::size_t>(bin)]);
+  pos_of_[static_cast<std::size_t>(bin)] = kNoPos;
+  --active_;
+}
+
+// ----------------------------------------------------------------- BestFit
+
+inline std::optional<BinId> BestFitStrategy::select(double size) {
+  // Smallest residual r with fits(size, r), i.e. r >= size - tolerance —
+  // the first entry not below the key, exactly what the reference std::set
+  // lower_bound returns (std::pair's lexicographic operator< over the same
+  // (residual, id) keys). Small indexes scan linearly: the loop branch is
+  // predictable where a binary search mispredicts half its probes.
+  const std::pair<double, BinId> key{size - model_.fit_tolerance, 0};
+  const auto* const data = by_residual_.data();
+  const std::size_t count = by_residual_.size();
+  std::size_t i;
+  if (count <= 64) {
+    for (i = 0; i < count && data[i] < key; ++i) {
+    }
+  } else {
+    i = static_cast<std::size_t>(
+        std::lower_bound(data, data + count, key) - data);
+  }
+  if (i == count) return std::nullopt;
+  DBP_CHECK(model_.fits(size, data[i].first), "best-fit index out of sync");
+  return data[i].second;
+}
+
+inline void BestFitStrategy::relocate(std::size_t pos,
+                                      std::pair<double, BinId> to) {
+  auto* const data = by_residual_.data();
+  const std::size_t count = by_residual_.size();
+  while (pos > 0 && to < data[pos - 1]) {
+    data[pos] = data[pos - 1];
+    pos_of_[static_cast<std::size_t>(data[pos].second)] = pos;
+    --pos;
+  }
+  while (pos + 1 < count && data[pos + 1] < to) {
+    data[pos] = data[pos + 1];
+    pos_of_[static_cast<std::size_t>(data[pos].second)] = pos;
+    ++pos;
+  }
+  data[pos] = to;
+  pos_of_[static_cast<std::size_t>(to.second)] = pos;
+}
+
+inline void BestFitStrategy::on_bin_registered(BinId bin, double residual) {
+  if (bin >= pos_of_.size()) {
+    pos_of_.resize(static_cast<std::size_t>(bin) + 1, kNoPos);
+  }
+  DBP_CHECK(pos_of_[static_cast<std::size_t>(bin)] == kNoPos,
+            "duplicate best-fit registration");
+  // Append past the end, then let relocate shift it left into sorted place.
+  const std::pair<double, BinId> entry{residual, bin};
+  by_residual_.push_back(entry);
+  pos_of_[static_cast<std::size_t>(bin)] = by_residual_.size() - 1;
+  relocate(by_residual_.size() - 1, entry);
+}
+
+inline void BestFitStrategy::on_residual_changed(BinId bin, double residual) {
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "residual change for unregistered bin");
+  relocate(pos_of_[static_cast<std::size_t>(bin)], {residual, bin});
+}
+
+inline void BestFitStrategy::on_bin_closed(BinId bin) {
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "closing an unregistered bin");
+  std::size_t pos = pos_of_[static_cast<std::size_t>(bin)];
+  auto* const data = by_residual_.data();
+  const std::size_t count = by_residual_.size();
+  for (; pos + 1 < count; ++pos) {
+    data[pos] = data[pos + 1];
+    pos_of_[static_cast<std::size_t>(data[pos].second)] = pos;
+  }
+  by_residual_.pop_back();
+  pos_of_[static_cast<std::size_t>(bin)] = kNoPos;
+}
+
+// ---------------------------------------------------------------- WorstFit
+
+inline std::optional<BinId> WorstFitStrategy::select(double size) {
+  if (by_residual_.empty()) return std::nullopt;
+  const auto& best = by_residual_.back();  // max residual, min id
+  if (!model_.fits(size, best.first)) return std::nullopt;
+  return best.second;
+}
+
+inline void WorstFitStrategy::relocate(std::size_t pos,
+                                       std::pair<double, BinId> to) {
+  constexpr Order kOrder{};
+  auto* const data = by_residual_.data();
+  const std::size_t count = by_residual_.size();
+  while (pos > 0 && kOrder(to, data[pos - 1])) {
+    data[pos] = data[pos - 1];
+    pos_of_[static_cast<std::size_t>(data[pos].second)] = pos;
+    --pos;
+  }
+  while (pos + 1 < count && kOrder(data[pos + 1], to)) {
+    data[pos] = data[pos + 1];
+    pos_of_[static_cast<std::size_t>(data[pos].second)] = pos;
+    ++pos;
+  }
+  data[pos] = to;
+  pos_of_[static_cast<std::size_t>(to.second)] = pos;
+}
+
+inline void WorstFitStrategy::on_bin_registered(BinId bin, double residual) {
+  if (bin >= pos_of_.size()) {
+    pos_of_.resize(static_cast<std::size_t>(bin) + 1, kNoPos);
+  }
+  DBP_CHECK(pos_of_[static_cast<std::size_t>(bin)] == kNoPos,
+            "duplicate worst-fit registration");
+  const std::pair<double, BinId> entry{residual, bin};
+  by_residual_.push_back(entry);
+  pos_of_[static_cast<std::size_t>(bin)] = by_residual_.size() - 1;
+  relocate(by_residual_.size() - 1, entry);
+}
+
+inline void WorstFitStrategy::on_residual_changed(BinId bin, double residual) {
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "residual change for unregistered bin");
+  relocate(pos_of_[static_cast<std::size_t>(bin)], {residual, bin});
+}
+
+inline void WorstFitStrategy::on_bin_closed(BinId bin) {
+  DBP_REQUIRE(bin < pos_of_.size() && pos_of_[static_cast<std::size_t>(bin)] != kNoPos,
+              "closing an unregistered bin");
+  std::size_t pos = pos_of_[static_cast<std::size_t>(bin)];
+  auto* const data = by_residual_.data();
+  const std::size_t count = by_residual_.size();
+  for (; pos + 1 < count; ++pos) {
+    data[pos] = data[pos + 1];
+    pos_of_[static_cast<std::size_t>(data[pos].second)] = pos;
+  }
+  by_residual_.pop_back();
+  pos_of_[static_cast<std::size_t>(bin)] = kNoPos;
+}
 
 }  // namespace dbp

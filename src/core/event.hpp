@@ -1,0 +1,39 @@
+// Discrete events of a dynamic bin packing run — the pure data half.
+//
+// The Event record lives in core (not sim) because the hot replay loop is a
+// Packer method (Packer::replay devirtualizes it for the built-in
+// strategies); building the sorted sequence from an Instance stays in
+// sim/event.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace dbp {
+
+/// What happens at an event point. Departures order before arrivals at equal
+/// times: items occupy [a, d), so capacity frees before new placements
+/// (DESIGN.md "Semantics"; the paper's constructions in Theorems 1-2 state
+/// departures happen "before" subsequent arrivals).
+enum class EventKind : std::uint8_t { kDeparture = 0, kArrival = 1 };
+
+struct Event {
+  Time time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  ItemId item = 0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Strict weak order: by time, then departures before arrivals, then by item
+/// id (generator emission order breaks simultaneous-arrival ties). In fact a
+/// strict *total* order — (time, kind, item) is unique per event — so any
+/// correct sorting procedure produces the same sequence.
+[[nodiscard]] inline bool event_before(const Event& a, const Event& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.item < b.item;
+}
+
+}  // namespace dbp

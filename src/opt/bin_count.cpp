@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/arena.hpp"
 #include "core/compensated_sum.hpp"
 #include "core/error.hpp"
 #include "opt/classical.hpp"
 #include "opt/lower_bounds.hpp"
+#include "opt/scratch.hpp"
 
 namespace dbp {
 
@@ -39,8 +41,11 @@ std::size_t per_bin_count(double size, const CostModel& model) {
 /// step replays the flat algorithm's floating-point sequence (the `_rle`
 /// heuristics are bit-identical by construction; the exact solver runs on a
 /// transient expansion), so compute_rle(compress(S)) == compute_flat(S).
+/// With a scratch, the identical computation runs on reused storage — the
+/// scratch-taking kernel variants are documented value-identical to their
+/// allocating twins, so both branches below return the same bounds.
 BinCountBounds compute_rle(std::span<const SizeRun> runs, const CostModel& model,
-                           const BinCountOptions& options) {
+                           const BinCountOptions& options, BinCountScratch* scratch) {
   const std::uint64_t n = rle_item_count(runs);
   if (n == 0) return {0, 0};
 
@@ -62,12 +67,36 @@ BinCountBounds compute_rle(std::span<const SizeRun> runs, const CostModel& model
     return {bins, bins};
   }
 
-  const std::size_t lower = l2_lower_bound_rle(runs, model);
-  const std::size_t upper = std::min(first_fit_decreasing_rle(runs, model),
-                                     best_fit_decreasing_rle(runs, model));
+  std::size_t lower;
+  std::size_t upper;
+  if (scratch != nullptr) {
+    scratch->arena.reset();
+    lower = l2_lower_bound_rle(runs, model, scratch->arena);
+    upper = std::min(first_fit_decreasing_rle(runs, model, scratch->ffd_tree),
+                     best_fit_decreasing_rle(runs, model, scratch->bfd_residuals));
+  } else {
+    lower = l2_lower_bound_rle(runs, model);
+    upper = std::min(first_fit_decreasing_rle(runs, model),
+                     best_fit_decreasing_rle(runs, model));
+  }
   DBP_CHECK(lower <= upper, "L2 exceeds the FFD/BFD bin count");
   if (lower == upper || !options.use_exact_solver) return {lower, upper};
 
+  if (scratch != nullptr) {
+    // Arena-backed expansion (runs are strictly decreasing, so the expanded
+    // multiset is born sorted), then the search-only solver entry: it takes
+    // the bounds just computed — bit-identical to the ones exact_bin_count
+    // would recompute from the expansion — instead of re-deriving them.
+    const std::span<double> expanded =
+        scratch->arena.allocate_array<double>(static_cast<std::size_t>(n));
+    std::size_t at = 0;
+    for (const SizeRun& run : runs) {
+      for (std::uint64_t i = 0; i < run.count; ++i) expanded[at++] = run.size;
+    }
+    const ExactPackingResult exact = exact_bin_count_bounded(
+        expanded, model, lower, upper, options.exact, scratch->arena);
+    return {std::max(lower, exact.lower), std::min(upper, exact.upper)};
+  }
   std::vector<double> expanded;
   rle_expand(runs, expanded);
   const ExactPackingResult exact = exact_bin_count(expanded, model, options.exact);
@@ -85,7 +114,7 @@ BinCountBounds optimal_bin_count(std::span<const double> sizes, const CostModel&
     DBP_REQUIRE(s > 0.0 && model.fits(s, model.bin_capacity),
                 "size must be in (0, bin capacity]");
   }
-  return compute_rle(rle_from_sorted(sorted), model, options);
+  return compute_rle(rle_from_sorted(sorted), model, options, nullptr);
 }
 
 BinCountBounds optimal_bin_count_rle(std::span<const SizeRun> runs,
@@ -93,7 +122,16 @@ BinCountBounds optimal_bin_count_rle(std::span<const SizeRun> runs,
                                      const BinCountOptions& options) {
   model.validate();
   rle_validate(runs, model);
-  return compute_rle(runs, model, options);
+  return compute_rle(runs, model, options, nullptr);
+}
+
+BinCountBounds optimal_bin_count_rle(std::span<const SizeRun> runs,
+                                     const CostModel& model,
+                                     const BinCountOptions& options,
+                                     BinCountScratch& scratch) {
+  model.validate();
+  rle_validate(runs, model);
+  return compute_rle(runs, model, options, &scratch);
 }
 
 BinCountOracle::BinCountOracle(CostModel model, BinCountOptions options,
@@ -107,15 +145,16 @@ BinCountBounds BinCountOracle::count_sorted(std::span<const double> sorted_desc)
 }
 
 BinCountBounds BinCountOracle::count_rle(std::span<const SizeRun> runs) {
-  std::vector<SizeRun> key(runs.begin(), runs.end());
-  if (const auto cached = lookup_rle(key)) return *cached;
-  const BinCountBounds bounds = compute_rle(key, model_, options_);
-  store_rle(key, bounds);
+  // Transparent probe first: only a miss pays for the owning key copy
+  // (inside store_rle).
+  if (const auto cached = lookup_rle(runs)) return *cached;
+  const BinCountBounds bounds = compute_rle(runs, model_, options_, nullptr);
+  store_rle(runs, bounds);
   return bounds;
 }
 
 std::optional<BinCountBounds> BinCountOracle::lookup_rle(
-    const std::vector<SizeRun>& runs) {
+    std::span<const SizeRun> runs) {
   if (const auto it = memo_.find(runs); it != memo_.end()) {
     ++hits_;
     return it->second.bounds;
@@ -124,9 +163,14 @@ std::optional<BinCountBounds> BinCountOracle::lookup_rle(
   return std::nullopt;
 }
 
-void BinCountOracle::store_rle(const std::vector<SizeRun>& runs,
+void BinCountOracle::store_rle(std::span<const SizeRun> runs,
                                BinCountBounds bounds) {
-  if (memo_.size() >= memo_limit_ && !memo_.contains(runs)) {
+  const auto existing = memo_.find(runs);
+  if (existing != memo_.end()) {
+    existing->second = MemoEntry{bounds, next_seq_++};
+    return;
+  }
+  if (memo_.size() >= memo_limit_) {
     // Bounded FIFO eviction: drop the older half (by insertion sequence) so
     // the amortized cost per insert stays O(1) and recent snapshots — the
     // ones cyclic workloads are about to revisit — survive.
@@ -140,7 +184,8 @@ void BinCountOracle::store_rle(const std::vector<SizeRun>& runs,
       }
     }
   }
-  memo_[runs] = MemoEntry{bounds, next_seq_++};
+  memo_.emplace(std::vector<SizeRun>(runs.begin(), runs.end()),
+                MemoEntry{bounds, next_seq_++});
 }
 
 }  // namespace dbp

@@ -48,6 +48,18 @@ struct BinCountOptions {
                                                    const CostModel& model,
                                                    const BinCountOptions& options = {});
 
+struct BinCountScratch;
+
+/// Scratch variant: identical bounds, but every working structure (L2
+/// prefix arrays, FFD tree, BFD residual index, exact-solver expansion and
+/// stack) is reused from `scratch` — see opt/scratch.hpp. The OPT_total
+/// evaluate phase calls this once per distinct snapshot with a per-worker
+/// scratch, making the phase allocation-free in steady state.
+[[nodiscard]] BinCountBounds optimal_bin_count_rle(std::span<const SizeRun> runs,
+                                                   const CostModel& model,
+                                                   const BinCountOptions& options,
+                                                   BinCountScratch& scratch);
+
 /// Memoizing wrapper around the bin-count computation, keyed on the exact
 /// run-length-encoded multiset. The OPT_total estimator evaluates the active
 /// multiset at every event boundary; adversarial and cyclic workloads
@@ -71,13 +83,22 @@ class BinCountOracle {
 
   /// Memo probe only; counts a hit or a miss. Lets callers batch the
   /// computation of misses (e.g. in parallel) before store_rle-ing them.
+  /// The span form probes without copying the key (transparent lookup) —
+  /// arena-backed snapshot spans pass through allocation-free.
+  [[nodiscard]] std::optional<BinCountBounds> lookup_rle(std::span<const SizeRun> runs);
   [[nodiscard]] std::optional<BinCountBounds> lookup_rle(
-      const std::vector<SizeRun>& runs);
+      const std::vector<SizeRun>& runs) {
+    return lookup_rle(std::span<const SizeRun>(runs));
+  }
 
   /// Inserts a computed entry, evicting the oldest half of the memo first
   /// when `memo_limit` is reached (FIFO by insertion; bounded, never a
-  /// wholesale wipe). Overwrites silently on duplicate keys.
-  void store_rle(const std::vector<SizeRun>& runs, BinCountBounds bounds);
+  /// wholesale wipe). Overwrites silently on duplicate keys. Only an actual
+  /// insert copies the key into an owning vector.
+  void store_rle(std::span<const SizeRun> runs, BinCountBounds bounds);
+  void store_rle(const std::vector<SizeRun>& runs, BinCountBounds bounds) {
+    store_rle(std::span<const SizeRun>(runs), bounds);
+  }
 
   [[nodiscard]] std::size_t memo_size() const noexcept { return memo_.size(); }
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
@@ -97,7 +118,9 @@ class BinCountOracle {
   // DBP_LINT_ALLOW(unordered-container): memo lookups by exact RLE key;
   // eviction keeps every entry with seq >= cutoff, so the surviving set is
   // determined by insertion sequence, not by iteration order.
-  std::unordered_map<std::vector<SizeRun>, MemoEntry, SizeRunVectorHash> memo_;
+  std::unordered_map<std::vector<SizeRun>, MemoEntry, SizeRunVectorHash,
+                     SizeRunKeyEqual>
+      memo_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

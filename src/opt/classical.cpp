@@ -75,14 +75,24 @@ std::size_t best_fit_decreasing_sorted(std::span<const double> sorted_desc,
 
 std::size_t first_fit_decreasing_rle(std::span<const SizeRun> runs,
                                      const CostModel& model) {
+  MaxSegmentTree residuals;
+  return first_fit_decreasing_rle(runs, model, residuals);
+}
+
+std::size_t first_fit_decreasing_rle(std::span<const SizeRun> runs,
+                                     const CostModel& model,
+                                     MaxSegmentTree& residuals) {
   model.validate();
   rle_validate(runs, model);
+  // A reused tree after clear() holds only -inf leaves, so the descents and
+  // appends below behave exactly as on a fresh tree (its larger physical
+  // capacity never changes which position a fit query selects).
+  residuals.clear();
   // Equivalence to the per-item loop: once an item of size s lands in the
   // leftmost fitting bin b, every bin left of b still rejects s (their
   // residuals are unchanged), so the next item of the same size lands in b
   // again until b rejects s. A run therefore fills bins left to right, and
   // the per-item subtraction sequence on each residual is replayed exactly.
-  MaxSegmentTree residuals;
   for (const SizeRun& run : runs) {
     std::uint64_t remaining = run.count;
     while (remaining > 0) {
@@ -134,6 +144,47 @@ std::size_t best_fit_decreasing_rle(std::span<const SizeRun> runs,
         --remaining;
       }
       residuals.insert(residual);
+    }
+  }
+  return bins;
+}
+
+std::size_t best_fit_decreasing_rle(std::span<const SizeRun> runs,
+                                    const CostModel& model,
+                                    std::vector<double>& residuals) {
+  model.validate();
+  rle_validate(runs, model);
+  // Same run-draining walk as the multiset overload above, on a flat
+  // ascending-sorted vector. std::lower_bound finds the same residual value
+  // the multiset's lower_bound finds; erase/insert at the bound keep the
+  // vector sorted with the same value multiset, and only values are ever
+  // read, so the two overloads return identical counts (classical.hpp).
+  // Bins stay in the low tens here, so the memmove behind insert/erase is
+  // cheaper than multiset node churn — and clear() keeps the capacity, so a
+  // reusing caller allocates nothing in steady state.
+  residuals.clear();
+  std::size_t bins = 0;
+  for (const SizeRun& run : runs) {
+    const double threshold = run.size - model.fit_tolerance;
+    std::uint64_t remaining = run.count;
+    while (remaining > 0) {
+      const auto it = std::lower_bound(residuals.begin(), residuals.end(), threshold);
+      double residual;
+      if (it == residuals.end()) {
+        ++bins;
+        residual = model.bin_capacity - run.size;
+      } else {
+        residual = *it;
+        residuals.erase(it);
+        residual -= run.size;
+      }
+      --remaining;
+      while (remaining > 0 && !(residual < threshold)) {
+        residual -= run.size;
+        --remaining;
+      }
+      residuals.insert(std::upper_bound(residuals.begin(), residuals.end(), residual),
+                       residual);
     }
   }
   return bins;

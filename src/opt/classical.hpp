@@ -42,4 +42,26 @@ namespace dbp {
 [[nodiscard]] std::size_t best_fit_decreasing_rle(std::span<const SizeRun> runs,
                                                   const CostModel& model);
 
+class MaxSegmentTree;
+
+/// Scratch variants for callers that evaluate many multisets in a row (the
+/// OPT_total evaluate phase, see opt/scratch.hpp): the residual structures
+/// are clear()ed and reused instead of rebuilt, so steady-state calls touch
+/// no heap. Results are identical to the scratch-free overloads.
+///
+/// FFD reuses the caller's segment tree (clear() keeps its storage).
+[[nodiscard]] std::size_t first_fit_decreasing_rle(std::span<const SizeRun> runs,
+                                                   const CostModel& model,
+                                                   MaxSegmentTree& scratch_tree);
+
+/// BFD on a flat ascending-sorted residual vector instead of the reference
+/// std::multiset. Value-equivalent by construction: lower_bound on a sorted
+/// double vector selects the same residual *value* the multiset's
+/// lower_bound does, and erase/insert keep the same sorted value sequence
+/// (ties are interchangeable — only values are ever read), so the per-item
+/// subtraction sequence and the bin count match the multiset walk exactly.
+[[nodiscard]] std::size_t best_fit_decreasing_rle(std::span<const SizeRun> runs,
+                                                  const CostModel& model,
+                                                  std::vector<double>& scratch_residuals);
+
 }  // namespace dbp

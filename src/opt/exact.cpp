@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/error.hpp"
 #include "opt/classical.hpp"
 #include "opt/lower_bounds.hpp"
@@ -12,16 +13,23 @@ namespace dbp {
 
 namespace {
 
+/// The branch-and-bound search body. Storage for the suffix sums (n + 1
+/// doubles) and the open-bin residual stack (upper + 1 doubles) is provided
+/// by the caller — a plain vector for the one-shot entry point, an arena for
+/// the scratch-reusing one — so the search itself never allocates.
 class Search {
  public:
   Search(std::span<const double> sorted_desc, const CostModel& model,
-         const ExactPackingOptions& options)
+         const ExactPackingOptions& options, std::span<double> suffix_sum,
+         std::span<double> residual_stack)
       : sizes_(sorted_desc),
         capacity_(model.bin_capacity + model.fit_tolerance),  // for area bounds
         real_capacity_(model.bin_capacity),  // fresh-bin residual, as BinManager
         tolerance_(model.fit_tolerance),
-        options_(options) {
-    suffix_sum_.resize(sizes_.size() + 1, 0.0);
+        options_(options),
+        residuals_(residual_stack),
+        suffix_sum_(suffix_sum) {
+    suffix_sum_[sizes_.size()] = 0.0;
     for (std::size_t i = sizes_.size(); i-- > 0;) {
       suffix_sum_[i] = suffix_sum_[i + 1] + sizes_[i];
     }
@@ -50,25 +58,25 @@ class Search {
       return;
     }
     if (index == sizes_.size()) {
-      best_ = std::min(best_, residuals_.size());
+      best_ = std::min(best_, open_);
       return;
     }
     // Area prune: open bins + bins forced by volume that cannot go into the
     // open bins' spare capacity.
     double spare = 0.0;
-    for (double r : residuals_) spare += r;
+    for (std::size_t b = 0; b < open_; ++b) spare += residuals_[b];
     const double overflow = suffix_sum_[index] - spare;
     std::size_t forced = 0;
     if (overflow > 0.0) {
       forced = static_cast<std::size_t>(std::ceil(overflow / capacity_ * (1.0 - 1e-12)));
     }
-    if (residuals_.size() + forced >= best_) return;
+    if (open_ + forced >= best_) return;
 
     const double size = sizes_[index];
     // Try each open bin with a distinct residual (equal residuals are
     // interchangeable — placing into either yields isomorphic subtrees).
     double last_residual = -1.0;
-    for (std::size_t b = 0; b < residuals_.size(); ++b) {
+    for (std::size_t b = 0; b < open_; ++b) {
       const double residual = residuals_[b];
       if (size > residual + tolerance_) continue;
       if (residual == last_residual) continue;
@@ -81,11 +89,13 @@ class Search {
       // placement can do better.
       if (std::abs(residual - size) <= tolerance_) return;
     }
-    // Try a new bin (only useful if we may still beat best_).
-    if (residuals_.size() + 1 + (forced > 0 ? forced - 1 : 0) < best_) {
-      residuals_.push_back(real_capacity_ - size);
+    // Try a new bin (only useful if we may still beat best_). The stack
+    // never outgrows its `upper + 1` storage: the guard keeps open_ < best_
+    // <= the initial upper after every push.
+    if (open_ + 1 + (forced > 0 ? forced - 1 : 0) < best_) {
+      residuals_[open_++] = real_capacity_ - size;
       branch(index + 1);
-      residuals_.pop_back();
+      --open_;
     }
   }
 
@@ -94,13 +104,25 @@ class Search {
   double real_capacity_;
   double tolerance_;
   ExactPackingOptions options_;
-  std::vector<double> residuals_;
-  std::vector<double> suffix_sum_;
+  std::span<double> residuals_;    // open-bin stack; live prefix is [0, open_)
+  std::span<double> suffix_sum_;
+  std::size_t open_ = 0;
   std::size_t best_ = 0;
   std::size_t lower_ = 0;
   std::uint64_t nodes_ = 0;
   bool aborted_ = false;
 };
+
+ExactPackingResult run_search(std::span<const double> sorted_desc,
+                              const CostModel& model, std::size_t lower,
+                              std::size_t upper, const ExactPackingOptions& options,
+                              std::span<double> suffix_sum,
+                              std::span<double> residual_stack) {
+  Search search(sorted_desc, model, options, suffix_sum, residual_stack);
+  ExactPackingResult result = search.run(lower, upper);
+  DBP_CHECK(result.lower <= result.upper, "exact search produced crossed bounds");
+  return result;
+}
 
 }  // namespace
 
@@ -117,10 +139,26 @@ ExactPackingResult exact_bin_count(std::span<const double> sizes,
   if (lower == upper) {
     return ExactPackingResult{lower, upper, true, 0};
   }
-  Search search(sorted, model, options);
-  ExactPackingResult result = search.run(lower, upper);
-  DBP_CHECK(result.lower <= result.upper, "exact search produced crossed bounds");
-  return result;
+  std::vector<double> suffix_sum(sorted.size() + 1);
+  std::vector<double> residual_stack(upper + 1);
+  return run_search(sorted, model, lower, upper, options, suffix_sum, residual_stack);
+}
+
+ExactPackingResult exact_bin_count_bounded(std::span<const double> sorted_desc,
+                                           const CostModel& model, std::size_t lower,
+                                           std::size_t upper,
+                                           const ExactPackingOptions& options,
+                                           MonotonicArena& scratch) {
+  model.validate();
+  DBP_REQUIRE(std::is_sorted(sorted_desc.rbegin(), sorted_desc.rend()),
+              "sizes must be non-increasing");
+  DBP_CHECK(lower <= upper, "lower bound exceeds heuristic upper bound");
+  if (lower == upper) {
+    return ExactPackingResult{lower, upper, true, 0};
+  }
+  return run_search(sorted_desc, model, lower, upper, options,
+                    scratch.allocate_array<double>(sorted_desc.size() + 1),
+                    scratch.allocate_array<double>(upper + 1));
 }
 
 }  // namespace dbp

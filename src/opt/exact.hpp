@@ -30,4 +30,18 @@ struct ExactPackingOptions {
                                                  const CostModel& model,
                                                  const ExactPackingOptions& options = {});
 
+class MonotonicArena;
+
+/// Search-only entry point for callers that already hold valid bounds:
+/// `sorted_desc` must be non-increasing, `lower` must come from
+/// l2_lower_bound_* and `upper` from min(FFD, BFD) over the same multiset.
+/// Under that contract the result is bit-identical to exact_bin_count (which
+/// recomputes exactly those bounds before searching); the recomputation is
+/// skipped and every working array comes out of `scratch`, so a caller that
+/// resets the arena between snapshots (opt/scratch.hpp) runs the solver
+/// without heap allocations.
+[[nodiscard]] ExactPackingResult exact_bin_count_bounded(
+    std::span<const double> sorted_desc, const CostModel& model, std::size_t lower,
+    std::size_t upper, const ExactPackingOptions& options, MonotonicArena& scratch);
+
 }  // namespace dbp

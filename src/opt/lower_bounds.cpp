@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/compensated_sum.hpp"
 #include "core/error.hpp"
 
@@ -110,19 +111,22 @@ std::size_t l2_lower_bound_sorted(std::span<const double> sorted_desc,
   return std::max(best, l1_lower_bound(sorted_desc, model));
 }
 
-std::size_t l2_lower_bound_rle(std::span<const SizeRun> runs, const CostModel& model) {
-  model.validate();
-  rle_validate(runs, model);
+namespace {
+
+/// Shared body of the two l2_lower_bound_rle overloads; `cum` and `boundary`
+/// are caller-provided uninitialized arrays of d + 1 elements each.
+std::size_t l2_rle_with_buffers(std::span<const SizeRun> runs, const CostModel& model,
+                                std::span<std::uint64_t> cum,
+                                std::span<double> boundary) {
   const std::size_t d = runs.size();
-  if (d == 0) return 0;
   const double capacity = model.bin_capacity + model.fit_tolerance;
   const double half = capacity / 2.0;
 
   // Boundary prefix sums: boundary[j] is the compensated sum after the first
   // j runs, produced by the same per-item add sequence the flat algorithm
   // uses, so the values match prefix[cum[j]] bitwise.
-  std::vector<std::uint64_t> cum(d + 1, 0);
-  std::vector<double> boundary(d + 1, 0.0);
+  cum[0] = 0;
+  boundary[0] = 0.0;
   {
     CompensatedSum sum;
     for (std::size_t j = 0; j < d; ++j) {
@@ -169,6 +173,28 @@ std::size_t l2_lower_bound_rle(std::span<const SizeRun> runs, const CostModel& m
   const std::size_t l1 =
       std::max<std::size_t>(1, guarded_ceil(boundary[d] / capacity));
   return std::max(best, l1);
+}
+
+}  // namespace
+
+std::size_t l2_lower_bound_rle(std::span<const SizeRun> runs, const CostModel& model) {
+  model.validate();
+  rle_validate(runs, model);
+  const std::size_t d = runs.size();
+  if (d == 0) return 0;
+  std::vector<std::uint64_t> cum(d + 1);
+  std::vector<double> boundary(d + 1);
+  return l2_rle_with_buffers(runs, model, cum, boundary);
+}
+
+std::size_t l2_lower_bound_rle(std::span<const SizeRun> runs, const CostModel& model,
+                               MonotonicArena& scratch) {
+  model.validate();
+  rle_validate(runs, model);
+  const std::size_t d = runs.size();
+  if (d == 0) return 0;
+  return l2_rle_with_buffers(runs, model, scratch.allocate_array<std::uint64_t>(d + 1),
+                             scratch.allocate_array<double>(d + 1));
 }
 
 }  // namespace dbp

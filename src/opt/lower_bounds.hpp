@@ -36,4 +36,14 @@ namespace dbp {
 [[nodiscard]] std::size_t l2_lower_bound_rle(std::span<const SizeRun> runs,
                                              const CostModel& model);
 
+class MonotonicArena;
+
+/// Scratch variant: the boundary prefix arrays come out of `scratch` instead
+/// of the heap, so a caller that resets the arena between snapshots (see
+/// opt/scratch.hpp) pays zero allocations in steady state. Bit-identical to
+/// the overload above.
+[[nodiscard]] std::size_t l2_lower_bound_rle(std::span<const SizeRun> runs,
+                                             const CostModel& model,
+                                             MonotonicArena& scratch);
+
 }  // namespace dbp

@@ -10,12 +10,14 @@
 #include <string>
 
 #include "analysis/sweep.hpp"
+#include "core/arena.hpp"
 #include "core/audit.hpp"
 #include "core/compensated_sum.hpp"
 #include "core/error.hpp"
 #include "exec/execution_policy.hpp"
 #include "exec/worker_budget.hpp"
 #include "obs/obs.hpp"
+#include "opt/scratch.hpp"
 #include "sim/event.hpp"
 
 #if DBP_AUDIT_ENABLED
@@ -92,14 +94,20 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
 
   // ---- Phase 1: sequential sweep, RLE active set, snapshot dedup. ----
   // Active sizes run-length encoded in descending order (greater<>), so a
-  // snapshot key is a straight copy of O(distinct sizes) runs.
+  // snapshot key is a straight copy of O(distinct sizes) runs. Distinct
+  // snapshots live in a monotonic arena (stable addresses, one bump per
+  // snapshot) and are referenced by span everywhere downstream; the dedup
+  // map keys on those spans directly, so a duplicate segment costs a
+  // provisional arena copy that marker/rewind takes right back.
   std::map<double, std::uint64_t, std::greater<>> active;
-  std::vector<std::vector<SizeRun>> snapshots;  // first-occurrence order
-  std::vector<SnapshotWeight> weights;          // parallel to snapshots
+  MonotonicArena snapshot_arena;
+  std::vector<std::span<const SizeRun>> snapshots;  // first-occurrence order
+  std::vector<SnapshotWeight> weights;              // parallel to snapshots
   // DBP_LINT_ALLOW(unordered-container): dedup via try_emplace by exact
   // key; never iterated — snapshot order is first-occurrence order.
-  std::unordered_map<std::vector<SizeRun>, std::size_t, SizeRunVectorHash> index;
-  std::vector<SizeRun> key;
+  std::unordered_map<std::span<const SizeRun>, std::size_t, SizeRunVectorHash,
+                     SizeRunKeyEqual>
+      index;
 #if DBP_AUDIT_ENABLED
   // Audit shadow of `active`: a dense multiset maintained item-by-item. At
   // every snapshot the RLE key must describe exactly this multiset.
@@ -135,9 +143,12 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
     const double width = segment_end - t;
     if (width <= 0.0 || active.empty()) continue;
 
-    key.clear();
-    key.reserve(active.size());
-    for (const auto& [size, count] : active) key.push_back(SizeRun{size, count});
+    const MonotonicArena::Marker mark = snapshot_arena.marker();
+    const std::span<SizeRun> key = snapshot_arena.allocate_array<SizeRun>(active.size());
+    {
+      std::size_t r = 0;
+      for (const auto& [size, count] : active) key[r++] = SizeRun{size, count};
+    }
 #if DBP_AUDIT_ENABLED
     // RLE snapshot multiset == dense bookkeeping: identical total count and
     // per-size multiplicities, strictly decreasing run sizes.
@@ -151,10 +162,14 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
     }
 #endif
 
-    const auto [slot, inserted] = index.try_emplace(key, snapshots.size());
+    const auto [slot, inserted] =
+        index.try_emplace(std::span<const SizeRun>(key), snapshots.size());
     if (inserted) {
       snapshots.push_back(key);
       weights.emplace_back();
+    } else {
+      // Duplicate snapshot: release the provisional arena copy.
+      snapshot_arena.rewind(mark);
     }
     SnapshotWeight& weight = weights[slot->second];
     weight.width.add(width);
@@ -193,9 +208,6 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
     }
     pending.push_back(s);
   }
-  const auto evaluate = [&](std::size_t s) {
-    return optimal_bin_count_rle(snapshots[s], model, options.bin_count);
-  };
   // The fan-out decision: the worker budget (1 worker, a held lease, or an
   // enclosing sweep-level parallel region all mean "no help available") and
   // the pending job mix (few or tiny snapshots cannot amortize the OpenMP
@@ -209,12 +221,36 @@ OptTotalResult estimate_opt_total(const Instance& instance, const CostModel& mod
   const bool fan_out = exec::should_parallelize(options.policy, work, workers);
   result.evaluate_parallel = fan_out;
   result.evaluate_workers = fan_out ? workers : 1;
+  // Each worker evaluates thousands of snapshots against one reusable
+  // scratch (opt/scratch.hpp), so the whole phase performs a bounded number
+  // of warm-up allocations instead of a dozen per snapshot. The scratch
+  // path is bit-identical, so results stay independent of the worker count.
   if (fan_out) {
     // Pure evaluations; the oracle memo is written back sequentially below.
+    // Scratches are indexed by OpenMP thread id; sizing by max_threads
+    // covers any team parallel_map can start under the current budget.
+#if defined(DBP_HAVE_OPENMP)
+    std::vector<BinCountScratch> scratches(
+        static_cast<std::size_t>(omp_get_max_threads()));
+#else
+    std::vector<BinCountScratch> scratches(1);
+#endif
+    const auto evaluate = [&](std::size_t s) {
+#if defined(DBP_HAVE_OPENMP)
+      BinCountScratch& scratch =
+          scratches[static_cast<std::size_t>(omp_get_thread_num())];
+#else
+      BinCountScratch& scratch = scratches.front();
+#endif
+      return optimal_bin_count_rle(snapshots[s], model, options.bin_count, scratch);
+    };
     const std::vector<BinCountBounds> computed = parallel_map(pending, evaluate);
     for (std::size_t p = 0; p < pending.size(); ++p) bounds[pending[p]] = computed[p];
   } else {
-    for (const std::size_t s : pending) bounds[s] = evaluate(s);
+    BinCountScratch scratch;
+    for (const std::size_t s : pending) {
+      bounds[s] = optimal_bin_count_rle(snapshots[s], model, options.bin_count, scratch);
+    }
   }
   if (oracle != nullptr) {
     for (const std::size_t s : pending) oracle->store_rle(snapshots[s], bounds[s]);

@@ -10,6 +10,7 @@
 // sequence exactly (see opt/classical.hpp, opt/lower_bounds.hpp).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -80,9 +81,13 @@ inline void rle_validate(std::span<const SizeRun> runs, const CostModel& model) 
 
 /// FNV-1a over the raw (size bits, count) representation; the key is the
 /// exact compressed multiset. Shared by the bin-count oracle memo and the
-/// OPT_total snapshot-deduplication map.
+/// OPT_total snapshot-deduplication map. Transparent: arena-backed spans
+/// hash identically to owning vectors, so they can probe a vector-keyed
+/// memo (heterogeneous lookup) without materializing a key copy.
 struct SizeRunVectorHash {
-  std::size_t operator()(const std::vector<SizeRun>& runs) const noexcept {
+  using is_transparent = void;
+
+  std::size_t operator()(std::span<const SizeRun> runs) const noexcept {
     std::uint64_t h = 1469598103934665603ULL;
     const auto mix = [&h](std::uint64_t bits) {
       for (int shift = 0; shift < 64; shift += 8) {
@@ -97,6 +102,20 @@ struct SizeRunVectorHash {
       mix(run.count);
     }
     return static_cast<std::size_t>(h);
+  }
+
+  std::size_t operator()(const std::vector<SizeRun>& runs) const noexcept {
+    return (*this)(std::span<const SizeRun>(runs));
+  }
+};
+
+/// Transparent equality over run contents, pairing with SizeRunVectorHash
+/// for heterogeneous span-vs-vector memo lookups.
+struct SizeRunKeyEqual {
+  using is_transparent = void;
+
+  bool operator()(std::span<const SizeRun> a, std::span<const SizeRun> b) const noexcept {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
   }
 };
 

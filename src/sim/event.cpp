@@ -4,20 +4,31 @@
 
 namespace dbp {
 
-bool event_before(const Event& a, const Event& b) noexcept {
-  if (a.time != b.time) return a.time < b.time;
-  if (a.kind != b.kind) return a.kind < b.kind;
-  return a.item < b.item;
+void build_event_sequence(const Instance& instance, std::vector<Event>& events) {
+  // event_before is a strict *total* order — (time, kind, item) is unique
+  // per event — so any correct sorting procedure produces the same sequence.
+  // Sorting the two kinds separately and merging halves the n log n work of
+  // sorting the interleaved whole and reuses the caller's capacity.
+  const std::size_t n = instance.size();
+  events.clear();
+  events.reserve(2 * n);
+  for (const Item& item : instance.items()) {
+    events.push_back({item.arrival, EventKind::kArrival, item.id});
+  }
+  std::sort(events.begin(), events.end(), event_before);
+  for (const Item& item : instance.items()) {
+    events.push_back({item.departure, EventKind::kDeparture, item.id});
+  }
+  std::sort(events.begin() + static_cast<std::ptrdiff_t>(n), events.end(),
+            event_before);
+  std::inplace_merge(events.begin(),
+                     events.begin() + static_cast<std::ptrdiff_t>(n),
+                     events.end(), event_before);
 }
 
 std::vector<Event> build_event_sequence(const Instance& instance) {
   std::vector<Event> events;
-  events.reserve(instance.size() * 2);
-  for (const Item& item : instance.items()) {
-    events.push_back({item.arrival, EventKind::kArrival, item.id});
-    events.push_back({item.departure, EventKind::kDeparture, item.id});
-  }
-  std::sort(events.begin(), events.end(), event_before);
+  build_event_sequence(instance, events);
   return events;
 }
 

@@ -1,32 +1,22 @@
-// Discrete events of a dynamic bin packing run.
+// Building the sorted event sequence of an instance. The Event record
+// itself lives in core/event.hpp (the Packer replay loop consumes it).
 #pragma once
 
 #include <vector>
 
+#include "core/event.hpp"
 #include "core/instance.hpp"
 #include "core/types.hpp"
 
 namespace dbp {
 
-/// What happens at an event point. Departures order before arrivals at equal
-/// times: items occupy [a, d), so capacity frees before new placements
-/// (DESIGN.md "Semantics"; the paper's constructions in Theorems 1-2 state
-/// departures happen "before" subsequent arrivals).
-enum class EventKind : std::uint8_t { kDeparture = 0, kArrival = 1 };
-
-struct Event {
-  Time time = 0.0;
-  EventKind kind = EventKind::kArrival;
-  ItemId item = 0;
-
-  friend bool operator==(const Event&, const Event&) = default;
-};
-
-/// Strict weak order: by time, then departures before arrivals, then by item
-/// id (generator emission order breaks simultaneous-arrival ties).
-[[nodiscard]] bool event_before(const Event& a, const Event& b) noexcept;
-
 /// The full sorted event sequence (2 events per item) of an instance.
 [[nodiscard]] std::vector<Event> build_event_sequence(const Instance& instance);
+
+/// Same sequence written into `events` (cleared first), reusing its
+/// capacity — for callers that rebuild sequences in a loop. The order is
+/// identical to the value-returning overload: event_before is a strict
+/// total order, so the sequence is unique.
+void build_event_sequence(const Instance& instance, std::vector<Event>& events);
 
 }  // namespace dbp

@@ -19,7 +19,16 @@ std::vector<std::vector<ItemId>> SimulationResult::items_by_bin() const {
   return result;
 }
 
-SimulationResult simulate(const Instance& instance, Packer& packer) {
+void replay_events(const Instance& instance, std::span<const Event> events,
+                   Packer& packer) {
+  // The loop itself is a Packer method so the statically-typed packers can
+  // devirtualize it end to end; the default handles the general (including
+  // clairvoyant) case. See algo/packer.cpp.
+  packer.replay(instance, events);
+}
+
+SimulationResult simulate(const Instance& instance, std::span<const Event> events,
+                          Packer& packer) {
   DBP_REQUIRE(packer.bins().total_bins_opened() == 0,
               "packers are single-use; construct a fresh one per run");
   SimulationResult result;
@@ -38,21 +47,8 @@ SimulationResult simulate(const Instance& instance, Packer& packer) {
     tracer->record(std::move(record));
   }
 
-  // Clairvoyant (departure-aware) baselines get the full item; online
-  // packers get only the ArrivingItem slice.
-  auto* clairvoyant = dynamic_cast<ClairvoyantPacker*>(&packer);
-  for (const Event& event : build_event_sequence(instance)) {
-    const Item& item = instance.item(event.item);
-    if (event.kind == EventKind::kArrival) {
-      if (clairvoyant != nullptr) {
-        clairvoyant->on_arrival_clairvoyant(item);
-      } else {
-        packer.on_arrival(ArrivingItem{item.id, item.arrival, item.size});
-      }
-    } else {
-      packer.on_departure(item.id, item.departure);
-    }
-  }
+  packer.reserve_hint(instance.size());
+  replay_events(instance, events, packer);
 
   const BinManager& bins = packer.bins();
   DBP_CHECK(bins.open_count() == 0, "bins remain open after the last departure");
@@ -66,6 +62,11 @@ SimulationResult simulate(const Instance& instance, Packer& packer) {
     tracer->record(std::move(record));
   }
   return result;
+}
+
+SimulationResult simulate(const Instance& instance, Packer& packer) {
+  const std::vector<Event> events = build_event_sequence(instance);
+  return simulate(instance, events, packer);
 }
 
 void detail::finalize_accounting(SimulationResult& result,

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,20 @@ struct SimulationResult {
 /// The packer only ever sees ArrivingItem slices — the online contract is
 /// structural, not advisory.
 [[nodiscard]] SimulationResult simulate(const Instance& instance, Packer& packer);
+
+/// Same run over a caller-provided event sequence (must be exactly
+/// build_event_sequence(instance)); lets repeated runs over one instance —
+/// algorithm comparisons, benchmarks — pay the event sort once.
+[[nodiscard]] SimulationResult simulate(const Instance& instance,
+                                        std::span<const Event> events,
+                                        Packer& packer);
+
+/// The packer event loop alone: drives `packer` (clairvoyant-aware) over a
+/// prebuilt event sequence with no result accounting. This is the
+/// steady-state hot path — with reserve_hint() called first it performs
+/// zero heap allocations (tests/zero_alloc_test.cpp pins that).
+void replay_events(const Instance& instance, std::span<const Event> events,
+                   Packer& packer);
 
 /// Convenience: build the named packer and simulate.
 [[nodiscard]] SimulationResult simulate(const Instance& instance,

@@ -1,48 +1,46 @@
 #!/usr/bin/env python3
-"""Bench smoke guard: fail when the adaptive OPT_total path regresses.
+"""Bench smoke guard: fail when a benchmarked hot path regresses.
 
-Reads a dbp-bench-perf report (schema 1 or 2) and checks, for every
-workload that reports both, that ``opt_total_<w>_fast`` is no slower than
-``opt_total_<w>_fast_sequential`` by more than the allowed ratio. The
-adaptive execution policy exists precisely so the fast path can never do
-worse than sequential plus noise; this guard pins that in CI.
+Two checks over a dbp-bench-perf report (schema 1, 2, or 3):
 
-Exit codes: 0 = all workloads within bounds, 1 = regression, 2 = bad input.
+1. Adaptive-policy guard (schema >= 1): for every workload that reports
+   both, ``opt_total_<w>_fast`` must be no slower than
+   ``opt_total_<w>_fast_sequential`` by more than the allowed ratio. The
+   adaptive execution policy exists precisely so the fast path can never do
+   worse than sequential plus noise.
+
+2. Packer throughput guard (schema >= 3, needs ``--baseline``): every
+   ``packer_*`` case with an ``items_per_sec`` field is compared against the
+   same case in the checked-in baseline report. Raw throughput is useless
+   across machines and runs, so the comparison is normalized by a machine
+   factor: the geometric mean, over the ``packer_*_reference*`` cases present
+   in both reports, of current/baseline reference throughput. The reference
+   cases run the seed's timed region in the *same run* on the *same machine*,
+   so the factor absorbs host speed, load, and workload-size differences, and
+   what remains is the optimized loop's real regression. A case fails when
+   its normalized throughput drops by more than ``--max-packer-regression``
+   (default 0.20, per the bench protocol in docs/performance.md).
+
+Exit codes: 0 = all within bounds, 1 = regression, 2 = bad input.
 
 Usage:
-    check_bench_guard.py BENCH_perf.json [--min-ratio=0.95]
-
-``--min-ratio=R`` requires ``seq_ms / fast_ms >= R``. CI uses the default
-0.95 (5% tolerance for timer noise); the ctest smoke run uses a loose 0.50
-because its tiny instances make the ratio jittery.
+    check_bench_guard.py REPORT [--min-ratio=0.95]
+                         [--baseline=BENCH_perf.json]
+                         [--max-packer-regression=0.20]
 """
 import json
+import math
 import sys
 
 
-def main(argv):
-    path = None
-    min_ratio = 0.95
-    for arg in argv[1:]:
-        if arg.startswith("--min-ratio="):
-            min_ratio = float(arg.split("=", 1)[1])
-        elif arg.startswith("--"):
-            print(f"check_bench_guard: unknown option {arg}", file=sys.stderr)
-            return 2
-        else:
-            path = arg
-    if path is None:
-        print(__doc__, file=sys.stderr)
-        return 2
+def load_cases(path):
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    return {case["name"]: case for case in report["cases"]}
 
-    try:
-        with open(path, encoding="utf-8") as handle:
-            report = json.load(handle)
-        cases = {case["name"]: case for case in report["cases"]}
-    except (OSError, ValueError, KeyError, TypeError) as error:
-        print(f"check_bench_guard: cannot read {path}: {error}", file=sys.stderr)
-        return 2
 
+def check_adaptive(cases, min_ratio):
+    """Fast-vs-sequential check. Returns (checked, failures)."""
     suffix = "_fast_sequential"
     checked = 0
     failures = 0
@@ -64,7 +62,89 @@ def main(argv):
         )
         if ratio < min_ratio:
             failures += 1
+    return checked, failures
 
+
+def check_packers(cases, baseline, max_regression):
+    """Normalized packer items_per_sec check. Returns (checked, failures)."""
+
+    def throughput(case):
+        value = case.get("items_per_sec")
+        return float(value) if value is not None else None
+
+    # Machine factor from the reference cases both reports share.
+    factors = []
+    for name, case in sorted(cases.items()):
+        if not name.startswith("packer_") or "_reference" not in name:
+            continue
+        base_case = baseline.get(name)
+        if base_case is None:
+            continue
+        cur, base = throughput(case), throughput(base_case)
+        if cur and base:
+            factors.append(cur / base)
+    if not factors:
+        print(
+            "packer guard: no shared packer_*_reference cases between report "
+            "and baseline (pre-v3 baseline?) — skipping",
+        )
+        return 0, 0
+    machine = math.exp(sum(math.log(f) for f in factors) / len(factors))
+    print(f"packer guard: machine factor {machine:.3f} from {len(factors)} "
+          "reference case(s)")
+
+    checked = 0
+    failures = 0
+    for name, case in sorted(cases.items()):
+        if not name.startswith("packer_") or "_reference" in name:
+            continue
+        base_case = baseline.get(name)
+        if base_case is None:
+            continue
+        cur, base = throughput(case), throughput(base_case)
+        if cur is None or base is None:
+            continue
+        checked += 1
+        ratio = cur / (machine * base) if base > 0 else float("inf")
+        verdict = "ok" if ratio >= 1.0 - max_regression else "REGRESSION"
+        print(
+            f"{name}: {cur / 1e6:.2f}M items/s vs baseline {base / 1e6:.2f}M "
+            f"-> normalized ratio {ratio:.3f} "
+            f"(min {1.0 - max_regression:.2f}) {verdict}"
+        )
+        if ratio < 1.0 - max_regression:
+            failures += 1
+    return checked, failures
+
+
+def main(argv):
+    path = None
+    baseline_path = None
+    min_ratio = 0.95
+    max_packer_regression = 0.20
+    for arg in argv[1:]:
+        if arg.startswith("--min-ratio="):
+            min_ratio = float(arg.split("=", 1)[1])
+        elif arg.startswith("--baseline="):
+            baseline_path = arg.split("=", 1)[1]
+        elif arg.startswith("--max-packer-regression="):
+            max_packer_regression = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(f"check_bench_guard: unknown option {arg}", file=sys.stderr)
+            return 2
+        else:
+            path = arg
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        cases = load_cases(path)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"check_bench_guard: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+
+    checked, failures = check_adaptive(cases, min_ratio)
     if checked == 0:
         print(f"check_bench_guard: no fast/sequential case pairs in {path}",
               file=sys.stderr)
@@ -77,7 +157,27 @@ def main(argv):
             file=sys.stderr,
         )
         return 1
-    print(f"check_bench_guard: {checked} workload(s) within bounds")
+
+    if baseline_path is not None:
+        try:
+            baseline = load_cases(baseline_path)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"check_bench_guard: cannot read {baseline_path}: {error}",
+                  file=sys.stderr)
+            return 2
+        packer_checked, packer_failures = check_packers(
+            cases, baseline, max_packer_regression)
+        if packer_failures:
+            print(
+                f"check_bench_guard: {packer_failures}/{packer_checked} packer "
+                "case(s) regressed beyond the allowed margin vs the checked-in "
+                "baseline",
+                file=sys.stderr,
+            )
+            return 1
+        checked += packer_checked
+
+    print(f"check_bench_guard: {checked} check(s) within bounds")
     return 0
 
 

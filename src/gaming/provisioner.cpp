@@ -38,15 +38,33 @@ ProvisioningReport analyze_provisioning(const Instance& instance,
                              period.length() * spec.price_per_hour / 60.0;
 
   // New-server ("bin open") events: the first-arriving session of each bin
-  // triggered it. Ties broken by item id, matching the simulator.
+  // triggered it. Ties broken by item id, matching the simulator. Every
+  // open starts from the bin's own usage record with a sentinel trigger
+  // (`instance.size()` is never a real item id): a faulted run's crash
+  // re-dispatch can open a server whose residents *all* arrived before the
+  // open, so no item attributes it — the boot still happened at the
+  // recorded open time and must be simulated against the pool.
   struct OpenEvent {
     Time time;
     ItemId trigger;
   };
-  std::vector<OpenEvent> opens(result.bins_opened,
-                               OpenEvent{0.0, instance.size()});
+  DBP_REQUIRE(result.bin_usage.size() == result.bins_opened,
+              "simulation result bin bookkeeping is inconsistent");
+  std::vector<OpenEvent> opens;
+  opens.reserve(result.bins_opened);
+  for (const BinUsageRecord& record : result.bin_usage) {
+    opens.push_back(OpenEvent{record.opened, instance.size()});
+  }
   for (const Item& item : instance.items()) {
-    const auto bin = static_cast<std::size_t>(result.assignment[item.id]);
+    const BinId assigned = result.assignment[item.id];
+    if (assigned == kNoBin) continue;  // item the faulted run dropped
+    // Bounds-check the mapping instead of indexing blind: a sparse or
+    // mismatched result (assignment ids outside bin_usage) used to read —
+    // and via the sentinel, write — out of bounds.
+    DBP_REQUIRE(assigned < result.bin_usage.size(),
+                "assignment references a bin id with no usage record "
+                "(sparse or mismatched simulation result)");
+    const auto bin = static_cast<std::size_t>(assigned);
     if (item.arrival < result.bin_usage[bin].opened) continue;
     OpenEvent& event = opens[bin];
     if (event.trigger == instance.size() || item.arrival < event.time ||
@@ -82,7 +100,12 @@ ProvisioningReport analyze_provisioning(const Instance& instance,
     }
     if (wait > 0.0) {
       ++report.cold_starts;
-      waits[static_cast<std::size_t>(event.trigger)] = wait;
+      // Sentinel triggers (crash re-dispatch opens with no attributable
+      // session) count as cold starts but have no session to charge the
+      // wait to; indexing the sentinel was the out-of-bounds write.
+      if (event.trigger < instance.size()) {
+        waits[static_cast<std::size_t>(event.trigger)] = wait;
+      }
     }
     // Restock toward the target.
     while (available + pending.size() < policy.warm_target) {

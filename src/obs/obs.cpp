@@ -1,7 +1,13 @@
 #include "obs/obs.hpp"
 
-namespace dbp::obs::detail {
+namespace dbp::obs {
+
+namespace detail {
 
 thread_local ObsContext g_context{};
 
-}  // namespace dbp::obs::detail
+}  // namespace detail
+
+std::uint64_t current_shard() noexcept { return detail::g_context.shard; }
+
+}  // namespace dbp::obs

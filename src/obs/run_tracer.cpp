@@ -55,6 +55,8 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kDispatchReject: return "dispatch_reject";
     case TraceKind::kSessionShed: return "session_shed";
     case TraceKind::kServerFail: return "server_fail";
+    case TraceKind::kEpochMark: return "epoch_mark";
+    case TraceKind::kShardSnapshot: return "shard_snapshot";
   }
   return "unknown";
 }
@@ -64,6 +66,10 @@ RunTracer::RunTracer(std::size_t capacity) : capacity_(capacity) {
 }
 
 void RunTracer::record(TraceRecord record) {
+  // Stamp the thread's shard attribution (obs.hpp) unless the emitter set
+  // one explicitly. Outside engine shard scopes this is kNoShard and the
+  // field is omitted from the export, so non-engine traces are unchanged.
+  if (record.shard == kNoShard) record.shard = current_shard();
   const std::lock_guard<std::mutex> lock(mutex_);
   record.seq = next_seq_++;
   if (ring_.size() < capacity_) {
@@ -126,6 +132,7 @@ void RunTracer::export_jsonl(std::ostream& out, bool include_timings) const {
     if (r.size >= 0.0) out << ", \"size\": " << json_number(r.size);
     if (r.count != kNoCount) out << ", \"count\": " << r.count;
     if (include_timings && r.ms >= 0.0) out << ", \"ms\": " << json_number(r.ms);
+    if (r.shard != kNoShard) out << ", \"shard\": " << r.shard;
     if (!r.label.empty()) out << ", \"label\": " << json_string(r.label);
     out << "}\n";
   }

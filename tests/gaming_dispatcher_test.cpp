@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <string>
+#include <vector>
+
 #include "core/error.hpp"
 
 namespace dbp {
@@ -108,6 +112,106 @@ TEST(RegionalDispatcherTest, SessionBookkeeping) {
   dispatcher.start_session("ap", 1, 0.4, 0.0);
   EXPECT_THROW(dispatcher.start_session("ap", 1, 0.4, 1.0), PreconditionError);
   EXPECT_THROW(dispatcher.end_session(99, 1.0), PreconditionError);
+}
+
+/// Runs `fn`, which must throw DispatchError, and returns its kind().
+template <typename Fn>
+DispatchErrorKind dispatch_error_kind(Fn&& fn) {
+  try {
+    fn();
+  } catch (const DispatchError& error) {
+    return error.kind();
+  }
+  ADD_FAILURE() << "expected a DispatchError";
+  return DispatchErrorKind::kUnknownServer;
+}
+
+// Regression (PR 8 satellite): RegionalDispatcher used to surface bare
+// PreconditionError from DBP_REQUIRE for unknown session ids and duplicate
+// starts instead of the typed DispatchError contract GameServerDispatcher
+// documents. Callers switching on kind() must work through the regional
+// facade too.
+TEST(RegionalDispatcherTest, TypedDispatchErrors) {
+  RegionalDispatcher dispatcher(basic_spec(), "first-fit");
+  dispatcher.start_session("ap", 1, 0.4, 0.0);
+  EXPECT_EQ(dispatch_error_kind(
+                [&] { dispatcher.start_session("ap", 1, 0.4, 1.0); }),
+            DispatchErrorKind::kDuplicateStart);
+  EXPECT_EQ(dispatch_error_kind([&] { dispatcher.end_session(99, 1.0); }),
+            DispatchErrorKind::kUnknownSession);
+}
+
+// Regression: a duplicate start naming a *new* region used to create (and
+// leak) an empty fleet for that region before the duplicate check fired.
+TEST(RegionalDispatcherTest, DuplicateStartLeaksNoEmptyFleet) {
+  RegionalDispatcher dispatcher(basic_spec(), "first-fit");
+  dispatcher.start_session("ap", 1, 0.4, 0.0);
+  EXPECT_EQ(dispatch_error_kind(
+                [&] { dispatcher.start_session("eu-west", 1, 0.4, 1.0); }),
+            DispatchErrorKind::kDuplicateStart);
+  EXPECT_EQ(dispatcher.regions(), (std::vector<std::string>{"ap"}));
+}
+
+// Regression: the session->fleet mapping used to be recorded *before* the
+// inner dispatch, so a rejected start (invalid size here) left a stale
+// entry behind — end_session on the never-started id then corrupted the
+// bookkeeping instead of rejecting it as unknown.
+TEST(RegionalDispatcherTest, RejectedStartLeavesNoStaleMapping) {
+  RegionalDispatcher dispatcher(basic_spec(), "first-fit");
+  dispatcher.start_session("ap", 1, 0.4, 0.0);
+  EXPECT_EQ(dispatch_error_kind(
+                [&] { dispatcher.start_session("eu-west", 7, 2.0, 1.0); }),
+            DispatchErrorKind::kInvalidSize);
+  // The failed start created nothing: no fleet for the new region...
+  EXPECT_EQ(dispatcher.regions(), (std::vector<std::string>{"ap"}));
+  // ...and no session mapping, so ending the never-started id is *unknown*.
+  EXPECT_EQ(dispatch_error_kind([&] { dispatcher.end_session(7, 2.0); }),
+            DispatchErrorKind::kUnknownSession);
+  // The healthy session is untouched by the failed start.
+  dispatcher.end_session(1, 3.0);
+  EXPECT_EQ(dispatcher.active_servers(), 0u);
+}
+
+// Pinned counter-example (PR 8 satellite): rental_cost_dollars probed with
+// `now` earlier than a server's open time must clamp that rental at zero
+// dollars, never accrue a negative tail.
+TEST(GameServerDispatcherTest, ProbeBeforeOpenBillsZeroNotNegative) {
+  GameServerDispatcher dispatcher(basic_spec(), "first-fit");
+  dispatcher.start_session(1, 0.5, 10.0);
+  EXPECT_DOUBLE_EQ(dispatcher.rental_cost_dollars(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dispatcher.rental_cost_dollars(10.0), 0.0);
+  // Forward probes accrue normally from the open time.
+  EXPECT_DOUBLE_EQ(dispatcher.rental_cost_dollars(70.0), 6.0);  // 60 min @ $0.1
+}
+
+// Regression: a *closed* rental probed mid-life used to bill its full
+// length regardless of the probe time; the bill is "accrued by now", so it
+// must truncate at the probe (and clamp at zero before the open).
+TEST(GameServerDispatcherTest, ClosedRentalTruncatesAtProbeTime) {
+  GameServerDispatcher dispatcher(basic_spec(), "first-fit");
+  dispatcher.start_session(1, 0.9, 0.0);   // server A [0, 30)
+  dispatcher.start_session(2, 0.9, 20.0);  // server B [20, 40)
+  dispatcher.end_session(1, 30.0);
+  dispatcher.end_session(2, 40.0);
+  EXPECT_DOUBLE_EQ(dispatcher.rental_cost_dollars(0.0), 0.0);
+  // Probe at 10: A contributes 10 minutes, B nothing yet.
+  EXPECT_DOUBLE_EQ(dispatcher.rental_cost_dollars(10.0), 1.0);
+  // Probe at 25: A 25 minutes, B 5 minutes.
+  EXPECT_DOUBLE_EQ(dispatcher.rental_cost_dollars(25.0), 3.0);
+  // Probe past both closes: the full 30 + 20 = 50 minutes.
+  EXPECT_DOUBLE_EQ(dispatcher.rental_cost_dollars(100.0), 5.0);
+}
+
+TEST(GameServerDispatcherTest, ActiveSizesDescIsSortedAndComplete) {
+  GameServerDispatcher dispatcher(basic_spec(), "first-fit");
+  dispatcher.start_session(1, 0.25, 0.0);
+  dispatcher.start_session(2, 0.5, 1.0);
+  dispatcher.start_session(3, 0.25, 2.0);
+  std::vector<double> sizes(dispatcher.active_sessions());
+  dispatcher.active_sizes_desc(sizes);
+  EXPECT_EQ(sizes, (std::vector<double>{0.5, 0.25, 0.25}));
+  EXPECT_THROW(dispatcher.active_sizes_desc(std::span<double>{}),
+               PreconditionError);
 }
 
 TEST(DispatchComparisonTest, BestFitOverspendsOnAdversarialPattern) {

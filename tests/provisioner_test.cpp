@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "algo/factory.hpp"
 #include "core/error.hpp"
+#include "sim/fault_sim.hpp"
 #include "workload/cloud_gaming.hpp"
 
 namespace dbp {
@@ -105,6 +107,52 @@ TEST(ProvisionerTest, BiggerPoolTradesDollarsForWaits) {
     previous_wait = report.wait_minutes.mean;
     previous_cost = report.warm_pool_dollars;  // monotone in warm target
   }
+}
+
+// Regression (PR 8 satellite): a faulted run's crash re-dispatch closes a
+// server and re-opens a fresh one whose residents all *arrived before* the
+// open. No item attributes that open, so the trigger stays at the sentinel
+// (`instance.size()`); charging the wait to `waits[sentinel]` was a heap
+// write one past the end. The open must still count as a cold start.
+TEST(ProvisionerTest, CloseAndReopenCrashTraceStaysInBounds) {
+  Instance instance;
+  instance.add(0.0, 10.0, 0.6);  // server 0
+  instance.add(1.0, 10.0, 0.6);  // server 1 (0.6 + 0.6 > 1.0)
+  auto packer = make_packer("first-fit", spec().to_cost_model());
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{2.0, CrashTarget::kFullest});
+  const SimulationResult result = simulate_faulted(instance, *packer, plan);
+  // The crash (tie -> lowest id, bin 0) re-dispatches item 0 onto a fresh
+  // server at t=2 with its original arrival time 0 < opened 2.
+  ASSERT_EQ(result.bins_opened, 3u);
+  const ProvisioningReport report = analyze_provisioning(
+      instance, result, spec(), ProvisioningPolicy{3.0, 0});
+  EXPECT_EQ(report.boots, 3u);
+  EXPECT_EQ(report.cold_starts, 3u);
+  // Both *sessions* get a wait slot; the sentinel open charges nobody.
+  EXPECT_EQ(report.wait_minutes.count, instance.size());
+  EXPECT_DOUBLE_EQ(report.wait_minutes.max, 3.0);
+}
+
+// Regression: assignment bin ids pointing past the usage records (sparse or
+// mismatched results) used to index out of bounds; now a typed precondition.
+TEST(ProvisionerTest, SparseAssignmentIsRejectedNotIndexed) {
+  Instance instance;
+  instance.add(0.0, 10.0, 0.5);
+  SimulationResult result;
+  result.assignment = {BinId{3}};  // no usage record for bin 3
+  result.bin_usage.push_back(BinUsageRecord{BinId{0}, 0.0, 10.0});
+  result.bins_opened = 1;
+  result.packing_period = TimeInterval{0.0, 10.0};
+  EXPECT_THROW(
+      (void)analyze_provisioning(instance, result, spec(), ProvisioningPolicy{}),
+      PreconditionError);
+  // Inconsistent bookkeeping (opened count vs records) is rejected too.
+  result.assignment = {BinId{0}};
+  result.bins_opened = 2;
+  EXPECT_THROW(
+      (void)analyze_provisioning(instance, result, spec(), ProvisioningPolicy{}),
+      PreconditionError);
 }
 
 TEST(ProvisionerTest, Validation) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Bench smoke guard: fail when a benchmarked hot path regresses.
 
-Two checks over a dbp-bench-perf report (schema 1, 2, or 3):
+Three checks over a dbp-bench-perf report (schema 1 through 4):
 
 1. Adaptive-policy guard (schema >= 1): for every workload that reports
    both, ``opt_total_<w>_fast`` must be no slower than
@@ -21,12 +21,21 @@ Two checks over a dbp-bench-perf report (schema 1, 2, or 3):
    its normalized throughput drops by more than ``--max-packer-regression``
    (default 0.20, per the bench protocol in docs/performance.md).
 
+3. Dispatch engine guard (schema >= 4, needs ``--baseline``): every
+   ``bench_dispatch*`` case with an ``events_per_sec`` field is compared
+   against the baseline with the same machine factor as check 2 (the packer
+   reference cases are the machine probe for the whole report). A case fails
+   when its normalized events/sec drops by more than
+   ``--max-dispatch-regression`` (default 0.20). Skipped gracefully when the
+   baseline predates schema 4.
+
 Exit codes: 0 = all within bounds, 1 = regression, 2 = bad input.
 
 Usage:
     check_bench_guard.py REPORT [--min-ratio=0.95]
                          [--baseline=BENCH_perf.json]
                          [--max-packer-regression=0.20]
+                         [--max-dispatch-regression=0.20]
 """
 import json
 import math
@@ -65,14 +74,15 @@ def check_adaptive(cases, min_ratio):
     return checked, failures
 
 
-def check_packers(cases, baseline, max_regression):
-    """Normalized packer items_per_sec check. Returns (checked, failures)."""
+def throughput_field(case, field):
+    value = case.get(field)
+    return float(value) if value is not None else None
 
-    def throughput(case):
-        value = case.get("items_per_sec")
-        return float(value) if value is not None else None
 
-    # Machine factor from the reference cases both reports share.
+def machine_factor(cases, baseline):
+    """Geomean current/baseline throughput over the shared packer_*_reference
+    cases — the machine probe every normalized check divides by. None when
+    the reports share no reference case."""
     factors = []
     for name, case in sorted(cases.items()):
         if not name.startswith("packer_") or "_reference" not in name:
@@ -80,35 +90,39 @@ def check_packers(cases, baseline, max_regression):
         base_case = baseline.get(name)
         if base_case is None:
             continue
-        cur, base = throughput(case), throughput(base_case)
+        cur = throughput_field(case, "items_per_sec")
+        base = throughput_field(base_case, "items_per_sec")
         if cur and base:
             factors.append(cur / base)
     if not factors:
-        print(
-            "packer guard: no shared packer_*_reference cases between report "
-            "and baseline (pre-v3 baseline?) — skipping",
-        )
-        return 0, 0
-    machine = math.exp(sum(math.log(f) for f in factors) / len(factors))
-    print(f"packer guard: machine factor {machine:.3f} from {len(factors)} "
+        return None
+    factor = math.exp(sum(math.log(f) for f in factors) / len(factors))
+    print(f"bench guard: machine factor {factor:.3f} from {len(factors)} "
           "reference case(s)")
+    return factor
 
+
+def check_normalized(cases, baseline, machine, max_regression, selector,
+                     field, label):
+    """Shared reference-normalized throughput check. `selector(name)` picks
+    the cases; `field` is the throughput key. Returns (checked, failures)."""
     checked = 0
     failures = 0
     for name, case in sorted(cases.items()):
-        if not name.startswith("packer_") or "_reference" in name:
+        if not selector(name):
             continue
         base_case = baseline.get(name)
         if base_case is None:
             continue
-        cur, base = throughput(case), throughput(base_case)
+        cur = throughput_field(case, field)
+        base = throughput_field(base_case, field)
         if cur is None or base is None:
             continue
         checked += 1
         ratio = cur / (machine * base) if base > 0 else float("inf")
         verdict = "ok" if ratio >= 1.0 - max_regression else "REGRESSION"
         print(
-            f"{name}: {cur / 1e6:.2f}M items/s vs baseline {base / 1e6:.2f}M "
+            f"{name}: {cur / 1e6:.2f}M {label} vs baseline {base / 1e6:.2f}M "
             f"-> normalized ratio {ratio:.3f} "
             f"(min {1.0 - max_regression:.2f}) {verdict}"
         )
@@ -117,11 +131,32 @@ def check_packers(cases, baseline, max_regression):
     return checked, failures
 
 
+def check_packers(cases, baseline, machine, max_regression):
+    """Normalized packer items_per_sec check. Returns (checked, failures)."""
+    return check_normalized(
+        cases, baseline, machine, max_regression,
+        lambda name: name.startswith("packer_") and "_reference" not in name,
+        "items_per_sec", "items/s")
+
+
+def check_dispatch(cases, baseline, machine, max_regression):
+    """Normalized dispatch events_per_sec check. Returns (checked, failures)."""
+    if not any(name.startswith("bench_dispatch") for name in baseline):
+        print("dispatch guard: baseline has no bench_dispatch* cases "
+              "(pre-v4 baseline?) — skipping")
+        return 0, 0
+    return check_normalized(
+        cases, baseline, machine, max_regression,
+        lambda name: name.startswith("bench_dispatch"),
+        "events_per_sec", "events/s")
+
+
 def main(argv):
     path = None
     baseline_path = None
     min_ratio = 0.95
     max_packer_regression = 0.20
+    max_dispatch_regression = 0.20
     for arg in argv[1:]:
         if arg.startswith("--min-ratio="):
             min_ratio = float(arg.split("=", 1)[1])
@@ -129,6 +164,8 @@ def main(argv):
             baseline_path = arg.split("=", 1)[1]
         elif arg.startswith("--max-packer-regression="):
             max_packer_regression = float(arg.split("=", 1)[1])
+        elif arg.startswith("--max-dispatch-regression="):
+            max_dispatch_regression = float(arg.split("=", 1)[1])
         elif arg.startswith("--"):
             print(f"check_bench_guard: unknown option {arg}", file=sys.stderr)
             return 2
@@ -165,17 +202,29 @@ def main(argv):
             print(f"check_bench_guard: cannot read {baseline_path}: {error}",
                   file=sys.stderr)
             return 2
-        packer_checked, packer_failures = check_packers(
-            cases, baseline, max_packer_regression)
-        if packer_failures:
+        machine = machine_factor(cases, baseline)
+        if machine is None:
             print(
-                f"check_bench_guard: {packer_failures}/{packer_checked} packer "
-                "case(s) regressed beyond the allowed margin vs the checked-in "
-                "baseline",
-                file=sys.stderr,
+                "bench guard: no shared packer_*_reference cases between "
+                "report and baseline (pre-v3 baseline?) — skipping "
+                "normalized checks",
             )
-            return 1
-        checked += packer_checked
+        else:
+            packer_checked, packer_failures = check_packers(
+                cases, baseline, machine, max_packer_regression)
+            dispatch_checked, dispatch_failures = check_dispatch(
+                cases, baseline, machine, max_dispatch_regression)
+            if packer_failures or dispatch_failures:
+                print(
+                    f"check_bench_guard: "
+                    f"{packer_failures + dispatch_failures}/"
+                    f"{packer_checked + dispatch_checked} normalized "
+                    "case(s) regressed beyond the allowed margin vs the "
+                    "checked-in baseline",
+                    file=sys.stderr,
+                )
+                return 1
+            checked += packer_checked + dispatch_checked
 
     print(f"check_bench_guard: {checked} check(s) within bounds")
     return 0

@@ -29,6 +29,7 @@
 #include "cli.hpp"
 #include "core/checked_output.hpp"
 #include "core/error.hpp"
+#include "engine/engine.hpp"
 #include "exec/execution_policy.hpp"
 #include "exec/worker_budget.hpp"
 #include "obs/metrics_registry.hpp"
@@ -222,7 +223,7 @@ void append_opt_total_cases(std::vector<BenchCase>& cases,
       {prefix + "_fast_sequential", seq_ms, "ms", std::move(seq_extras)});
 }
 
-/// Packer cases (schema dbp-bench-perf/3).
+/// Packer cases (unchanged since schema dbp-bench-perf/3).
 ///
 /// Optimized cases time the steady-state hot path the memory-architecture
 /// work targets: events prebuilt, storage reserved, then `replay_events`
@@ -365,6 +366,99 @@ void append_oracle_cases(std::vector<BenchCase>& cases, const CostModel& model,
                     "\"distinct_sizes\": " + std::to_string(runs.size())}});
 }
 
+/// Sharded dispatch engine cases (schema dbp-bench-perf/4).
+///
+/// Timed region: submit() of every event through the MPSC rings plus the
+/// final epoch drain — the sustained streaming path tools/dbp_dispatch_bench
+/// exposes standalone. The 1-shard engine is asserted bit-identical to a
+/// plain GameServerDispatcher on the same stream before any timing, and
+/// the guard (tools/check_bench_guard.py) checks the headline case's
+/// events_per_sec against the baseline, machine-normalized.
+void append_dispatch_cases(std::vector<BenchCase>& cases, std::size_t repeats) {
+  const std::size_t kEvents = 100'000;
+
+  // The stream: a gaming-like random instance expanded to sorted events.
+  RandomInstanceConfig config;
+  config.item_count = kEvents / 2;
+  config.arrival.rate = 50.0;
+  config.duration.max_length = 6.0;
+  config.size.min_fraction = 0.05;
+  config.size.max_fraction = 0.5;
+  const Instance instance = generate_random_instance(config, 17);
+  std::vector<engine::SessionEvent> stream;
+  stream.reserve(2 * instance.size());
+  for (const Event& event : build_event_sequence(instance)) {
+    if (event.kind == EventKind::kArrival) {
+      stream.push_back(engine::start_event(
+          event.item, instance.item(event.item).size, event.time));
+    } else {
+      stream.push_back(engine::end_event(event.item, event.time));
+    }
+  }
+
+  const auto engine_config = [](std::size_t shards) {
+    engine::EngineConfig cfg;
+    cfg.shard_count = shards;
+    cfg.spec = ServerSpec{1.0, 6.0};
+    return cfg;
+  };
+
+  // Bit-identity gate: a throughput number for a diverging engine would be
+  // worse than no number.
+  {
+    engine::ShardedDispatchEngine eng(engine_config(1));
+    FaultPolicy drop;
+    drop.on_anomaly = FaultPolicy::AnomalyAction::kDropAndCount;
+    GameServerDispatcher plain(ServerSpec{1.0, 6.0}, "first-fit", {}, drop);
+    for (const engine::SessionEvent& event : stream) {
+      eng.submit(event);
+      if (event.kind == engine::SessionEvent::Kind::kStart) {
+        (void)plain.start_session(event.session_id, event.gpu_fraction,
+                                  event.time_minutes);
+      } else {
+        plain.end_session(event.session_id, event.time_minutes);
+      }
+    }
+    eng.drain();
+    const Time horizon = stream.back().time_minutes;
+    DBP_CHECK(eng.rental_cost_dollars(horizon) ==
+                      plain.rental_cost_dollars(horizon) &&
+                  eng.active_sessions() == plain.active_sessions(),
+              "1-shard engine diverged from the plain dispatcher");
+  }
+
+  // Interleaved best-of timing over the shard counts, same rationale as
+  // the packer cases.
+  const std::vector<std::size_t> shard_counts = {4, 1};
+  std::vector<double> best_ms(shard_counts.size(),
+                              std::numeric_limits<double>::infinity());
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (std::size_t s = 0; s < shard_counts.size(); ++s) {
+      best_ms[s] = std::min(best_ms[s], time_once_ms([&] {
+        engine::ShardedDispatchEngine eng(engine_config(shard_counts[s]));
+        for (const engine::SessionEvent& event : stream) eng.submit(event);
+        eng.advance_epoch(stream.back().time_minutes);
+        DBP_CHECK(eng.events_applied() == stream.size(),
+                  "engine lost events during the benchmark");
+      }));
+    }
+  }
+
+  for (std::size_t s = 0; s < shard_counts.size(); ++s) {
+    const std::string name =
+        shard_counts[s] == 4 ? "bench_dispatch_throughput"
+                             : "bench_dispatch_throughput_1shard";
+    cases.push_back(
+        {name, best_ms[s], "ms",
+         {"\"events\": " + std::to_string(stream.size()),
+          "\"events_per_sec\": " +
+              json_number(1000.0 * static_cast<double>(stream.size()) /
+                          best_ms[s]),
+          "\"shards\": " + std::to_string(shard_counts[s]),
+          "\"workers\": " + std::to_string(exec::WorkerBudget::effective())}});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -389,10 +483,11 @@ int main(int argc, char** argv) {
                            make_dyadic_instance(items, 99), model, repeats);
     append_packer_cases(cases, model, repeats);
     append_oracle_cases(cases, model, repeats);
+    append_dispatch_cases(cases, repeats);
 
     std::ostringstream json;
     json << "{\n";
-    json << "  \"schema\": \"dbp-bench-perf/3\",\n";
+    json << "  \"schema\": \"dbp-bench-perf/4\",\n";
     json << "  \"workers\": " << exec::WorkerBudget::effective() << ",\n";
     json << "  \"available_workers\": " << exec::WorkerBudget::available()
          << ",\n";

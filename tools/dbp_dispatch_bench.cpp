@@ -1,0 +1,192 @@
+// dbp_dispatch_bench — sustained throughput of the sharded dispatch engine.
+//
+// Streams a synthetic cloud-gaming session trace (start/end event pairs)
+// through engine::ShardedDispatchEngine and reports sustained events/sec:
+// submit() through the per-shard MPSC rings plus the epoch-batched drain,
+// timed best-of-`repeats`. With --epoch-every=N an advance_epoch lands
+// every N events, so the number also covers the RLE snapshot + merged
+// OPT_total bound path at that cadence (0 = one epoch at the end).
+//
+// Usage:
+//   dbp_dispatch_bench [--events=200000] [--shards=4] [--threads=N]
+//                      [--ring=4096] [--epoch-every=0] [--repeats=3]
+//                      [--out=FILE] [--trace-out=FILE] [--metrics]
+//
+// Before any timing the 1-shard engine's aggregate bill is asserted
+// bit-identical to a plain GameServerDispatcher replaying the same stream —
+// a throughput number for a diverging engine would be worse than none.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <locale>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "core/checked_output.hpp"
+#include "core/error.hpp"
+#include "engine/engine.hpp"
+#include "exec/worker_budget.hpp"
+#include "obs_cli.hpp"
+#include "sim/event.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using namespace dbp;
+
+constexpr const char* kUsage =
+    "usage: dbp_dispatch_bench [--events=200000] [--shards=4] [--threads=N]\n"
+    "                          [--ring=4096] [--epoch-every=0] [--repeats=3]\n"
+    "                          [--out=FILE] [--trace-out=FILE] [--metrics]\n";
+
+// DBP_LINT_ALLOW(wall-clock): benchmark harness — measuring wall time is
+// its entire job; timings go to the report only.
+using Clock = std::chrono::steady_clock;
+
+std::string json_number(double value) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+/// The benchmark event stream: a random gaming-like instance expanded to
+/// its sorted event sequence and mapped to engine SessionEvents.
+std::vector<engine::SessionEvent> make_stream(std::size_t events,
+                                              std::uint64_t seed) {
+  RandomInstanceConfig config;
+  config.item_count = std::max<std::size_t>(1, events / 2);
+  config.arrival.rate = 50.0;
+  config.duration.max_length = 6.0;
+  config.size.min_fraction = 0.05;
+  config.size.max_fraction = 0.5;
+  const Instance instance = generate_random_instance(config, seed);
+
+  std::vector<engine::SessionEvent> stream;
+  stream.reserve(2 * instance.size());
+  for (const Event& event : build_event_sequence(instance)) {
+    if (event.kind == EventKind::kArrival) {
+      stream.push_back(engine::start_event(
+          event.item, instance.item(event.item).size, event.time));
+    } else {
+      stream.push_back(engine::end_event(event.item, event.time));
+    }
+  }
+  return stream;
+}
+
+engine::EngineConfig engine_config(std::size_t shards, std::size_t ring) {
+  engine::EngineConfig config;
+  config.shard_count = shards;
+  config.ring_capacity = ring;
+  config.spec = ServerSpec{1.0, 6.0};
+  return config;
+}
+
+/// One timed replay of the stream; returns milliseconds.
+double run_once_ms(const std::vector<engine::SessionEvent>& stream,
+                   std::size_t shards, std::size_t ring,
+                   std::size_t epoch_every) {
+  engine::ShardedDispatchEngine eng(engine_config(shards, ring));
+  const auto start = Clock::now();
+  std::size_t since_epoch = 0;
+  for (const engine::SessionEvent& event : stream) {
+    eng.submit(event);
+    if (epoch_every != 0 && ++since_epoch == epoch_every) {
+      eng.advance_epoch(event.time_minutes);
+      since_epoch = 0;
+    }
+  }
+  eng.advance_epoch(stream.empty() ? 0.0 : stream.back().time_minutes);
+  const std::chrono::duration<double, std::milli> elapsed =
+      Clock::now() - start;
+  DBP_CHECK(eng.events_applied() == stream.size(),
+            "engine lost events during the benchmark");
+  return elapsed.count();
+}
+
+/// Bit-identity gate: the 1-shard engine equals a plain dispatcher.
+void check_engine_identity(const std::vector<engine::SessionEvent>& stream) {
+  engine::ShardedDispatchEngine eng(engine_config(1, 4096));
+  FaultPolicy drop;
+  drop.on_anomaly = FaultPolicy::AnomalyAction::kDropAndCount;
+  GameServerDispatcher plain(ServerSpec{1.0, 6.0}, "first-fit", {}, drop);
+  for (const engine::SessionEvent& event : stream) {
+    eng.submit(event);
+    if (event.kind == engine::SessionEvent::Kind::kStart) {
+      (void)plain.start_session(event.session_id, event.gpu_fraction,
+                                event.time_minutes);
+    } else {
+      plain.end_session(event.session_id, event.time_minutes);
+    }
+  }
+  eng.drain();
+  const Time horizon =
+      stream.empty() ? 0.0 : stream.back().time_minutes;
+  DBP_CHECK(eng.rental_cost_dollars(horizon) ==
+                    plain.rental_cost_dollars(horizon) &&
+                eng.active_sessions() == plain.active_sessions(),
+            "1-shard engine diverged from the plain dispatcher");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dbp;
+  try {
+    const cli::Args args(argc, argv,
+                         {"events", "shards", "threads", "ring", "epoch-every",
+                          "repeats", "out", "trace-out", "metrics"},
+                         kUsage);
+    exec::WorkerBudget::set(args.get_thread_count());
+    cli::ObsSession obs_session(args);
+    const std::size_t events = args.get_u64("events", 200'000);
+    const std::size_t shards = std::max<std::size_t>(1, args.get_u64("shards", 4));
+    const std::size_t ring = args.get_u64("ring", 4096);
+    const std::size_t epoch_every = args.get_u64("epoch-every", 0);
+    const std::size_t repeats =
+        std::max<std::size_t>(1, args.get_u64("repeats", 3));
+
+    const std::vector<engine::SessionEvent> stream = make_stream(events, 17);
+    check_engine_identity(stream);
+
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < repeats; ++r) {
+      best_ms = std::min(best_ms, run_once_ms(stream, shards, ring, epoch_every));
+    }
+    const double events_per_sec =
+        1000.0 * static_cast<double>(stream.size()) / best_ms;
+
+    std::ostringstream json;
+    json << "{\n";
+    json << "  \"schema\": \"dbp-dispatch-bench/1\",\n";
+    json << "  \"events\": " << stream.size() << ",\n";
+    json << "  \"shards\": " << shards << ",\n";
+    json << "  \"ring\": " << ring << ",\n";
+    json << "  \"epoch_every\": " << epoch_every << ",\n";
+    json << "  \"workers\": " << exec::WorkerBudget::effective() << ",\n";
+    json << "  \"repeats\": " << repeats << ",\n";
+    json << "  \"best_ms\": " << json_number(best_ms) << ",\n";
+    json << "  \"events_per_sec\": " << json_number(events_per_sec) << "\n";
+    json << "}\n";
+
+    if (args.has("out")) {
+      const std::string out_path = args.require("out");
+      std::ofstream out = open_output_file(out_path);
+      out << json.str();
+      close_output_file(out, out_path);
+      std::cerr << "report written to " << out_path << "\n";
+    }
+    std::cout << json.str();
+    obs_session.finish();
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "dbp_dispatch_bench: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -36,6 +36,8 @@ KNOWN_KINDS = {
     "dispatch_reject",
     "session_shed",
     "server_fail",
+    "epoch_mark",
+    "shard_snapshot",
 }
 
 # field name -> required type(s). "seq", "kind" and "t" are mandatory on
@@ -46,6 +48,7 @@ OPTIONAL_FIELDS = {
     "size": (int, float),
     "count": int,
     "ms": (int, float),
+    "shard": int,  # engine shard attribution (ObsScope 3-arg form)
     "label": str,
 }
 

@@ -9,7 +9,7 @@
 
 #include "analysis/bounds.hpp"
 #include "analysis/ratio.hpp"
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "bench_common.hpp"
 #include "core/strfmt.hpp"

@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "analysis/ff_decomposition.hpp"
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "bench_common.hpp"
 #include "core/strfmt.hpp"

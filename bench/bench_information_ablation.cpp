@@ -12,7 +12,7 @@
 
 #include "analysis/ratio.hpp"
 #include "analysis/stats.hpp"
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "bench_common.hpp"
 #include "opt/repack_baseline.hpp"

@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "analysis/occupancy.hpp"
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "bench_common.hpp"
 #include "workload/cloud_gaming.hpp"

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "analysis/stats.hpp"
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "bench_common.hpp"
 #include "core/strfmt.hpp"

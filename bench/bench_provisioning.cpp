@@ -5,7 +5,7 @@
 // bigger pools cost idle dollars, smaller ones cost player waiting time.
 #include <iostream>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "bench_common.hpp"
 #include "core/strfmt.hpp"

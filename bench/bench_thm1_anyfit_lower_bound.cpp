@@ -4,12 +4,12 @@
 // which approaches mu as k grows, for every Any Fit family member.
 #include <iostream>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "bench_common.hpp"
 #include "opt/opt_total.hpp"
 #include "sim/simulator.hpp"
-#include "workload/adaptive_adversary.hpp"
+#include "analysis/adaptive_adversary.hpp"
 #include "workload/adversary_anyfit.hpp"
 
 namespace {

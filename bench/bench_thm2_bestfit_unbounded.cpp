@@ -5,7 +5,7 @@
 // k while mu stays fixed.
 #include <iostream>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "bench_common.hpp"
 #include "opt/opt_total.hpp"

@@ -1,4 +1,4 @@
-#include "sim/fault.hpp"
+#include "core/fault.hpp"
 
 #include <cmath>
 

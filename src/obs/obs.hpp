@@ -71,6 +71,33 @@ class ObsScope {
   ObsContext saved_;
 };
 
+/// Result-neutral phase stopwatch for instrumented code outside src/obs.
+///
+/// begin()/elapsed_ms() are defined out of line in obs.cpp so the clock
+/// read never compiles into the caller's translation unit: dbp_symcheck's
+/// `wall-clock` object policy (docs/static_analysis.md) verifies that no
+/// object outside src/obs references a clock symbol, which keeps timing —
+/// and therefore any timing-dependent behaviour — structurally impossible
+/// in the packing/OPT layers. Inactive (no tracer and no metrics installed
+/// on this thread at construction) means zero clock reads.
+class PhaseStopwatch {
+ public:
+  PhaseStopwatch() noexcept
+      : active_(tracer() != nullptr || metrics() != nullptr) {}
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Starts (or restarts) the stopwatch. No-op when inactive.
+  void begin() noexcept;
+
+  /// Milliseconds since the last begin(); 0.0 when inactive.
+  [[nodiscard]] double elapsed_ms() const noexcept;
+
+ private:
+  bool active_;
+  double start_ms_ = 0.0;  ///< steady-clock timestamp, milliseconds
+};
+
 /// Shared emitters for the packer event loop (AnyFit, size-classed MFF,
 /// adaptive MFF): one arrival/departure record per event plus throughput
 /// counters. No-ops when the corresponding half of the context is off.

@@ -6,10 +6,9 @@
 #include <utility>
 #include <vector>
 
-#include <chrono>
 #include <string>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "core/arena.hpp"
 #include "core/audit.hpp"
 #include "core/compensated_sum.hpp"
@@ -40,42 +39,33 @@ struct SnapshotWeight {
 /// metrics registry (timer "opt_total.<phase>") and, as kOptPhase records
 /// with an "ms" timing field, in the trace. The records themselves are
 /// emitted from the sequential control path only, so traces are identical
-/// across worker counts up to those timing fields.
+/// across worker counts up to those timing fields. The clock itself lives
+/// behind obs::PhaseStopwatch, so this TU never references a clock symbol
+/// (dbp_symcheck `wall-clock` object policy).
 class PhaseObserver {
  public:
-  PhaseObserver() noexcept
-      : active_(obs::tracer() != nullptr || obs::metrics() != nullptr) {}
+  PhaseObserver() noexcept = default;
 
-  void begin() noexcept {
-    // DBP_LINT_ALLOW(wall-clock): observability-only timing; elapsed time
-    // flows exclusively into metrics timers and trace "ms" fields, which
-    // are excluded from byte-identical exports (include_timings=false),
-    // never into packing or OPT results.
-    if (active_) start_ = std::chrono::steady_clock::now();
-  }
+  void begin() noexcept { stopwatch_.begin(); }
 
   void end(const char* phase, std::uint64_t count) {
-    if (!active_) return;
-    // DBP_LINT_ALLOW(wall-clock): see begin() — result-neutral timing only.
-    const auto now = std::chrono::steady_clock::now();
-    const std::chrono::duration<double, std::milli> elapsed = now - start_;
+    if (!stopwatch_.active()) return;
+    const double elapsed_ms = stopwatch_.elapsed_ms();
     if (obs::MetricsRegistry* metrics = obs::metrics()) {
-      metrics->timer(std::string("opt_total.") + phase).record_ms(elapsed.count());
+      metrics->timer(std::string("opt_total.") + phase).record_ms(elapsed_ms);
     }
     if (obs::RunTracer* tracer = obs::tracer()) {
       obs::TraceRecord record;
       record.kind = obs::TraceKind::kOptPhase;
       record.count = count;
-      record.ms = elapsed.count();
+      record.ms = elapsed_ms;
       record.label = phase;
       tracer->record(std::move(record));
     }
   }
 
  private:
-  bool active_;
-  // DBP_LINT_ALLOW(wall-clock): see begin() — result-neutral timing only.
-  std::chrono::steady_clock::time_point start_{};
+  obs::PhaseStopwatch stopwatch_;
 };
 
 }  // namespace

@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <string>
 
-#include "sim/fault.hpp"
+#include "core/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace dbp {

@@ -7,7 +7,7 @@
 
 #include "core/instance.hpp"
 #include "core/types.hpp"
-#include "sim/fault.hpp"
+#include "core/fault.hpp"
 
 namespace dbp {
 

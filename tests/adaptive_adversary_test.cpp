@@ -1,4 +1,4 @@
-#include "workload/adaptive_adversary.hpp"
+#include "analysis/adaptive_adversary.hpp"
 
 #include <gtest/gtest.h>
 

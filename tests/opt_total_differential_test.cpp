@@ -10,7 +10,7 @@
 
 #include <algorithm>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "exec/worker_budget.hpp"
 #include "opt/opt_total_reference.hpp"
 #include "workload/adversary_anyfit.hpp"

@@ -1,4 +1,4 @@
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 
 #include <gtest/gtest.h>
 

@@ -8,7 +8,7 @@
 #include <sstream>
 #include <string>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_tracer.hpp"

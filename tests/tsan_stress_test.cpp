@@ -17,7 +17,7 @@
 
 #include <gtest/gtest.h>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "core/instance.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/obs.hpp"

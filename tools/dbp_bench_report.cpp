@@ -25,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "cli.hpp"
 #include "core/checked_output.hpp"
 #include "core/error.hpp"

@@ -6,7 +6,7 @@
 //              [--threads=N] [--sequential]
 #include <iostream>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "cli.hpp"
 #include "core/metrics.hpp"
 #include "core/strfmt.hpp"

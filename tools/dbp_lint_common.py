@@ -1,0 +1,156 @@
+"""Shared framework for the repo's static-analysis gates.
+
+Three analyzers report through this module (docs/static_analysis.md):
+
+  lint_determinism.py   line-pattern bans (RNG / wall-clock / hash-order)
+  dbp_layercheck.py     #include-graph layering gate over src/
+  dbp_symcheck.py       per-object forbidden-symbol policies (binutils nm)
+
+They share one finding format, one exit-code convention, and one allowlist
+syntax, so a violation always reads the same way regardless of which layer
+caught it:
+
+    path:line: [rule] explanation
+        offending line or symbol
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/environment error.
+
+Allowlist convention — a finding is suppressed by a justification-mandatory
+marker. For line-scoped rules the marker sits on the offending line or in
+the contiguous block of // comments directly above it; for TU-scoped rules
+(symbol policies attach to whole objects) the marker may sit anywhere in
+the translation unit's source:
+
+    // DBP_LINT_ALLOW(<rule>): <justification>
+
+An empty justification is itself a finding: the marker exists to record
+*why* the exception is sound, not to silence the tool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Iterable
+
+ALLOW_MARKER = re.compile(r"DBP_LINT_ALLOW\((?P<rule>[a-z-]+)\):\s*(?P<why>\S.*)?")
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+@dataclasses.dataclass
+class Finding:
+    """One violation: `path:line: [rule] message` plus an optional snippet."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    snippet: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text
+
+
+def missing_justification(path: str, line: int, rule: str) -> Finding:
+    """The canonical finding for an empty-justification allowlist marker."""
+    return Finding(path, line, rule,
+                   f"DBP_LINT_ALLOW({rule}) needs a justification after the colon")
+
+
+def is_comment_line(line: str) -> bool:
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*")
+
+
+def allow_rules_for(lines: list[str], idx: int) -> dict[str, str]:
+    """Allowlist markers that apply to lines[idx]: same line, or the
+    contiguous comment block directly above. Returns rule -> justification
+    ('' when the justification is missing)."""
+    allowed: dict[str, str] = {}
+    scan = [lines[idx]]
+    j = idx - 1
+    while j >= 0 and is_comment_line(lines[j]):
+        scan.append(lines[j])
+        j -= 1
+    for line in scan:
+        for match in ALLOW_MARKER.finditer(line):
+            rule = match.group("rule")
+            why = (match.group("why") or "").strip()
+            # A continuation comment line directly below the marker line
+            # extends the justification; presence is what we enforce.
+            allowed[rule] = allowed.get(rule) or why
+    return allowed
+
+
+def file_allow_rules(lines: list[str]) -> dict[str, tuple[int, str]]:
+    """TU-scoped allowlist markers: every marker in the file, regardless of
+    position. Returns rule -> (1-based line, justification)."""
+    allowed: dict[str, tuple[int, str]] = {}
+    for idx, line in enumerate(lines):
+        for match in ALLOW_MARKER.finditer(line):
+            rule = match.group("rule")
+            why = (match.group("why") or "").strip()
+            if rule not in allowed or (not allowed[rule][1] and why):
+                allowed[rule] = (idx + 1, why)
+    return allowed
+
+
+def iter_source_files(paths: Iterable[str | Path]) -> tuple[list[Path], list[str]]:
+    """Expands files/directories into a sorted source-file list. Returns
+    (files, errors); errors are nonexistent paths."""
+    files: list[Path] = []
+    errors: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*")
+                                if p.suffix in SOURCE_SUFFIXES))
+        elif path.is_file():
+            files.append(path)
+        else:
+            errors.append(str(path))
+    return files, errors
+
+
+def load_compile_commands(path: Path) -> list[dict]:
+    """Loads a CMAKE_EXPORT_COMPILE_COMMANDS database. Raises ValueError on
+    malformed content (caller maps that to EXIT_USAGE)."""
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        raise ValueError(f"{path}: unreadable compile database: {err}") from err
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: compile database is not a JSON array")
+    for entry in entries:
+        if not isinstance(entry, dict) or "file" not in entry:
+            raise ValueError(f"{path}: malformed compile-database entry: {entry!r}")
+    return entries
+
+
+def report(tool: str, findings: list[Finding], checked: int,
+           *, unit: str = "file") -> int:
+    """Prints findings in the shared format and returns the exit code."""
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"\n{tool}: {len(findings)} finding(s) in {checked} {unit}(s)",
+              file=sys.stderr)
+        return EXIT_FINDINGS
+    print(f"{tool}: clean ({checked} {unit}(s))")
+    return EXIT_CLEAN
+
+
+def usage_error(tool: str, message: str) -> int:
+    print(f"{tool}: {message}", file=sys.stderr)
+    return EXIT_USAGE

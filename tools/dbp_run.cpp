@@ -13,7 +13,7 @@
 
 #include "analysis/ratio.hpp"
 #include "analysis/svg.hpp"
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "analysis/timeline.hpp"
 #include "cli.hpp"

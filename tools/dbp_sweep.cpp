@@ -35,7 +35,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/sweep.hpp"
+#include "exec/parallel_map.hpp"
 #include "analysis/table.hpp"
 #include "cli.hpp"
 #include "core/checked_output.hpp"

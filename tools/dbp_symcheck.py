@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Object-symbol policy checker: nm over the build tree enforces per-layer
+forbidden-symbol policies on the compiled src/ objects.
+
+The determinism lint (lint_determinism.py) bans *spellings*; this tool
+checks what actually compiled. A hot-path TU that picks up an allocating
+or clock-touching inline function from a header it includes is invisible
+to a text lint — but the reference shows up in the object file. Policies
+(docs/static_analysis.md):
+
+  symbol-wall-clock   no clock symbol referenced outside src/obs. Together
+                      with obs::PhaseStopwatch's out-of-line clock reads,
+                      this makes "timing cannot leak into results"
+                      structural: no non-obs object can even name a clock.
+
+  symbol-rng          no rand()/random()/std::random_device entropy source
+                      outside src/workload (seeded mt19937 streams are the
+                      contract and are header-only, so they never show up
+                      as undefined references).
+
+  symbol-stdio-core   src/core stays free of stdio/iostream/locale: the
+                      vocabulary layer must not print, read, or touch
+                      locale state (formatting lives in core/strfmt.hpp
+                      consumers, I/O in the layers that own it).
+
+  symbol-alloc-kernel the allocation-free kernel TUs (KERNEL_TUS below —
+                      the devirtualized replay driver) must not reference
+                      malloc/operator new at all. This turns
+                      tests/zero_alloc_test.cpp's runtime guarantee into a
+                      link-time one: the object cannot allocate on *any*
+                      path, not just the paths the test replays.
+
+Objects are discovered under <build>/src/**/CMakeFiles and mapped back to
+their TUs; the mapping is cross-checked against the source tree, so a
+source that never produced an object (stale build, file dropped from its
+CMakeLists) is itself a finding rather than a silent gap in coverage.
+
+Allowlist (shared convention, see dbp_lint_common.py): symbol policies
+attach to whole objects, so the justification-mandatory marker may sit
+anywhere in the TU's source file:
+
+    // DBP_LINT_ALLOW(symbol-wall-clock): <why this reference is sound>
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import dbp_lint_common as common
+
+TOOL = "dbp_symcheck"
+
+# TUs whose objects must carry zero allocation references: the batched
+# replay driver (Packer::replay + StaticAnyFitPacker devirtualized loop).
+# Scratch-arena kernels (opt/scratch.hpp) are header-only and instantiate
+# into their consumers, so they are covered at runtime by zero_alloc_test;
+# a kernel extracted into its own TU gets added here.
+KERNEL_TUS = {
+    Path("src/algo/packer.cpp"),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SymbolRule:
+    name: str
+    pattern: re.Pattern[str]
+    explanation: str
+
+    def applies_to(self, rel: Path) -> bool:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerExemptRule(SymbolRule):
+    """Applies to every TU except those under the exempt layer."""
+    exempt_layer: str = ""
+
+    def applies_to(self, rel: Path) -> bool:
+        return rel.parts[:2] != ("src", self.exempt_layer)
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerOnlyRule(SymbolRule):
+    """Applies only to TUs under one layer."""
+    only_layer: str = ""
+
+    def applies_to(self, rel: Path) -> bool:
+        return rel.parts[:2] == ("src", self.only_layer)
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelRule(SymbolRule):
+    """Applies only to the declared allocation-free kernel TUs."""
+
+    def applies_to(self, rel: Path) -> bool:
+        return rel in KERNEL_TUS
+
+
+# Patterns match *demangled* undefined symbol names. Anchors matter: plain
+# "time" must not match "runtime_error", so C names are matched whole.
+RULES: list[SymbolRule] = [
+    LayerExemptRule(
+        "symbol-wall-clock",
+        re.compile(r"std::chrono::.*(?:steady|system|high_resolution)_clock"
+                   r"|^(?:clock_gettime|gettimeofday|timespec_get|time"
+                   r"|clock|localtime(?:_r)?|gmtime(?:_r)?)(?:@|$)"),
+        "clock symbol referenced outside src/obs (timing could leak into "
+        "results; route elapsed time through obs::PhaseStopwatch)",
+        exempt_layer="obs",
+    ),
+    LayerExemptRule(
+        "symbol-rng",
+        re.compile(r"std::random_device"
+                   r"|^(?:rand|srand|random|srandom|rand_r|arc4random"
+                   r"|getentropy|getrandom)(?:@|$)"),
+        "entropy source referenced outside src/workload (all randomness "
+        "must flow through the seeded generators in workload/rng.hpp)",
+        exempt_layer="workload",
+    ),
+    LayerOnlyRule(
+        "symbol-stdio-core",
+        re.compile(r"std::basic_[io]stream|std::basic_filebuf|std::locale"
+                   r"|std::ios_base::Init|std::(?:cout|cerr|cin)"
+                   r"|^(?:printf|fprintf|sprintf|vprintf|vfprintf|puts"
+                   r"|putchar|fputs|fputc|fopen|fclose|fread|fwrite|fgets"
+                   r"|fscanf|scanf|getline|getchar|setlocale)(?:@|$)"),
+        "stdio/iostream/locale referenced from src/core (the vocabulary "
+        "layer neither prints nor reads; move the I/O up a layer)",
+        only_layer="core",
+    ),
+    KernelRule(
+        "symbol-alloc-kernel",
+        re.compile(r"^operator new|^(?:malloc|calloc|realloc|aligned_alloc"
+                   r"|posix_memalign|strdup|strndup)(?:@|$)"),
+        "allocation referenced from an allocation-free kernel TU (the "
+        "replay driver must be allocation-free on every path — "
+        "tests/zero_alloc_test.cpp is the runtime half of this contract)",
+    ),
+]
+
+
+def discover_objects(build_src: Path) -> dict[Path, Path]:
+    """Maps TU-relative source path (e.g. src/algo/packer.cpp) -> object.
+
+    CMake lays objects out as <build>/src/<layer>/CMakeFiles/<target>.dir/
+    <source>.o with <source> relative to the layer directory. Objects whose
+    reconstructed source no longer exists are ignored (stale build litter
+    cannot affect the link once the file left its CMakeLists)."""
+    objects: dict[Path, Path] = {}
+    for obj in sorted(build_src.rglob("*.o")):
+        rel = obj.relative_to(build_src.parent)  # src/<layer>/CMakeFiles/...
+        parts = list(rel.parts)
+        try:
+            cmakefiles = parts.index("CMakeFiles")
+        except ValueError:
+            continue
+        # Drop "CMakeFiles/<target>.dir" and the trailing ".o".
+        source_rel = Path(*parts[:cmakefiles], *parts[cmakefiles + 2:])
+        source_rel = source_rel.with_suffix("")  # strip .o, keeps .cpp
+        objects.setdefault(source_rel, obj)
+    return objects
+
+
+def undefined_symbols(obj: Path, nm: str) -> list[str]:
+    """Demangled undefined symbol names of one object, via nm + c++filt."""
+    nm_out = subprocess.run(
+        [nm, "--undefined-only", "--format=posix", str(obj)],
+        check=True, capture_output=True, text=True).stdout
+    mangled = [line.split()[0] for line in nm_out.splitlines() if line.split()]
+    if not mangled:
+        return []
+    filt = subprocess.run(
+        ["c++filt"], input="\n".join(mangled) + "\n",
+        check=True, capture_output=True, text=True).stdout
+    return filt.splitlines()
+
+
+def check_object(root: Path, rel: Path, obj: Path, nm: str) -> list[common.Finding]:
+    applicable = [rule for rule in RULES if rule.applies_to(rel)]
+    if not applicable:
+        return []
+    try:
+        symbols = undefined_symbols(obj, nm)
+    except (OSError, subprocess.CalledProcessError) as err:
+        return [common.Finding(str(root / rel), 1, "nm",
+                               f"nm failed on {obj}: {err}")]
+    hits: dict[str, list[str]] = {}
+    for rule in applicable:
+        matched = sorted({s for s in symbols if rule.pattern.search(s)})
+        if matched:
+            hits[rule.name] = matched
+
+    if not hits:
+        return []
+    source = root / rel
+    lines = source.read_text(encoding="utf-8", errors="replace").splitlines() \
+        if source.is_file() else []
+    allowed = common.file_allow_rules(lines)
+    findings: list[common.Finding] = []
+    for rule in applicable:
+        if rule.name not in hits:
+            continue
+        if rule.name in allowed:
+            marker_line, why = allowed[rule.name]
+            if not why:
+                findings.append(common.missing_justification(
+                    str(source), marker_line, rule.name))
+            continue
+        shown = ", ".join(f"'{s}'" for s in hits[rule.name][:3])
+        extra = len(hits[rule.name]) - 3
+        if extra > 0:
+            shown += f" (+{extra} more)"
+        findings.append(common.Finding(
+            str(source), 1, rule.name,
+            f"{rule.explanation}; object {obj.name} references {shown}"))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", required=True,
+                        help="CMake build directory (objects under src/)")
+    parser.add_argument("--root", default=None,
+                        help="repo root the src/ tree lives under "
+                             "(default: the checker's parent directory)")
+    parser.add_argument("--nm", default="nm", help="nm binary (binutils)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root) if args.root \
+        else Path(__file__).resolve().parent.parent
+    build_src = Path(args.build_dir) / "src"
+    if not build_src.is_dir():
+        return common.usage_error(
+            TOOL, f"{build_src} does not exist — build the tree first "
+            "(cmake --build <build-dir>)")
+
+    objects = discover_objects(build_src)
+    findings: list[common.Finding] = []
+
+    # Coverage cross-check: every src/ TU must have produced an object;
+    # a missing one means the policy never saw it (stale or partial build).
+    sources = sorted(p.relative_to(root) for p in (root / "src").rglob("*.cpp"))
+    for rel in sources:
+        if rel not in objects:
+            findings.append(common.Finding(
+                str(root / rel), 1, "coverage",
+                f"no object for this TU under {build_src} — stale or "
+                "partial build (cmake --build), or the file is missing "
+                "from its layer's CMakeLists.txt"))
+
+    checked = 0
+    for rel, obj in sorted(objects.items()):
+        if rel not in sources:
+            continue  # stale object of a deleted/moved source
+        checked += 1
+        findings.extend(check_object(root, rel, obj, args.nm))
+
+    return common.report(TOOL, findings, checked, unit="object")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

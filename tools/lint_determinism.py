@@ -16,7 +16,9 @@ patterns that historically break that contract:
                    Wall-clock belongs to the observability layer (src/obs/),
                    which is required to be result-neutral; a clock read
                    anywhere else can leak timing into results. Allowed
-                   inside src/obs/.
+                   inside src/obs/. (dbp_symcheck.py enforces the same
+                   policy against the compiled objects, which also catches
+                   clock reads inherited from headers.)
 
   unordered-container
                    std::unordered_map / std::unordered_set. Iteration order
@@ -27,7 +29,9 @@ patterns that historically break that contract:
                    (see below) justifying why its use is order-independent.
                    #include lines are exempt.
 
-Allowlist syntax — on the offending line, or anywhere in the contiguous
+Reporting, exit codes, and the justification-mandatory DBP_LINT_ALLOW
+allowlist are shared with dbp_layercheck.py and dbp_symcheck.py through
+dbp_lint_common.py — on the offending line, or anywhere in the contiguous
 block of // comments directly above it:
 
     // DBP_LINT_ALLOW(<rule>): <justification>
@@ -48,7 +52,9 @@ import re
 import sys
 from pathlib import Path
 
-ALLOW_MARKER = re.compile(r"DBP_LINT_ALLOW\((?P<rule>[a-z-]+)\):\s*(?P<why>\S.*)?")
+import dbp_lint_common as common
+
+TOOL = "lint_determinism"
 
 # rule name -> (pattern, path predicate saying "exempt", human explanation)
 RULES = {
@@ -74,35 +80,8 @@ RULES = {
     ),
 }
 
-SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
 
-
-def is_comment_line(line: str) -> bool:
-    stripped = line.lstrip()
-    return stripped.startswith("//") or stripped.startswith("*")
-
-
-def allow_rules_for(lines: list[str], idx: int) -> dict[str, str]:
-    """Allowlist markers that apply to lines[idx]: same line, or the
-    contiguous comment block directly above. Returns rule -> justification
-    ('' when the justification is missing)."""
-    allowed: dict[str, str] = {}
-    scan = [lines[idx]]
-    j = idx - 1
-    while j >= 0 and is_comment_line(lines[j]):
-        scan.append(lines[j])
-        j -= 1
-    for line in scan:
-        for match in ALLOW_MARKER.finditer(line):
-            rule = match.group("rule")
-            why = (match.group("why") or "").strip()
-            # A continuation comment line directly below the marker line
-            # extends the justification; presence is what we enforce.
-            allowed[rule] = allowed.get(rule) or why
-    return allowed
-
-
-def lint_file(path: Path, root: Path) -> list[str]:
+def lint_file(path: Path, root: Path) -> list[common.Finding]:
     try:
         rel = path.resolve().relative_to(root.resolve())
     except ValueError:
@@ -110,9 +89,9 @@ def lint_file(path: Path, root: Path) -> list[str]:
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as err:
-        return [f"{path}: unreadable: {err}"]
+        return [common.Finding(str(path), 1, "io", f"unreadable: {err}")]
     lines = text.splitlines()
-    findings: list[str] = []
+    findings: list[common.Finding] = []
     for idx, line in enumerate(lines):
         if line.lstrip().startswith("#include"):
             continue
@@ -122,17 +101,16 @@ def lint_file(path: Path, root: Path) -> list[str]:
                 continue
             if exempt(rel):
                 continue
-            if is_comment_line(line) and rule != "unordered-container":
+            if common.is_comment_line(line) and rule != "unordered-container":
                 continue  # prose mentioning a banned name is not a use
-            allowed = allow_rules_for(lines, idx)
+            allowed = common.allow_rules_for(lines, idx)
             if rule in allowed:
                 if not allowed[rule]:
                     findings.append(
-                        f"{path}:{idx + 1}: DBP_LINT_ALLOW({rule}) needs a "
-                        "justification after the colon"
-                    )
+                        common.missing_justification(str(path), idx + 1, rule))
                 continue
-            findings.append(f"{path}:{idx + 1}: [{rule}] {explanation}\n    {line.strip()}")
+            findings.append(common.Finding(str(path), idx + 1, rule,
+                                           explanation, line.strip()))
     return findings
 
 
@@ -146,28 +124,14 @@ def main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
-    files: list[Path] = []
-    for raw in (args.paths or ["src"]):
-        path = Path(raw)
-        if path.is_dir():
-            files.extend(sorted(p for p in path.rglob("*") if p.suffix in SOURCE_SUFFIXES))
-        elif path.is_file():
-            files.append(path)
-        else:
-            print(f"lint_determinism: no such path: {path}", file=sys.stderr)
-            return 2
+    files, missing = common.iter_source_files(args.paths or ["src"])
+    if missing:
+        return common.usage_error(TOOL, f"no such path: {', '.join(missing)}")
 
-    findings: list[str] = []
+    findings: list[common.Finding] = []
     for path in files:
         findings.extend(lint_file(path, root))
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"\nlint_determinism: {len(findings)} finding(s) in "
-              f"{len(files)} file(s)", file=sys.stderr)
-        return 1
-    print(f"lint_determinism: clean ({len(files)} file(s))")
-    return 0
+    return common.report(TOOL, findings, len(files))
 
 
 if __name__ == "__main__":

@@ -63,14 +63,27 @@ bool ShardedDispatchEngine::try_submit(const SessionEvent& event) {
 }
 
 void ShardedDispatchEngine::submit(const SessionEvent& event) {
+  std::uint32_t failed_rounds = 0;
   while (!try_submit(event)) {
     // The shard's ring is full: become the pump if nobody else is, so
     // backpressure drains the backlog instead of deadlocking producers.
     if (pump_mutex_.try_lock()) {
       pump_locked();
       pump_mutex_.unlock();
-    } else {
+      failed_rounds = 0;
+      continue;
+    }
+    // Another thread holds the pump — possibly a long advance_epoch. Yield
+    // for a bounded number of rounds, then back off exponentially (capped)
+    // so a producer stalls cheaply instead of burning a core until the
+    // epoch finishes. Timing-only: the event still lands in its shard's
+    // ring in this producer's program order.
+    const std::chrono::microseconds delay = submit_backoff(++failed_rounds);
+    if (delay == std::chrono::microseconds{0}) {
       std::this_thread::yield();
+    } else {
+      submit_backoffs_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(delay);
     }
   }
 }
@@ -193,7 +206,12 @@ void ShardedDispatchEngine::advance_epoch(Time now_minutes) {
               "epoch times must be non-decreasing");
   // 1. Close the segment [last_epoch, now): the active multiset over that
   // segment is the one captured at the *previous* epoch (events queued
-  // since then carry timestamps >= the epoch they follow).
+  // since then carry timestamps >= the epoch they follow). A zero-length
+  // segment (now == last epoch — the wire timer thread produces coincident
+  // ticks under load) contributes exactly 0 dollars and must not inflate
+  // segments/exact_segments; it still refreshes the snapshot below, which
+  // is a no-op on bounds when no new events were queued
+  // (EngineTest.ZeroLengthEpochSegmentsAreFree).
   if (have_snapshot_) {
     const double minutes = now_minutes - last_epoch_time_;
     if (minutes > 0.0) {

@@ -29,6 +29,9 @@
 // throughput, exactly like a metrics scrape cadence.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -121,8 +124,42 @@ class ShardedDispatchEngine {
 
   /// Enqueue with backpressure: when the shard's ring is full the calling
   /// thread tries to become the pump (draining *all* shards) and retries.
-  /// Thread-safe.
+  /// While another thread holds the pump (e.g. a long advance_epoch) the
+  /// producer yields for kSpinYieldRounds rounds, then sleeps with bounded
+  /// exponential backoff (submit_backoff below) instead of burning a core
+  /// for the whole epoch. Thread-safe; timing-only — per-producer FIFO
+  /// order and all results are unaffected by the backoff.
   void submit(const SessionEvent& event);
+
+  /// Backoff schedule for submit() retry round `failed_rounds` (1-based,
+  /// reset whenever the producer makes progress): zero (pure yield) through
+  /// round kSpinYieldRounds, then sleeps doubling from 1us up to the
+  /// 1us << kMaxBackoffShift cap. Pure so the stress suite can pin the
+  /// schedule exactly.
+  static constexpr std::uint32_t kSpinYieldRounds = 64;
+  static constexpr std::uint32_t kMaxBackoffShift = 8;  // 256us cap
+
+  [[nodiscard]] static constexpr std::chrono::microseconds submit_backoff(
+      std::uint32_t failed_rounds) noexcept {
+    if (failed_rounds <= kSpinYieldRounds) return std::chrono::microseconds{0};
+    const std::uint32_t shift =
+        std::min(failed_rounds - kSpinYieldRounds - 1, kMaxBackoffShift);
+    return std::chrono::microseconds{std::uint32_t{1} << shift};
+  }
+
+  /// Times submit() entered a backoff sleep (not yields). Monotonic;
+  /// nonzero proves producers stopped spinning under a held pump.
+  [[nodiscard]] std::uint64_t submit_backoffs() const noexcept {
+    return submit_backoffs_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: acquires the pump lock and returns it, freezing pumping,
+  /// epochs and queries until the lock is released — an arbitrarily slow
+  /// epoch, idealized. Producers facing a full ring meanwhile take the
+  /// submit_backoff() path. Not part of the serving API.
+  [[nodiscard]] std::unique_lock<std::mutex> hold_pump_for_test() const {
+    return std::unique_lock<std::mutex>(pump_mutex_);
+  }
 
   /// Applies every queued event. Shards drain in parallel up to
   /// exec::WorkerBudget::effective() workers; results are bit-identical
@@ -182,6 +219,7 @@ class ShardedDispatchEngine {
 
   /// Serializes pumping, epochs and queries; producers only touch rings.
   mutable std::mutex pump_mutex_;
+  std::atomic<std::uint64_t> submit_backoffs_{0};
 
   // Epoch state (guarded by pump_mutex_).
   BinCountOracle oracle_;

@@ -1,0 +1,102 @@
+// Internal Unix-socket fd helpers shared by wire_server.cpp and
+// wire_client.cpp. Not part of the public net API.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace dbp::net::detail {
+
+/// Owns one file descriptor; close-once and movable.
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) noexcept : fd_(fd) {}
+  ~FdGuard() { reset(); }
+
+  FdGuard(FdGuard&& other) noexcept : fd_(other.release()) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void reset() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Fills `sun_path` or throws: AF_UNIX paths have a hard kernel limit.
+inline sockaddr_un make_unix_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  DBP_REQUIRE(!path.empty(), "unix socket path must not be empty");
+  DBP_REQUIRE(path.size() < sizeof(address.sun_path),
+              "unix socket path '" + path + "' exceeds the AF_UNIX limit of " +
+                  std::to_string(sizeof(address.sun_path) - 1) + " bytes");
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+/// Writes the whole span (MSG_NOSIGNAL: a peer that vanished surfaces as
+/// IoError, never SIGPIPE). Throws IoError on any socket error.
+inline void write_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("socket write failed: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `want` bytes unless the peer closes first; returns the
+/// number actually read (== want, or less on EOF). Throws IoError on any
+/// socket error. A shutdown() from another thread reads as EOF.
+inline std::size_t read_exact(int fd, std::uint8_t* out, std::size_t want) {
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::recv(fd, out + got, want - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("socket read failed: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;  // orderly EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace dbp::net::detail

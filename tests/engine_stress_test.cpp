@@ -101,5 +101,69 @@ TEST(EngineStressTest, ConcurrentSubmittersWithSelfPumpingBackpressure) {
   EXPECT_EQ(eng.rental_cost_dollars(1.0), eng.rental_cost_dollars(100.0));
 }
 
+TEST(EngineStressTest, SubmitBackoffScheduleIsBoundedExponential) {
+  using std::chrono::microseconds;
+  // Pure-yield spin window.
+  static_assert(ShardedDispatchEngine::submit_backoff(1) == microseconds{0});
+  static_assert(ShardedDispatchEngine::submit_backoff(
+                    ShardedDispatchEngine::kSpinYieldRounds) == microseconds{0});
+  // Exponential growth, doubling from 1us...
+  static_assert(ShardedDispatchEngine::submit_backoff(
+                    ShardedDispatchEngine::kSpinYieldRounds + 1) ==
+                microseconds{1});
+  static_assert(ShardedDispatchEngine::submit_backoff(
+                    ShardedDispatchEngine::kSpinYieldRounds + 2) ==
+                microseconds{2});
+  static_assert(ShardedDispatchEngine::submit_backoff(
+                    ShardedDispatchEngine::kSpinYieldRounds + 4) ==
+                microseconds{8});
+  // ...up to the hard cap, where it stays.
+  constexpr microseconds kCap{1u << ShardedDispatchEngine::kMaxBackoffShift};
+  static_assert(ShardedDispatchEngine::submit_backoff(
+                    ShardedDispatchEngine::kSpinYieldRounds + 1 +
+                    ShardedDispatchEngine::kMaxBackoffShift) == kCap);
+  static_assert(ShardedDispatchEngine::submit_backoff(1'000'000) == kCap);
+  SUCCEED();  // the assertions above are compile-time
+}
+
+TEST(EngineStressTest, ProducerBacksOffDuringSlowEpochInsteadOfSpinning) {
+  // The regression: submit() spin-yielded while its shard's ring was full
+  // and another thread held the pump for a long advance_epoch — a producer
+  // burned a core for the whole epoch. hold_pump_for_test() is that slow
+  // epoch idealized (and deterministic on any core count): with a full
+  // 2-slot ring and the pump held, the producer MUST fall through the
+  // 64-round yield window into the bounded backoff sleep. Release the pump
+  // and every event still lands — backoff is timing-only.
+  EngineConfig config;
+  config.shard_count = 1;
+  config.ring_capacity = 2;
+  config.spec = ServerSpec{1.0, 6.0};
+  ShardedDispatchEngine eng(config);
+
+  std::unique_lock<std::mutex> slow_epoch = eng.hold_pump_for_test();
+
+  constexpr std::uint64_t kEvents = 8;  // > ring capacity: the third blocks
+  std::thread producer([&] {
+    for (std::uint64_t id = 0; id < kEvents; ++id) {
+      eng.submit(start_event(id, 0.1, 0.0));
+    }
+  });
+
+  // The producer cannot make progress while the pump is held, so it must
+  // reach the backoff path; bound the wait generously for slow CI.
+  for (int spins = 0; eng.submit_backoffs() == 0 && spins < 5000; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(eng.submit_backoffs(), 0u)
+      << "producer never backed off under a held pump (spin regression)";
+
+  slow_epoch.unlock();
+  producer.join();
+  eng.drain();
+  EXPECT_EQ(eng.events_applied(), kEvents);
+  EXPECT_EQ(eng.active_sessions(), kEvents);
+  EXPECT_EQ(eng.merged_fault_stats().total_dropped_events(), 0u);
+}
+
 }  // namespace
 }  // namespace dbp::engine

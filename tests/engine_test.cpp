@@ -220,6 +220,46 @@ TEST(EngineTest, EpochEmitsShardAttributedTraceRecords) {
   EXPECT_NE(jsonl.str().find("\"kind\": \"epoch_mark\""), std::string::npos);
 }
 
+TEST(EngineTest, ZeroLengthEpochSegmentsAreFree) {
+  // The wire front-end's timer thread produces coincident epoch ticks under
+  // load: a zero-length segment must contribute exactly 0 dollars and must
+  // not inflate segments/exact_segments.
+  ShardedDispatchEngine eng(config(2));
+  ShardedDispatchEngine ref(config(2));
+  for (ShardedDispatchEngine* e : {&eng, &ref}) {
+    e->submit(start_event(1, 0.3, 0.0));
+    e->submit(start_event(2, 0.6, 0.0));
+    e->submit(start_event(3, 0.2, 0.0));
+    e->advance_epoch(0.0);
+  }
+
+  eng.advance_epoch(5.0);
+  const StreamingOptBounds at5 = eng.opt_bounds();
+  EXPECT_EQ(at5.segments, 1u);
+  // Coincident ticks: bit-identical bounds, no extra segments.
+  eng.advance_epoch(5.0);
+  eng.advance_epoch(5.0);
+  const StreamingOptBounds still5 = eng.opt_bounds();
+  EXPECT_EQ(still5.lower_dollars, at5.lower_dollars);
+  EXPECT_EQ(still5.upper_dollars, at5.upper_dollars);
+  EXPECT_EQ(still5.segments, at5.segments);
+  EXPECT_EQ(still5.exact_segments, at5.exact_segments);
+
+  // A run with coincident ticks stays bit-identical to one without.
+  ref.advance_epoch(5.0);
+  for (ShardedDispatchEngine* e : {&eng, &ref}) {
+    e->submit(end_event(2, 8.0));
+    e->advance_epoch(12.0);
+  }
+  const StreamingOptBounds a = eng.opt_bounds();
+  const StreamingOptBounds b = ref.opt_bounds();
+  EXPECT_EQ(a.lower_dollars, b.lower_dollars);
+  EXPECT_EQ(a.upper_dollars, b.upper_dollars);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.exact_segments, b.exact_segments);
+  EXPECT_EQ(eng.rental_cost_dollars(12.0), ref.rental_cost_dollars(12.0));
+}
+
 TEST(EngineTest, EpochTimesMustBeMonotone) {
   ShardedDispatchEngine eng(config(1));
   eng.advance_epoch(5.0);

@@ -1,0 +1,288 @@
+// WireServer lifecycle and fault-containment tests (ISSUE 10): real
+// AF_UNIX sockets in a per-test temp directory, both framings, the
+// malformed-frame containment contract (a fatal frame closes only its own
+// connection), graceful-shutdown draining, and the epoch timer thread.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "engine/engine.hpp"
+#include "net/wire_client.hpp"
+#include "net/wire_protocol.hpp"
+#include "net/wire_server.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace dbp::net {
+namespace {
+
+class WireServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("dbp_net_server_test.") + info->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string socket_path() const { return dir_ + "/wire.sock"; }
+
+  [[nodiscard]] static engine::EngineConfig engine_config() {
+    engine::EngineConfig config;
+    config.shard_count = 2;
+    config.spec = ServerSpec{1.0, 6.0};
+    return config;
+  }
+
+  [[nodiscard]] WireServerConfig server_config(
+      std::uint64_t epoch_cadence_ms = 0) const {
+    WireServerConfig config;
+    config.socket_path = socket_path();
+    config.epoch_cadence_ms = epoch_cadence_ms;
+    return config;
+  }
+
+  /// Bounded wait for an asynchronous server-side condition; fails the
+  /// test instead of hanging when the condition never comes true.
+  template <typename Predicate>
+  static void wait_for(Predicate&& predicate) {
+    for (int round = 0; round < 2000; ++round) {
+      if (predicate()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    FAIL() << "condition not reached within the bounded wait";
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WireServerTest, ConfigValidationRejectsUnusableSetups) {
+  WireServerConfig config;  // empty socket path
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST_F(WireServerTest, StaleSocketFileIsReplacedOnStart) {
+  {
+    std::ofstream stale(socket_path());
+    stale << "stale";
+  }
+  engine::ShardedDispatchEngine eng(engine_config());
+  WireServer server(eng, server_config());
+  server.start();
+  WireClient client(socket_path(), WireClient::Framing::kBinary);
+  EXPECT_EQ(client.query(0.0).error, WireError::kNone);
+  server.stop();
+}
+
+TEST_F(WireServerTest, QueryReflectsSubmittedEventsBothFramings) {
+  engine::ShardedDispatchEngine eng(engine_config());
+  WireServer server(eng, server_config());
+  server.start();
+
+  for (const auto framing :
+       {WireClient::Framing::kBinary, WireClient::Framing::kJson}) {
+    WireClient client(socket_path(), framing);
+    const std::uint64_t base = framing == WireClient::Framing::kJson ? 100 : 0;
+    client.submit(engine::start_event(base + 1, 0.25, 1.0));
+    client.submit(engine::start_event(base + 2, 0.5, 2.0));
+    client.submit(engine::end_event(base + 1, 5.0));
+    client.epoch(6.0 + static_cast<double>(base));
+    const WireResponse answer = client.query(6.0 + static_cast<double>(base));
+    ASSERT_EQ(answer.error, WireError::kNone) << answer.detail;
+    EXPECT_NE(answer.body.find("\"active_sessions\""), std::string::npos);
+    EXPECT_NE(answer.body.find("\"opt_bounds\""), std::string::npos);
+    EXPECT_NE(answer.body.find("\"fault_stats\""), std::string::npos);
+    EXPECT_TRUE(client.async_errors().empty());
+  }
+
+  server.stop();
+  // 2 connections x (3 submits + 1 epoch + 1 query).
+  const WireServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 2u);
+  EXPECT_EQ(stats.frames_received, 10u);
+  EXPECT_EQ(stats.frames_rejected, 0u);
+  EXPECT_EQ(stats.events_submitted, 6u);
+  EXPECT_EQ(stats.epochs_advanced, 2u);
+  EXPECT_GT(stats.bytes_in, 0u);
+  EXPECT_EQ(eng.events_applied(), 6u);
+  EXPECT_EQ(eng.active_sessions(), 2u);  // one session left open per framing
+}
+
+TEST_F(WireServerTest, FatalFrameClosesOnlyTheOffendingConnection) {
+  engine::ShardedDispatchEngine eng(engine_config());
+  WireServer server(eng, server_config());
+  server.start();
+
+  WireClient victim(socket_path(), WireClient::Framing::kBinary);
+  victim.submit(engine::start_event(1, 0.25, 1.0));
+  victim.flush();
+
+  WireClient vandal(socket_path(), WireClient::Framing::kBinary);
+  const std::string garbage = "GARBAGE-NOT-A-FRAME";
+  vandal.send_raw(std::span(
+      reinterpret_cast<const std::uint8_t*>(garbage.data()), garbage.size()));
+  const WireResponse rejection = vandal.read_response();
+  EXPECT_EQ(rejection.error, WireError::kBadMagic);
+  // Fatal: the server closes the stream after the typed response.
+  vandal.finish_writes();
+  EXPECT_THROW((void)vandal.read_response(), IoError);
+
+  // The victim's connection and the engine are unaffected.
+  const WireResponse answer = victim.query(2.0);
+  ASSERT_EQ(answer.error, WireError::kNone) << answer.detail;
+  EXPECT_TRUE(victim.async_errors().empty());
+  server.stop();
+  EXPECT_EQ(eng.events_applied(), 1u);
+  EXPECT_EQ(server.stats().frames_rejected, 1u);
+}
+
+TEST_F(WireServerTest, RecoverableRejectionKeepsTheStreamUsable) {
+  engine::ShardedDispatchEngine eng(engine_config());
+  WireServer server(eng, server_config());
+  server.start();
+
+  WireClient client(socket_path(), WireClient::Framing::kBinary);
+  ByteWriter frame;
+  const std::vector<std::uint8_t> unknown_verb = {0x63};
+  append_frame(frame, std::span(unknown_verb));
+  client.send_raw(std::span(frame.data()));
+  const WireResponse rejection = client.read_response();
+  EXPECT_EQ(rejection.error, WireError::kUnknownVerb);
+
+  // Same connection, next frame: served normally.
+  const WireResponse answer = client.query(0.0);
+  EXPECT_EQ(answer.error, WireError::kNone) << answer.detail;
+  server.stop();
+  EXPECT_EQ(server.stats().frames_rejected, 1u);
+}
+
+TEST_F(WireServerTest, RegressingAndNonFiniteEpochsAreRejectedTyped) {
+  engine::ShardedDispatchEngine eng(engine_config());
+  WireServer server(eng, server_config());
+  server.start();
+
+  WireClient client(socket_path(), WireClient::Framing::kBinary);
+  client.epoch(10.0);
+  client.epoch(5.0);  // regresses: typed rejection, connection survives
+  WireRequest nan_epoch;
+  nan_epoch.verb = WireVerb::kEpoch;
+  nan_epoch.time_minutes = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::uint8_t> nan_frame = encode_request_frame(nan_epoch);
+  client.send_raw(std::span(nan_frame));
+
+  const WireResponse answer = client.query(10.0);
+  ASSERT_EQ(answer.error, WireError::kNone) << answer.detail;
+  ASSERT_EQ(client.async_errors().size(), 2u);
+  for (const WireResponse& rejection : client.async_errors()) {
+    EXPECT_EQ(rejection.error, WireError::kBadField);
+  }
+  server.stop();
+  // Only the first epoch reached the engine.
+  EXPECT_EQ(server.stats().epochs_advanced, 1u);
+}
+
+TEST_F(WireServerTest, ShutdownVerbStopsTheServerAndDrainsRings) {
+  engine::ShardedDispatchEngine eng(engine_config());
+  WireServer server(eng, server_config());
+  server.start();
+
+  WireClient client(socket_path(), WireClient::Framing::kJson);
+  constexpr std::uint64_t kEvents = 64;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    client.submit(
+        engine::start_event(i + 1, 0.125, static_cast<double>(i) * 0.25));
+  }
+  const WireResponse ack = client.shutdown_server();
+  ASSERT_EQ(ack.error, WireError::kNone) << ack.detail;
+  EXPECT_NE(ack.body.find("\"stopping\""), std::string::npos);
+
+  EXPECT_TRUE(server.wait_until_stopped());
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // stop() drains the rings: every accepted submit is applied.
+  EXPECT_EQ(eng.events_applied(), kEvents);
+  EXPECT_EQ(eng.active_sessions(), kEvents);
+}
+
+TEST_F(WireServerTest, TimerCutsEpochsAtTheEventTimeWatermark) {
+  engine::ShardedDispatchEngine eng(engine_config());
+  WireServer server(eng, server_config(/*epoch_cadence_ms=*/5));
+  server.start();
+
+  WireClient client(socket_path(), WireClient::Framing::kBinary);
+  client.submit(engine::start_event(1, 0.5, 1.0));
+  client.flush();
+
+  // Wall time decides only *when* the timer fires; the epoch's logical
+  // time is the event-time high-water mark, never a clock reading. Only
+  // the timer drains here, and a tick snapshots right after its drain, so
+  // events_applied >= 1 implies an epoch at watermark 1.0 whose snapshot
+  // holds the open session.
+  wait_for([&] { return eng.events_applied() >= 1; });
+  EXPECT_EQ(server.watermark_minutes(), 1.0);
+
+  // Raising the watermark makes the next tick integrate [1, 31) from that
+  // snapshot; further ticks at a flat watermark add zero-length segments,
+  // which are free (EngineTest.ZeroLengthEpochSegmentsAreFree).
+  client.submit(engine::end_event(1, 31.0));
+  client.flush();
+  wait_for([&] { return eng.opt_bounds().upper_dollars > 0.0; });
+
+  server.stop();
+  EXPECT_GE(server.stats().timer_ticks, 2u);
+  EXPECT_EQ(server.watermark_minutes(), 31.0);
+  const engine::StreamingOptBounds bounds = eng.opt_bounds();
+  // One 0.5 session for the 30-minute segment [1, 31): one server,
+  // 30 min at $6/hour.
+  EXPECT_GT(bounds.segments, 0u);
+  EXPECT_EQ(bounds.lower_dollars, 30.0 / 60.0 * 6.0);
+  EXPECT_EQ(bounds.upper_dollars, 30.0 / 60.0 * 6.0);
+  EXPECT_EQ(eng.active_sessions(), 0u);
+}
+
+TEST_F(WireServerTest, ObsCountersMirrorServingStats) {
+  engine::ShardedDispatchEngine eng(engine_config());
+  obs::MetricsRegistry metrics;
+  WireServer server(eng, server_config(), /*tracer=*/nullptr, &metrics);
+  server.start();
+
+  WireClient client(socket_path(), WireClient::Framing::kBinary);
+  client.submit(engine::start_event(1, 0.25, 1.0));
+  ASSERT_EQ(client.query(1.0).error, WireError::kNone);
+  server.stop();
+
+  const WireServerStats stats = server.stats();
+  EXPECT_EQ(metrics.counter("net.connections").value(),
+            stats.connections_accepted);
+  EXPECT_EQ(metrics.counter("net.frames_received").value(),
+            stats.frames_received);
+  EXPECT_EQ(metrics.counter("net.frames_rejected").value(), 0u);
+  EXPECT_EQ(metrics.counter("net.bytes_in").value(), stats.bytes_in);
+  EXPECT_EQ(metrics.counter("net.events_submitted").value(),
+            stats.events_submitted);
+}
+
+TEST_F(WireServerTest, StopIsIdempotentAndUnlinksTheSocket) {
+  engine::ShardedDispatchEngine eng(engine_config());
+  WireServer server(eng, server_config());
+  server.start();
+  EXPECT_TRUE(std::filesystem::exists(socket_path()));
+  server.stop();
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(socket_path()));
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace dbp::net

@@ -1,0 +1,326 @@
+// Wire-protocol codec tests (ISSUE 10): binary frame round trips, the
+// strict flat-JSON subset, typed rejection codes for every structural
+// corruption, and the strict-parser reuse that makes a wire field reject
+// "8abc" or "-1" exactly like a CLI flag (tools/cli.hpp shares
+// core/parse.hpp with decode_json_request).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/binary_io.hpp"
+#include "core/crc32.hpp"
+#include "core/error.hpp"
+#include "net/wire_protocol.hpp"
+
+namespace dbp::net {
+namespace {
+
+std::vector<WireRequest> all_requests() {
+  std::vector<WireRequest> requests;
+  WireRequest start;
+  start.verb = WireVerb::kSubmit;
+  start.event = engine::start_event(42, 0.1, 1.0 / 3.0);
+  requests.push_back(start);
+
+  WireRequest routed = start;
+  routed.event.route_key = 7;  // route decoupled from the session id
+  requests.push_back(routed);
+
+  WireRequest end;
+  end.verb = WireVerb::kSubmit;
+  end.event = engine::end_event(42, 6.62607015e-3);
+  requests.push_back(end);
+
+  WireRequest epoch;
+  epoch.verb = WireVerb::kEpoch;
+  epoch.time_minutes = 0.1;  // not exactly representable; must round trip
+  requests.push_back(epoch);
+
+  WireRequest query;
+  query.verb = WireVerb::kQuery;
+  query.time_minutes = 1e300;
+  requests.push_back(query);
+
+  WireRequest shutdown;
+  shutdown.verb = WireVerb::kShutdown;
+  requests.push_back(shutdown);
+  return requests;
+}
+
+void expect_same_request(const WireRequest& expected, const WireRequest& got) {
+  EXPECT_EQ(expected.verb, got.verb);
+  EXPECT_EQ(expected.time_minutes, got.time_minutes);
+  if (expected.verb == WireVerb::kSubmit) {
+    EXPECT_EQ(expected.event.kind, got.event.kind);
+    EXPECT_EQ(expected.event.session_id, got.event.session_id);
+    EXPECT_EQ(expected.event.route_key, got.event.route_key);
+    EXPECT_EQ(expected.event.time_minutes, got.event.time_minutes);
+    if (expected.event.kind == engine::SessionEvent::Kind::kStart) {
+      EXPECT_EQ(expected.event.gpu_fraction, got.event.gpu_fraction);
+    }
+  }
+}
+
+/// Splits a full frame into header + CRC-verified payload the way the
+/// server's read loop does.
+DecodeResult decode_full_frame(std::span<const std::uint8_t> frame) {
+  FrameHeader header;
+  const WireError header_error =
+      decode_frame_header(frame.subspan(0, kFrameHeaderBytes), header);
+  EXPECT_EQ(header_error, WireError::kNone);
+  std::span<const std::uint8_t> payload =
+      frame.subspan(kFrameHeaderBytes, header.payload_len);
+  EXPECT_EQ(crc32(payload), header.payload_crc);
+  return decode_request(payload);
+}
+
+TEST(NetWireBinary, RequestFramesRoundTripBitExact) {
+  for (const WireRequest& request : all_requests()) {
+    const std::vector<std::uint8_t> frame = encode_request_frame(request);
+    ASSERT_GE(frame.size(), kFrameHeaderBytes);
+    const DecodeResult decoded = decode_full_frame(frame);
+    ASSERT_EQ(decoded.error, WireError::kNone) << decoded.detail;
+    expect_same_request(request, decoded.request);
+  }
+}
+
+TEST(NetWireBinary, ResponseFramesRoundTrip) {
+  WireResponse response;
+  response.request_seq = 917;
+  response.error = WireError::kBadField;
+  response.detail = "invalid session id '8abc'";
+  response.body = "{\"ok\":false}";
+  const std::vector<std::uint8_t> frame = encode_response_frame(response);
+  FrameHeader header;
+  ASSERT_EQ(decode_frame_header(
+                std::span(frame).subspan(0, kFrameHeaderBytes), header),
+            WireError::kNone);
+  const WireResponse decoded = decode_response(
+      std::span(frame).subspan(kFrameHeaderBytes, header.payload_len));
+  EXPECT_EQ(decoded.request_seq, response.request_seq);
+  EXPECT_EQ(decoded.error, response.error);
+  EXPECT_EQ(decoded.detail, response.detail);
+  EXPECT_EQ(decoded.body, response.body);
+}
+
+TEST(NetWireBinary, HeaderRejectsBadMagic) {
+  std::vector<std::uint8_t> frame =
+      encode_request_frame(WireRequest{WireVerb::kQuery, {}, 0.0});
+  frame[0] ^= 0xFF;
+  FrameHeader header;
+  EXPECT_EQ(decode_frame_header(
+                std::span(frame).subspan(0, kFrameHeaderBytes), header),
+            WireError::kBadMagic);
+}
+
+TEST(NetWireBinary, HeaderRejectsOversizedLength) {
+  ByteWriter writer;
+  writer.u32(kWireMagic);
+  writer.u32(kMaxFramePayloadBytes + 1);
+  writer.u32(0);
+  FrameHeader header;
+  EXPECT_EQ(decode_frame_header(std::span(writer.data()), header),
+            WireError::kOversizedFrame);
+}
+
+TEST(NetWireBinary, HeaderRejectsShortSpan) {
+  const std::vector<std::uint8_t> stub = {0x44, 0x42};
+  FrameHeader header;
+  EXPECT_EQ(decode_frame_header(std::span(stub), header),
+            WireError::kTruncatedFrame);
+}
+
+TEST(NetWireBinary, PayloadRejectionsAreTyped) {
+  {
+    // Empty payload: no verb byte to read.
+    const DecodeResult decoded = decode_request({});
+    EXPECT_EQ(decoded.error, WireError::kBadPayload);
+  }
+  {
+    // Verb byte outside the vocabulary.
+    const std::vector<std::uint8_t> payload = {0x63};
+    const DecodeResult decoded = decode_request(std::span(payload));
+    EXPECT_EQ(decoded.error, WireError::kUnknownVerb);
+    EXPECT_NE(decoded.detail.find("99"), std::string::npos)
+        << decoded.detail;
+  }
+  {
+    // Valid submit frame with a kind byte that is neither start nor end.
+    std::vector<std::uint8_t> payload =
+        encode_request(WireRequest{WireVerb::kSubmit,
+                                   engine::start_event(1, 0.5, 1.0), 0.0});
+    payload[1] = 9;
+    const DecodeResult decoded = decode_request(std::span(payload));
+    EXPECT_EQ(decoded.error, WireError::kBadField);
+  }
+  {
+    // Trailing garbage after a complete request: expect_done fires.
+    std::vector<std::uint8_t> payload =
+        encode_request(WireRequest{WireVerb::kShutdown, {}, 0.0});
+    payload.push_back(0xAB);
+    const DecodeResult decoded = decode_request(std::span(payload));
+    EXPECT_EQ(decoded.error, WireError::kBadPayload);
+  }
+  {
+    // Truncated mid-field: the reader underruns.
+    std::vector<std::uint8_t> payload = encode_request(WireRequest{
+        WireVerb::kSubmit, engine::start_event(1, 0.5, 1.0), 0.0});
+    payload.resize(payload.size() / 2);
+    const DecodeResult decoded = decode_request(std::span(payload));
+    EXPECT_EQ(decoded.error, WireError::kBadPayload);
+  }
+}
+
+TEST(NetWireErrors, FatalityClassifiesStreamDesyncOnly) {
+  EXPECT_TRUE(fatal(WireError::kBadMagic));
+  EXPECT_TRUE(fatal(WireError::kOversizedFrame));
+  EXPECT_TRUE(fatal(WireError::kBadCrc));
+  EXPECT_TRUE(fatal(WireError::kTruncatedFrame));
+  EXPECT_TRUE(fatal(WireError::kOversizedLine));
+  EXPECT_FALSE(fatal(WireError::kNone));
+  EXPECT_FALSE(fatal(WireError::kBadPayload));
+  EXPECT_FALSE(fatal(WireError::kUnknownVerb));
+  EXPECT_FALSE(fatal(WireError::kBadField));
+  EXPECT_FALSE(fatal(WireError::kBadJson));
+  EXPECT_FALSE(fatal(WireError::kNotUtf8));
+}
+
+TEST(NetWireErrors, NamesAreStableWireVocabulary) {
+  EXPECT_STREQ(to_string(WireError::kNone), "ok");
+  EXPECT_STREQ(to_string(WireError::kBadMagic), "bad_magic");
+  EXPECT_STREQ(to_string(WireError::kBadCrc), "bad_crc");
+  EXPECT_STREQ(to_string(WireError::kTruncatedFrame), "truncated_frame");
+  EXPECT_STREQ(to_string(WireError::kUnknownVerb), "unknown_verb");
+  EXPECT_STREQ(to_string(WireError::kBadField), "bad_field");
+  EXPECT_STREQ(to_string(WireError::kNotUtf8), "not_utf8");
+  EXPECT_STREQ(to_string(WireError::kOversizedLine), "oversized_line");
+}
+
+TEST(NetWireJson, RequestsRoundTripBitExact) {
+  for (const WireRequest& request : all_requests()) {
+    const std::string line = encode_json_request(request);
+    const DecodeResult decoded = decode_json_request(line);
+    ASSERT_EQ(decoded.error, WireError::kNone)
+        << line << " -> " << decoded.detail;
+    expect_same_request(request, decoded.request);
+  }
+}
+
+TEST(NetWireJson, RouteDefaultsToSessionId) {
+  const DecodeResult decoded = decode_json_request(
+      R"({"verb":"submit","kind":"start","id":11,"size":0.25,"t":2.0})");
+  ASSERT_EQ(decoded.error, WireError::kNone) << decoded.detail;
+  EXPECT_EQ(decoded.request.event.route_key, 11u);
+}
+
+TEST(NetWireJson, StructuralRejectionsAreTyped) {
+  const struct {
+    const char* line;
+    WireError expected;
+  } kCases[] = {
+      {"not json at all", WireError::kBadJson},
+      {"[1,2,3]", WireError::kBadJson},
+      {R"({"verb":"query","t":{"nested":1}})", WireError::kBadJson},
+      {R"({"verb":"query","t":[1]})", WireError::kBadJson},
+      {R"({"verb":"query","t":1,"t":2})", WireError::kBadJson},
+      {R"({"verb":"query","t":1)", WireError::kBadJson},
+      {R"({"verb":"frobnicate"})", WireError::kUnknownVerb},
+      {R"({"kind":"start","id":1,"size":0.5,"t":1})", WireError::kBadField},
+      {R"({"verb":"epoch"})", WireError::kBadField},
+      {R"({"verb":"epoch","t":true})", WireError::kBadField},
+      {R"({"verb":"epoch","t":"later"})", WireError::kBadField},
+      {R"({"verb":"shutdown","bogus":1})", WireError::kBadField},
+      {R"({"verb":"submit","kind":"sideways","id":1,"size":0.5,"t":1})",
+       WireError::kBadField},
+      {R"({"verb":"submit","kind":"end","id":1,"size":0.5,"t":1})",
+       WireError::kBadField},  // size is a start-only field
+      {R"({"verb":"submit","kind":"start","id":1,"t":1})",
+       WireError::kBadField},  // ... and required on start
+  };
+  for (const auto& test_case : kCases) {
+    const DecodeResult decoded = decode_json_request(test_case.line);
+    EXPECT_EQ(decoded.error, test_case.expected)
+        << test_case.line << " -> " << decoded.detail;
+    EXPECT_FALSE(decoded.detail.empty()) << test_case.line;
+  }
+}
+
+TEST(NetWireJson, NumericFieldsUseTheStrictCliParsers) {
+  // The exact malformed numbers the CLI satellite pins down (cli_parse_test)
+  // must be rejected on the wire too, with the shared parser's message.
+  const struct {
+    const char* line;
+    const char* expected_fragment;
+  } kCases[] = {
+      {R"({"verb":"submit","kind":"start","id":8abc,"size":0.5,"t":1})",
+       "'8abc'"},
+      {R"({"verb":"submit","kind":"start","id":-1,"size":0.5,"t":1})",
+       "non-negative integer"},
+      {R"({"verb":"epoch","t":1.5x})", "'1.5x'"},
+      {R"({"verb":"epoch","t":nan})", "finite"},
+      {R"({"verb":"epoch","t":1e99999})", "range"},
+  };
+  for (const auto& test_case : kCases) {
+    const DecodeResult decoded = decode_json_request(test_case.line);
+    EXPECT_EQ(decoded.error, WireError::kBadField) << test_case.line;
+    EXPECT_NE(decoded.detail.find(test_case.expected_fragment),
+              std::string::npos)
+        << test_case.line << " -> " << decoded.detail;
+  }
+}
+
+TEST(NetWireJson, NonUtf8LinesAreRejectedBeforeParsing) {
+  std::string line = R"({"verb":"query","t":)";
+  line.push_back(static_cast<char>(0xFF));
+  line.push_back(static_cast<char>(0xFE));
+  line.push_back('}');
+  const DecodeResult decoded = decode_json_request(line);
+  EXPECT_EQ(decoded.error, WireError::kNotUtf8);
+}
+
+TEST(NetWireJson, Utf8ValidatorIsStrict) {
+  EXPECT_TRUE(is_valid_utf8("plain ascii"));
+  EXPECT_TRUE(is_valid_utf8("caf\xC3\xA9"));            // U+00E9
+  EXPECT_TRUE(is_valid_utf8("\xE2\x82\xAC"));           // U+20AC
+  EXPECT_TRUE(is_valid_utf8("\xF0\x9F\x8E\xAE"));       // U+1F3AE
+  EXPECT_FALSE(is_valid_utf8("\xC0\x80"));              // overlong NUL
+  EXPECT_FALSE(is_valid_utf8("\xE0\x80\xAF"));          // overlong
+  EXPECT_FALSE(is_valid_utf8("\xED\xA0\x80"));          // surrogate
+  EXPECT_FALSE(is_valid_utf8("\xF4\x90\x80\x80"));      // > U+10FFFF
+  EXPECT_FALSE(is_valid_utf8("\x80"));                  // bare continuation
+  EXPECT_FALSE(is_valid_utf8("\xC3"));                  // truncated lead
+  EXPECT_FALSE(is_valid_utf8("\xE2\x82"));              // truncated 3-byte
+}
+
+TEST(NetWireJson, ResponsesRoundTripIncludingEscapes) {
+  WireResponse response;
+  response.request_seq = 3;
+  response.error = WireError::kBadField;
+  response.detail = "path \"a\\b\"\nline2\ttab\x01";
+  const std::string line = encode_json_response(response);
+  EXPECT_TRUE(is_valid_utf8(line));
+  const WireResponse decoded = decode_json_response(line);
+  EXPECT_EQ(decoded.request_seq, response.request_seq);
+  EXPECT_EQ(decoded.error, response.error);
+  EXPECT_EQ(decoded.detail, response.detail);
+
+  WireResponse ok;
+  ok.request_seq = 4;
+  ok.body = "{\"active_sessions\": 2}";
+  const WireResponse ok_decoded = decode_json_response(encode_json_response(ok));
+  EXPECT_EQ(ok_decoded.error, WireError::kNone);
+  EXPECT_EQ(ok_decoded.request_seq, 4u);
+  EXPECT_EQ(ok_decoded.body, ok.body);
+}
+
+TEST(NetWireJson, ResponseDecoderThrowsOnDamage) {
+  EXPECT_THROW((void)decode_json_response("{\"seq\":}"), CorruptionError);
+  EXPECT_THROW((void)decode_json_response("totally not a response"),
+               CorruptionError);
+}
+
+}  // namespace
+}  // namespace dbp::net

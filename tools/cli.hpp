@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/parse.hpp"
 #include "exec/execution_policy.hpp"
 
 namespace dbp::cli {
@@ -58,39 +59,44 @@ class Args {
     return it->second;
   }
 
+  /// Strict parse (core/parse.hpp): the whole value must be a finite number
+  /// — "1.5x", "nan" and "abc" are CLI errors with the usage hint, never a
+  /// silently truncated or non-finite value.
   [[nodiscard]] double get_double(const std::string& key, double fallback) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    return std::stod(it->second);
+    try {
+      return parse_double_strict(it->second, "--" + key + " value");
+    } catch (const PreconditionError& error) {
+      throw PreconditionError(std::string(error.what()) + "\n" + usage_);
+    }
   }
 
+  /// Strict parse (core/parse.hpp): digits only, no sign/whitespace/suffix,
+  /// in uint64 range. std::stoull would silently accept "8abc" as 8 and
+  /// wrap "-1" into a huge count; here both are CLI errors with the usage
+  /// hint.
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
                                       std::uint64_t fallback) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    return std::stoull(it->second);
+    try {
+      return parse_u64_strict(it->second, "--" + key + " value");
+    } catch (const PreconditionError& error) {
+      throw PreconditionError(std::string(error.what()) + "\n" + usage_);
+    }
   }
 
-  /// Strict parse for --threads: digits only, no sign/whitespace/suffix, and
-  /// capped at kMaxThreads. std::stoull would silently accept "8abc" or wrap
-  /// "-1" into a huge count; here both are CLI errors with a usage hint.
-  /// Returns 0 (runtime default) when the option is absent or empty.
+  /// get_u64 additionally capped at kMaxThreads for --threads. Returns 0
+  /// (runtime default) when the option is absent or empty.
   static constexpr std::uint64_t kMaxThreads = 512;
 
   [[nodiscard]] int get_thread_count(const std::string& key = "threads") const {
     auto it = values_.find(key);
     if (it == values_.end() || it->second.empty()) return 0;
-    const std::string& text = it->second;
-    const bool all_digits =
-        text.find_first_not_of("0123456789") == std::string::npos;
-    DBP_REQUIRE(all_digits, "invalid --" + key + " value '" + text +
-                                "': expected a non-negative integer\n" + usage_);
-    // 20 digits can overflow uint64; anything that long is over the cap anyway.
-    std::uint64_t parsed = 0;
-    const bool overflows = text.size() > 19;
-    if (!overflows) parsed = std::stoull(text);
-    DBP_REQUIRE(!overflows && parsed <= kMaxThreads,
-                "--" + key + " value '" + text + "' is out of range (max " +
+    const std::uint64_t parsed = get_u64(key, 0);
+    DBP_REQUIRE(parsed <= kMaxThreads,
+                "--" + key + " value '" + it->second + "' is out of range (max " +
                     std::to_string(kMaxThreads) + ")\n" + usage_);
     return static_cast<int>(parsed);
   }

@@ -8,6 +8,7 @@ The library is layered bottom-up (DESIGN.md has the diagram):
     algo, workload               packers / generators over the vocabulary
     sim, opt, analysis           simulation, optimum, experiment harnesses
     gaming, engine, durability   the top: dispatchers, sharding, WAL
+    net                          wire front-end over the engine
 
 Every `#include "..."` edge between two layers must be declared in
 LAYER_DEPS below; an undeclared edge, an include cycle, or an include that
@@ -82,6 +83,10 @@ LAYER_DEPS: dict[str, set[str]] = {
     "engine": {"core", "exec", "obs", "opt", "gaming"},
     # Durability journals/checkpoints dispatcher and packer state.
     "durability": {"core", "algo", "opt", "gaming", "obs"},
+    # The wire front-end frames/validates requests (core codecs + strict
+    # parsers) and feeds the engine; gaming only for the ServerSpec/fault
+    # vocabulary surfaced in query responses; obs for net.* counters.
+    "net": {"core", "engine", "gaming", "obs"},
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(?P<path>[^"]+)"')

@@ -1,0 +1,129 @@
+// dbp_serve — Unix-socket wire front-end for the sharded dispatch engine.
+//
+// Binds net::WireServer on --socket and serves until a client sends the
+// `shutdown` verb or the process receives SIGINT/SIGTERM; both paths run
+// the same graceful stop (drain rings, join connections, unlink socket).
+// On exit a summary JSON goes to stdout: serving counters plus the final
+// engine view (events applied, active sessions, streaming OPT bounds).
+//
+// Usage:
+//   dbp_serve --socket=PATH [--shards=1] [--ring=4096]
+//             [--algorithm=first-fit] [--capacity=1.0] [--price-per-hour=6.0]
+//             [--epoch-cadence-ms=0] [--threads=N]
+//             [--trace-out=FILE] [--metrics]
+//
+// --epoch-cadence-ms=N starts a timer thread cutting an epoch every N ms at
+// the event-time high-water mark (0 = epochs only on explicit request).
+// --trace-out/--metrics hand the tracer/registry to every serving thread,
+// so the exported trace matches a direct driver's (docs/wire_protocol.md).
+#include <csignal>
+#include <iostream>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "cli.hpp"
+#include "core/checked_output.hpp"
+#include "core/error.hpp"
+#include "engine/engine.hpp"
+#include "exec/worker_budget.hpp"
+#include "net/wire_server.hpp"
+#include "obs_cli.hpp"
+
+namespace {
+
+using namespace dbp;
+
+constexpr const char* kUsage =
+    "usage: dbp_serve --socket=PATH [--shards=1] [--ring=4096]\n"
+    "                 [--algorithm=first-fit] [--capacity=1.0]\n"
+    "                 [--price-per-hour=6.0] [--epoch-cadence-ms=0]\n"
+    "                 [--threads=N] [--trace-out=FILE] [--metrics]\n";
+
+volatile std::sig_atomic_t g_signal_seen = 0;
+
+void on_signal(int) { g_signal_seen = 1; }
+
+std::string json_number(double value) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dbp;
+  try {
+    const cli::Args args(argc, argv,
+                         {"socket", "shards", "ring", "algorithm", "capacity",
+                          "price-per-hour", "epoch-cadence-ms", "threads",
+                          "trace-out", "metrics"},
+                         kUsage);
+    exec::WorkerBudget::set(args.get_thread_count());
+    cli::ObsSession obs_session(args);
+
+    engine::EngineConfig config;
+    config.shard_count = std::max<std::uint64_t>(1, args.get_u64("shards", 1));
+    config.ring_capacity = args.get_u64("ring", 4096);
+    config.algorithm = args.get("algorithm", "first-fit");
+    config.spec = ServerSpec{args.get_double("capacity", 1.0),
+                             args.get_double("price-per-hour", 6.0)};
+    engine::ShardedDispatchEngine eng(config);
+
+    net::WireServerConfig server_config;
+    server_config.socket_path = args.require("socket");
+    server_config.epoch_cadence_ms = args.get_u64("epoch-cadence-ms", 0);
+    net::WireServer server(eng, server_config, obs_session.tracer(),
+                           obs_session.metrics());
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    server.start();
+    std::cerr << "dbp_serve: listening on " << server_config.socket_path
+              << " (" << config.shard_count << " shard(s)";
+    if (server_config.epoch_cadence_ms > 0) {
+      std::cerr << ", epoch every " << server_config.epoch_cadence_ms << " ms";
+    }
+    std::cerr << ")\n";
+
+    // Serve until the shutdown verb (wakes the poll immediately) or a
+    // signal (seen within one 200 ms poll round).
+    while (g_signal_seen == 0 && !server.poll_stop_requested(200)) {
+    }
+    server.stop();
+
+    const net::WireServerStats stats = server.stats();
+    const engine::StreamingOptBounds bounds = eng.opt_bounds();
+    std::ostringstream json;
+    json << "{\n";
+    json << "  \"schema\": \"dbp-serve/1\",\n";
+    json << "  \"connections_accepted\": " << stats.connections_accepted
+         << ",\n";
+    json << "  \"frames_received\": " << stats.frames_received << ",\n";
+    json << "  \"frames_rejected\": " << stats.frames_rejected << ",\n";
+    json << "  \"bytes_in\": " << stats.bytes_in << ",\n";
+    json << "  \"events_submitted\": " << stats.events_submitted << ",\n";
+    json << "  \"epochs_advanced\": " << stats.epochs_advanced << ",\n";
+    json << "  \"timer_ticks\": " << stats.timer_ticks << ",\n";
+    json << "  \"events_applied\": " << eng.events_applied() << ",\n";
+    json << "  \"active_sessions\": " << eng.active_sessions() << ",\n";
+    json << "  \"dropped_events\": "
+         << eng.merged_fault_stats().total_dropped_events() << ",\n";
+    json << "  \"opt_lower_dollars\": " << json_number(bounds.lower_dollars)
+         << ",\n";
+    json << "  \"opt_upper_dollars\": " << json_number(bounds.upper_dollars)
+         << ",\n";
+    json << "  \"opt_segments\": " << bounds.segments << "\n";
+    json << "}\n";
+    std::cout << json.str();
+    obs_session.finish();
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "dbp_serve: " << error.what() << "\n";
+    return 1;
+  }
+}
